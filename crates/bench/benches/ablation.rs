@@ -1,0 +1,25 @@
+//! Ablation benches: hierarchical vs flat all-reduce, double-buffering,
+//! reduction group size (the design choices DESIGN.md calls out).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtp_harness::ablation;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", ablation::render_all().expect("ablations"));
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("topology/hierarchical_vs_flat_8_to_64", |b| {
+        b.iter(|| ablation::topology(&[8, 64]).expect("topology"))
+    });
+    group.bench_function("buffering/double_vs_streamed", |b| {
+        b.iter(|| ablation::buffering().expect("buffering"))
+    });
+    group.bench_function("group_size/64chips", |b| {
+        b.iter(|| ablation::group_size(64, &[2, 4, 8]).expect("group size"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

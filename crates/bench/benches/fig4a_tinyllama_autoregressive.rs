@@ -1,0 +1,27 @@
+//! Regenerates Fig. 4(a): TinyLlama autoregressive runtime breakdown and
+//! speedup, 1–8 chips. The rendered rows print once; Criterion then times
+//! the underlying simulations per chip count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtp_core::DistributedSystem;
+use mtp_harness::fig4;
+use mtp_model::{InferenceMode, TransformerConfig};
+
+fn bench(c: &mut Criterion) {
+    let points = fig4::fig4a().expect("fig4a sweep");
+    println!("\n{}", fig4::render("Fig 4(a): TinyLlama autoregressive (S=128)", &points));
+
+    let mut group = c.benchmark_group("fig4a");
+    group.sample_size(10);
+    for n in [1usize, 2, 4, 8] {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let sys = DistributedSystem::paper_default(cfg, n).expect("system");
+        group.bench_function(format!("simulate_block/{n}chips"), |b| {
+            b.iter(|| sys.simulate_block(InferenceMode::Autoregressive).expect("simulate"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

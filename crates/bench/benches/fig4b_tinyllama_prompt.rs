@@ -1,0 +1,26 @@
+//! Regenerates Fig. 4(b): TinyLlama prompt-mode runtime breakdown and
+//! speedup, 1–8 chips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtp_core::DistributedSystem;
+use mtp_harness::fig4;
+use mtp_model::{InferenceMode, TransformerConfig};
+
+fn bench(c: &mut Criterion) {
+    let points = fig4::fig4b().expect("fig4b sweep");
+    println!("\n{}", fig4::render("Fig 4(b): TinyLlama prompt (S=16)", &points));
+
+    let mut group = c.benchmark_group("fig4b");
+    group.sample_size(10);
+    for n in [1usize, 2, 4, 8] {
+        let cfg = TransformerConfig::tiny_llama_42m().with_seq_len(16);
+        let sys = DistributedSystem::paper_default(cfg, n).expect("system");
+        group.bench_function(format!("simulate_block/{n}chips"), |b| {
+            b.iter(|| sys.simulate_block(InferenceMode::Prompt).expect("simulate"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

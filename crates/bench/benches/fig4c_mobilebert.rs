@@ -1,0 +1,26 @@
+//! Regenerates Fig. 4(c): MobileBERT runtime breakdown and speedup,
+//! 1–4 chips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtp_core::DistributedSystem;
+use mtp_harness::fig4;
+use mtp_model::{InferenceMode, TransformerConfig};
+
+fn bench(c: &mut Criterion) {
+    let points = fig4::fig4c().expect("fig4c sweep");
+    println!("\n{}", fig4::render("Fig 4(c): MobileBERT (S=268)", &points));
+
+    let mut group = c.benchmark_group("fig4c");
+    group.sample_size(10);
+    for n in [1usize, 2, 4] {
+        let cfg = TransformerConfig::mobile_bert();
+        let sys = DistributedSystem::paper_default(cfg, n).expect("system");
+        group.bench_function(format!("simulate_block/{n}chips"), |b| {
+            b.iter(|| sys.simulate_block(InferenceMode::Prompt).expect("simulate"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Fig. 5: energy-vs-runtime scatter for all three workloads,
+//! including the scaled-up model points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtp_harness::fig5;
+
+fn bench(c: &mut Criterion) {
+    for panel in fig5::run().expect("fig5 panels") {
+        println!("\n{}", fig5::render(&panel));
+    }
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("panel_a_tinyllama_autoregressive", |b| {
+        b.iter(|| fig5::fig5a().expect("fig5a"))
+    });
+    group.bench_function("panel_b_tinyllama_prompt", |b| b.iter(|| fig5::fig5b().expect("fig5b")));
+    group.bench_function("panel_c_mobilebert", |b| b.iter(|| fig5::fig5c().expect("fig5c")));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

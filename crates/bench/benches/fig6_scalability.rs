@@ -1,0 +1,26 @@
+//! Regenerates Fig. 6: scaled-up TinyLlama (64 heads) speedup on 2–64
+//! chips, autoregressive and prompt modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtp_core::DistributedSystem;
+use mtp_harness::fig6;
+use mtp_model::{InferenceMode, TransformerConfig};
+
+fn bench(c: &mut Criterion) {
+    let fig = fig6::run().expect("fig6 sweeps");
+    println!("\n{}", fig6::render(&fig));
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    for n in [8usize, 64] {
+        let cfg = TransformerConfig::tiny_llama_scaled_64h();
+        let sys = DistributedSystem::paper_default(cfg, n).expect("system");
+        group.bench_function(format!("scaled_autoregressive/{n}chips"), |b| {
+            b.iter(|| sys.simulate_block(InferenceMode::Autoregressive).expect("simulate"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Micro-benchmarks of the substrates themselves: functional kernels, the
+//! cost model, and the event-driven simulator's throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtp_core::schedule::Scheduler;
+use mtp_model::{reference, InferenceMode, TransformerConfig};
+use mtp_sim::{ChipSpec, Machine};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+
+    // Functional kernels (golden-model arithmetic).
+    let x = reference::synthetic_input(64, 512, 1);
+    let w = reference::synthetic_input(512, 512, 2);
+    group.bench_function("functional/gemm_64x512x512", |b| {
+        b.iter(|| x.try_matmul(&w).expect("matmul"))
+    });
+    group.bench_function("functional/softmax_64x512", |b| {
+        b.iter(|| mtp_kernels::softmax_rows(&x))
+    });
+
+    // Cost model evaluation.
+    let model = mtp_kernels::ClusterCostModel::siracusa();
+    let kernel = mtp_kernels::Kernel::gemm(268, 512, 512);
+    group.bench_function("cost_model/gemm_cycles", |b| b.iter(|| model.cycles(&kernel)));
+
+    // Simulator throughput: instructions per second executing the paper's
+    // 8-chip autoregressive block.
+    let cfg = TransformerConfig::tiny_llama_42m();
+    let chip = ChipSpec::siracusa();
+    let mut scheduler = Scheduler::new(&cfg, 8, &chip).expect("scheduler");
+    let programs = scheduler.model_programs(InferenceMode::Autoregressive, 1).expect("programs");
+    let machine = Machine::homogeneous(chip, 8);
+    let instrs: usize = programs.iter().map(|p| p.len()).sum();
+    println!("simulator program size: {instrs} instructions across 8 chips");
+    group.bench_function("simulator/8chip_block", |b| {
+        b.iter(|| machine.run(&programs).expect("run"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

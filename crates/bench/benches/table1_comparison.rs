@@ -1,0 +1,38 @@
+//! Regenerates Table I: partitioning-strategy comparison, with measured
+//! full-model numbers for the three implemented strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtp_core::baseline;
+use mtp_harness::table1;
+use mtp_model::{InferenceMode, TransformerConfig};
+use mtp_sim::ChipSpec;
+
+fn bench(c: &mut Criterion) {
+    let rows = table1::run(4, InferenceMode::Autoregressive).expect("table1 rows");
+    println!("\n{}", table1::render(&rows));
+
+    let cfg = TransformerConfig::tiny_llama_42m();
+    let chip = ChipSpec::siracusa();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("ours/4chips_model_pass", |b| {
+        let sys = mtp_core::DistributedSystem::paper_default(cfg.clone(), 4).expect("system");
+        b.iter(|| sys.simulate_model(InferenceMode::Autoregressive).expect("simulate"))
+    });
+    group.bench_function("pipeline/4chips_model_pass", |b| {
+        b.iter(|| {
+            baseline::pipeline::simulate_model(&cfg, 4, &chip, InferenceMode::Autoregressive)
+                .expect("pipeline")
+        })
+    });
+    group.bench_function("replicated/4chips_model_pass", |b| {
+        b.iter(|| {
+            baseline::replicated::simulate_model(&cfg, 4, &chip, InferenceMode::Autoregressive)
+                .expect("replicated")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,345 @@
+//! Value-level distributed execution of the partitioning scheme.
+//!
+//! [`FunctionalSystem`] actually computes the numbers every chip would
+//! produce: per-chip Q/K/V on head slices, per-chip partial MHSA and FFN
+//! outputs, a hierarchical all-reduce that folds in the skip connection,
+//! normalization on the root, and a broadcast. Summation follows the exact
+//! tree order the hardware would use.
+//!
+//! Its entire purpose is the correctness argument: tests verify that for
+//! any chip count dividing the head count, the distributed output matches
+//! the golden single-chip reference in `mtp-model` (see
+//! `tests/functional_equivalence.rs` at the workspace root).
+
+use crate::{slice_block, CoreError, PartitionSpec, Result, SlicedBlockWeights};
+use mtp_link::Topology;
+use mtp_model::reference::{self, AttnMask};
+use mtp_model::{AttentionKind, KvCache, ModelWeights, TransformerConfig};
+use mtp_tensor::Tensor;
+
+/// A value-level simulation of the distributed system.
+#[derive(Debug, Clone)]
+pub struct FunctionalSystem {
+    cfg: TransformerConfig,
+    spec: PartitionSpec,
+    topology: Topology,
+    /// `sliced[layer][chip]`
+    sliced: Vec<Vec<SlicedBlockWeights>>,
+    /// `caches[layer][chip]`, each of width `H_kv·P/N`
+    caches: Vec<Vec<KvCache>>,
+}
+
+impl FunctionalSystem {
+    /// Partitions `weights` over `n_chips` chips with the paper's
+    /// hierarchical group-of-4 reduction topology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates divisibility errors from [`PartitionSpec::new`].
+    pub fn new(cfg: TransformerConfig, weights: &ModelWeights, n_chips: usize) -> Result<Self> {
+        let spec = PartitionSpec::new(&cfg, n_chips)?;
+        let topology = Topology::paper_default(n_chips)?;
+        let sliced = weights
+            .blocks()
+            .iter()
+            .map(|b| slice_block(b, &spec))
+            .collect::<Result<Vec<_>>>()?;
+        let caches = (0..cfg.n_layers)
+            .map(|_| {
+                (0..n_chips)
+                    .map(|_| KvCache::new(spec.kv_slice_width(), cfg.seq_len))
+                    .collect()
+            })
+            .collect();
+        Ok(FunctionalSystem { cfg, spec, topology, sliced, caches })
+    }
+
+    /// The partition specification.
+    #[must_use]
+    pub fn spec(&self) -> &PartitionSpec {
+        &self.spec
+    }
+
+    /// The model configuration.
+    #[must_use]
+    pub fn config(&self) -> &TransformerConfig {
+        &self.cfg
+    }
+
+    /// Positions currently cached (layer 0, chip 0; all agree).
+    #[must_use]
+    pub fn cached_len(&self) -> usize {
+        self.caches
+            .first()
+            .and_then(|layer| layer.first())
+            .map_or(0, KvCache::len)
+    }
+
+    /// Clears every chip's KV-cache.
+    pub fn reset(&mut self) {
+        for layer in &mut self.caches {
+            for c in layer {
+                c.clear();
+            }
+        }
+    }
+
+    /// Hierarchical all-reduce of per-chip partial `S x E` outputs in tree
+    /// order, returning the root's total. Mirrors exactly the message
+    /// sequence the timing schedule emits.
+    fn all_reduce(&self, partials: Vec<Tensor>) -> Result<Tensor> {
+        let mut acc: Vec<Option<Tensor>> = partials.into_iter().map(Some).collect();
+        for step in self.topology.reduce_steps() {
+            let contribution = acc[step.from]
+                .take()
+                .ok_or_else(|| CoreError::InvalidConfig("reduce step reused a source".into()))?;
+            match &mut acc[step.to] {
+                Some(t) => t.accumulate(&contribution)?,
+                None => {
+                    return Err(CoreError::InvalidConfig("reduce step into drained chip".into()))
+                }
+            }
+        }
+        acc[self.topology.root()]
+            .take()
+            .ok_or_else(|| CoreError::InvalidConfig("root has no reduction result".into()))
+    }
+
+    /// One distributed Transformer block (paper Sec. IV).
+    ///
+    /// With `use_cache`, `x` must be one row and per-chip KV-caches are
+    /// appended (autoregressive); otherwise the full `S x E` input is
+    /// processed (prompt / encoder).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors (these indicate partitioning bugs;
+    /// the equivalence tests would catch them).
+    pub fn block_forward(&mut self, x: &Tensor, layer: usize, use_cache: bool) -> Result<Tensor> {
+        let n = self.spec.n_chips();
+        let head_dim = self.spec.head_dim();
+        let rope = self.cfg.attention == AttentionKind::CausalRope;
+        let pos0 = if use_cache { self.caches[layer][0].len() } else { 0 };
+
+        // --- MHSA: every chip computes its own heads on the broadcast x.
+        let mut partials = Vec::with_capacity(n);
+        for chip in 0..n {
+            let w = &self.sliced[layer][chip];
+            let mut q = x.try_matmul(&w.wq)?;
+            let mut k = x.try_matmul(&w.wk)?;
+            let v = x.try_matmul(&w.wv)?;
+            if rope {
+                q = reference::apply_rope_heads(&q, head_dim, pos0)?;
+                k = reference::apply_rope_heads(&k, head_dim, pos0)?;
+            }
+            let attn = if use_cache {
+                let cache = &mut self.caches[layer][chip];
+                cache.append(k.row(0), v.row(0));
+                let mask = AttnMask::Causal { q_offset: cache.len() - 1 };
+                reference::attention_heads(&q, &cache.keys(), &cache.values(), head_dim, mask)?
+            } else {
+                let mask = match self.cfg.attention {
+                    AttentionKind::Bidirectional => AttnMask::None,
+                    AttentionKind::CausalRope => AttnMask::Causal { q_offset: 0 },
+                };
+                reference::attention_heads(&q, &k, &v, head_dim, mask)?
+            };
+            partials.push(attn.try_matmul(&w.wo)?);
+        }
+
+        // --- Sync 1: hierarchical all-reduce + skip + norm on root,
+        // then broadcast (value-wise: everyone sees y).
+        let total = self.all_reduce(partials)?;
+        let w0 = &self.sliced[layer][0];
+        let y = reference::normalize(
+            &x.try_add(&total)?,
+            self.cfg.norm,
+            &w0.norm1_gamma,
+            &w0.norm1_beta,
+        );
+
+        // --- FFN: every chip computes its F/N slice of the intermediate.
+        let mut partials = Vec::with_capacity(n);
+        for chip in 0..n {
+            let w = &self.sliced[layer][chip];
+            let h = y.try_matmul(&w.w1)?;
+            let a = match self.cfg.activation {
+                mtp_model::Activation::Gelu => mtp_kernels::gelu(&h),
+                mtp_model::Activation::Silu => mtp_kernels::silu(&h),
+            };
+            partials.push(a.try_matmul(&w.w2)?);
+        }
+
+        // --- Sync 2: all-reduce + skip + norm + broadcast.
+        let total = self.all_reduce(partials)?;
+        Ok(reference::normalize(
+            &y.try_add(&total)?,
+            self.cfg.norm,
+            &w0.norm2_gamma,
+            &w0.norm2_beta,
+        ))
+    }
+
+    /// Autoregressive step through all layers (one `[1 x E]` row).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn step(&mut self, x: &Tensor) -> Result<Tensor> {
+        let mut h = x.clone();
+        for layer in 0..self.cfg.n_layers {
+            h = self.block_forward(&h, layer, true)?;
+        }
+        Ok(h)
+    }
+
+    /// Prompt/encoder pass through all layers (no cache).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn prompt(&mut self, x: &Tensor) -> Result<Tensor> {
+        let mut h = x.clone();
+        for layer in 0..self.cfg.n_layers {
+            h = self.block_forward(&h, layer, false)?;
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtp_model::reference::synthetic_input;
+    
+
+    fn small_cfg() -> TransformerConfig {
+        let mut cfg = TransformerConfig::tiny_llama_42m();
+        cfg.embed_dim = 32;
+        cfg.ffn_dim = 64;
+        cfg.n_heads = 4;
+        cfg.n_kv_heads = 4;
+        cfg.n_layers = 2;
+        cfg.seq_len = 8;
+        cfg
+    }
+
+    #[test]
+    fn single_chip_matches_reference_exactly_in_structure() {
+        let cfg = small_cfg();
+        let weights = ModelWeights::seeded(&cfg, 11);
+        let mut sys = FunctionalSystem::new(cfg.clone(), &weights, 1).unwrap();
+        let x = synthetic_input(4, cfg.embed_dim, 5);
+        let dist = sys.block_forward(&x, 0, false).unwrap();
+        let golden =
+            mtp_model::reference::block_forward(&x, weights.block(0), &cfg, None).unwrap();
+        assert!(
+            dist.approx_eq(&golden, 1e-4).unwrap(),
+            "diff={}",
+            dist.max_abs_diff(&golden).unwrap()
+        );
+    }
+
+    #[test]
+    fn multi_chip_matches_reference() {
+        let cfg = small_cfg();
+        let weights = ModelWeights::seeded(&cfg, 17);
+        let x = synthetic_input(4, cfg.embed_dim, 3);
+        let golden =
+            mtp_model::reference::block_forward(&x, weights.block(0), &cfg, None).unwrap();
+        for n in [2usize, 4] {
+            let mut sys = FunctionalSystem::new(cfg.clone(), &weights, n).unwrap();
+            let dist = sys.block_forward(&x, 0, false).unwrap();
+            assert!(
+                dist.approx_eq(&golden, 1e-3).unwrap(),
+                "n={n} diff={}",
+                dist.max_abs_diff(&golden).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn cached_steps_match_reference_decoder() {
+        let cfg = small_cfg();
+        let weights = ModelWeights::seeded(&cfg, 23);
+        let mut sys = FunctionalSystem::new(cfg.clone(), &weights, 4).unwrap();
+        let mut golden = mtp_model::Decoder::new(cfg.clone(), weights);
+        for i in 0..5u64 {
+            let x = synthetic_input(1, cfg.embed_dim, 100 + i);
+            let d = sys.step(&x).unwrap();
+            let g = golden.step(&x).unwrap();
+            assert!(
+                d.approx_eq(&g, 1e-3).unwrap(),
+                "step {i} diff={}",
+                d.max_abs_diff(&g).unwrap()
+            );
+        }
+        assert_eq!(sys.cached_len(), 5);
+        sys.reset();
+        assert_eq!(sys.cached_len(), 0);
+    }
+
+    #[test]
+    fn encoder_mode_matches_reference() {
+        let mut cfg = small_cfg();
+        cfg.attention = AttentionKind::Bidirectional;
+        cfg.norm = mtp_model::NormKind::LayerNorm;
+        let weights = ModelWeights::seeded(&cfg, 29);
+        let mut sys = FunctionalSystem::new(cfg.clone(), &weights, 2).unwrap();
+        let x = synthetic_input(6, cfg.embed_dim, 9);
+        let dist = sys.prompt(&x).unwrap();
+        let golden = mtp_model::Encoder::new(cfg, weights).forward(&x).unwrap();
+        assert!(dist.approx_eq(&golden, 1e-3).unwrap());
+    }
+
+    #[test]
+    fn all_reduce_order_is_tree_order() {
+        // With 8 chips the reduction is (1,2,3)->0, (5,6,7)->4, 4->0: the
+        // result must equal the plain sum (associativity holds for these
+        // well-scaled values within tolerance).
+        let cfg = {
+            let mut c = small_cfg();
+            c.n_heads = 8;
+            c.n_kv_heads = 8;
+            c.embed_dim = 64;
+            c.ffn_dim = 64;
+            c
+        };
+        let weights = ModelWeights::seeded(&cfg, 31);
+        let sys = FunctionalSystem::new(cfg, &weights, 8).unwrap();
+        let parts: Vec<Tensor> = (0..8).map(|i| synthetic_input(2, 4, i as u64)).collect();
+        let mut plain = Tensor::zeros(parts[0].shape());
+        for p in &parts {
+            plain.accumulate(p).unwrap();
+        }
+        let tree = sys.all_reduce(parts).unwrap();
+        assert!(tree.approx_eq(&plain, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn rejects_indivisible_chip_count() {
+        let cfg = small_cfg(); // 4 heads
+        let weights = ModelWeights::seeded(&cfg, 1);
+        assert!(FunctionalSystem::new(cfg, &weights, 3).is_err());
+    }
+
+    #[test]
+    fn token_order_changes_the_output() {
+        // Feed tokens A,B then B,A: the third step's output must differ,
+        // proving positions (RoPE + cache order) influence attention.
+        let cfg = small_cfg();
+        let weights = ModelWeights::seeded(&cfg, 37);
+        let a = synthetic_input(1, cfg.embed_dim, 1);
+        let b = synthetic_input(1, cfg.embed_dim, 2);
+        let probe = synthetic_input(1, cfg.embed_dim, 3);
+        let mut fwd = FunctionalSystem::new(cfg.clone(), &weights, 2).unwrap();
+        fwd.step(&a).unwrap();
+        fwd.step(&b).unwrap();
+        let out_ab = fwd.step(&probe).unwrap();
+        let mut rev = FunctionalSystem::new(cfg, &weights, 2).unwrap();
+        rev.step(&b).unwrap();
+        rev.step(&a).unwrap();
+        let out_ba = rev.step(&probe).unwrap();
+        assert!(out_ab.max_abs_diff(&out_ba).unwrap() > 1e-6);
+    }
+}

@@ -1,0 +1,496 @@
+//! Lowers one partitioned Transformer block into per-chip instruction
+//! programs for the timing simulator.
+//!
+//! This plays the role Deeploy plays in the paper: a static, fully-unrolled
+//! schedule per chip, with explicit DMA staging, weight streaming or
+//! prefetching according to the [`MemoryPlan`], and the two collective
+//! phases per block.
+//!
+//! Phase structure per block (paper Sec. IV):
+//!
+//! 1. per-chip Q/K/V projections on the chip's heads (+ RoPE, KV-cache);
+//! 2. per-head attention kernels;
+//! 3. partial output projection `W_O` slice;
+//! 4. **sync 1**: hierarchical all-reduce of partial `S x E` outputs
+//!    (32-bit partial sums), skip-add + normalization + requantization on
+//!    the root, broadcast of the int8 result;
+//! 5. per-chip FFN slice (`E x F/N`, activation, `F/N x E`);
+//! 6. **sync 2**: same all-reduce / norm / broadcast.
+
+use crate::{CoreError, MemoryPlan, PartitionSpec, Result, WeightResidency};
+use mtp_kernels::Kernel;
+use mtp_link::Topology;
+use mtp_model::{AttentionKind, InferenceMode, NormKind, TransformerConfig};
+use mtp_sim::{ChipId, ChipSpec, DmaTag, Instr, MemPath, MsgId, Program};
+
+// Partial outputs are requantized to the deployment dtype before hitting
+// the wire (the energy-optimal choice for a 100 pJ/B link), so reduce and
+// broadcast payloads are both `S x E` at `dtype` width. The functional
+// executor keeps full precision; the small wire-precision loss is a
+// deployment knob, not a correctness concern for the timing model.
+
+/// L2→L1 bytes staged synchronously before a kernel; the rest is
+/// double-buffered by the cluster DMA and overlaps the kernel.
+const L1_STAGE_BYTES: u64 = 32 * 1024;
+
+/// Builds per-chip [`Program`]s for consecutive Transformer blocks.
+///
+/// The scheduler owns the message/sync/tag counters, so several blocks can
+/// be chained into one run without id collisions.
+///
+/// ```
+/// use mtp_core::schedule::Scheduler;
+/// use mtp_model::{InferenceMode, TransformerConfig};
+/// use mtp_sim::ChipSpec;
+///
+/// let cfg = TransformerConfig::tiny_llama_42m();
+/// let mut s = Scheduler::new(&cfg, 8, &ChipSpec::siracusa())?;
+/// let programs = s.block_programs(InferenceMode::Autoregressive);
+/// assert_eq!(programs.len(), 8);
+/// # Ok::<(), mtp_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    cfg: TransformerConfig,
+    spec: PartitionSpec,
+    plan: MemoryPlan,
+    topology: Topology,
+    chip: ChipSpec,
+    msg_next: u64,
+    sync_next: u32,
+    tag_next: u32,
+}
+
+impl Scheduler {
+    /// Builds a scheduler for `cfg` over `n_chips` chips of type `chip`,
+    /// using the paper's hierarchical group-of-4 topology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition-divisibility and topology errors.
+    pub fn new(cfg: &TransformerConfig, n_chips: usize, chip: &ChipSpec) -> Result<Self> {
+        let spec = PartitionSpec::new(cfg, n_chips)?;
+        let plan = MemoryPlan::decide(cfg, &spec, chip)?;
+        let topology = Topology::paper_default(n_chips)?;
+        Ok(Scheduler {
+            cfg: cfg.clone(),
+            spec,
+            plan,
+            topology,
+            chip: *chip,
+            msg_next: 0,
+            sync_next: 0,
+            tag_next: 0,
+        })
+    }
+
+    /// Replaces the reduction topology (used by the flat-all-reduce
+    /// ablation).
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// The partition specification.
+    #[must_use]
+    pub fn spec(&self) -> &PartitionSpec {
+        &self.spec
+    }
+
+    /// The memory plan (residency regime).
+    #[must_use]
+    pub fn plan(&self) -> &MemoryPlan {
+        &self.plan
+    }
+
+    /// The reduction topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn fresh_msg(&mut self) -> MsgId {
+        let id = MsgId(self.msg_next);
+        self.msg_next += 1;
+        id
+    }
+
+    fn fresh_tag(&mut self) -> DmaTag {
+        let t = DmaTag(self.tag_next);
+        self.tag_next += 1;
+        t
+    }
+
+    /// Emits synchronous L3→L2 streaming of `bytes` in plan-sized tiles
+    /// (the latency-exposed path of the streamed regime).
+    fn emit_stream(&self, prog: &mut Program, bytes: u64) {
+        let tile = self.plan.stream_tile_bytes.max(1);
+        let mut left = bytes;
+        while left > 0 {
+            let chunk = left.min(tile);
+            prog.push(Instr::Dma { path: MemPath::L3ToL2, bytes: chunk });
+            left -= chunk;
+        }
+    }
+
+    /// Emits a linear kernel with its L2→L1 operand staging: a small
+    /// synchronous head start plus an asynchronous remainder that overlaps
+    /// the kernel (cluster-DMA double buffering).
+    fn emit_linear(&mut self, prog: &mut Program, kernel: Kernel) {
+        let dt = self.cfg.dtype.size_bytes();
+        let bytes = kernel.l2_l1_traffic_bytes(dt);
+        let first = bytes.min(L1_STAGE_BYTES);
+        if first > 0 {
+            prog.push(Instr::Dma { path: MemPath::L2ToL1, bytes: first });
+        }
+        let rest = bytes - first;
+        let tag = if rest > 0 {
+            let tag = self.fresh_tag();
+            prog.push(Instr::DmaAsync { path: MemPath::L2ToL1, bytes: rest, tag });
+            Some(tag)
+        } else {
+            None
+        };
+        prog.push(Instr::Compute(kernel));
+        if let Some(tag) = tag {
+            prog.push(Instr::DmaWait(tag));
+        }
+    }
+
+    /// Streams a weight slice from L3 first when the plan says so, then
+    /// runs the linear kernel.
+    fn emit_weighted_linear(&mut self, prog: &mut Program, kernel: Kernel, weight_bytes: u64) {
+        if self.plan.residency == WeightResidency::Streamed {
+            self.emit_stream(prog, weight_bytes);
+        }
+        self.emit_linear(prog, kernel);
+    }
+
+    fn norm_kernel(&self, rows: usize) -> Kernel {
+        let cols = self.cfg.embed_dim;
+        match self.cfg.norm {
+            NormKind::LayerNorm => Kernel::LayerNorm { rows, cols },
+            NormKind::RmsNorm => Kernel::RmsNorm { rows, cols },
+        }
+    }
+
+    /// Emits one collective phase: hierarchical reduce of requantized
+    /// partials, skip-add + norm + requant on the root, broadcast.
+    fn emit_all_reduce(&mut self, progs: &mut [Program], sq: usize) {
+        let e = self.cfg.embed_dim;
+        let n_elems = sq * e;
+        let reduce_bytes = (n_elems * self.cfg.dtype.size_bytes()) as u64;
+        let bc_bytes = (n_elems * self.cfg.dtype.size_bytes()) as u64;
+        let sync_id = self.sync_next;
+        self.sync_next += 1;
+        for p in progs.iter_mut() {
+            p.push(Instr::Sync(sync_id));
+        }
+        let steps: Vec<_> = self.topology.reduce_steps().to_vec();
+        for step in steps {
+            let msg = self.fresh_msg();
+            progs[step.from].push(Instr::Send {
+                to: ChipId(step.to),
+                msg,
+                bytes: reduce_bytes,
+            });
+            progs[step.to].push(Instr::Recv { from: ChipId(step.from), msg });
+            progs[step.to].push(Instr::Compute(Kernel::Add { n: n_elems }));
+        }
+        let root = self.topology.root();
+        // Skip connection folds into the reduction (all chips hold the
+        // input), then the root normalizes and requantizes.
+        progs[root].push(Instr::Compute(Kernel::Add { n: n_elems }));
+        progs[root].push(Instr::Compute(self.norm_kernel(sq)));
+        progs[root].push(Instr::Compute(Kernel::Requant { n: n_elems }));
+        for step in self.topology.broadcast_steps() {
+            let msg = self.fresh_msg();
+            progs[step.from].push(Instr::Send { to: ChipId(step.to), msg, bytes: bc_bytes });
+            progs[step.to].push(Instr::Recv { from: ChipId(step.from), msg });
+        }
+    }
+
+    /// Per-chip programs for one Transformer block in the given mode.
+    #[must_use]
+    pub fn block_programs(&mut self, mode: InferenceMode) -> Vec<Program> {
+        let n = self.spec.n_chips();
+        let mut progs = vec![Program::new(); n];
+        let dt = self.cfg.dtype.size_bytes();
+        let e = self.cfg.embed_dim;
+        let w = self.spec.qkv_slice_width();
+        let fc = self.spec.ffn_per_chip();
+        let hd = self.spec.head_dim();
+        let hc = self.spec.heads_per_chip();
+        let decoder = self.cfg.attention == AttentionKind::CausalRope;
+        let sq = self.cfg.tokens_per_pass(mode);
+        // Steady-state context length: a full KV-cache in autoregressive
+        // mode, the pass itself otherwise.
+        let skv = if decoder && mode == InferenceMode::Autoregressive {
+            self.cfg.seq_len
+        } else {
+            sq
+        };
+
+        // Next-block weight prefetch (double-buffered regime): issued
+        // first, awaited at block end.
+        let prefetch: Vec<Option<DmaTag>> = (0..n)
+            .map(|_| {
+                if self.plan.residency == WeightResidency::DoubleBuffered {
+                    Some(self.fresh_tag())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (c, tag) in prefetch.iter().enumerate() {
+            if let Some(tag) = *tag {
+                progs[c].push(Instr::DmaAsync {
+                    path: MemPath::L3ToL2,
+                    bytes: self.plan.slice_bytes_per_block,
+                    tag,
+                });
+            }
+        }
+
+        // --- MHSA: query projection on this chip's heads, K/V projections
+        // on its (possibly grouped) K/V heads.
+        let kvw = self.spec.kv_slice_width();
+        let kv_hc = self.spec.kv_heads_per_chip();
+        for slot in &mut progs {
+            let mut prog = std::mem::take(slot);
+            self.emit_weighted_linear(&mut prog, Kernel::linear(sq, e, w), (e * w * dt) as u64);
+            for _ in 0..2 {
+                self.emit_weighted_linear(
+                    &mut prog,
+                    Kernel::linear(sq, e, kvw),
+                    (e * kvw * dt) as u64,
+                );
+            }
+            if decoder {
+                // RoPE on Q (all local heads) and K (local K/V heads).
+                prog.push(Instr::Compute(Kernel::Rope { seq: sq * hc, dim: hd }));
+                prog.push(Instr::Compute(Kernel::Rope { seq: sq * kv_hc, dim: hd }));
+                // KV-cache write-back of the new rows.
+                prog.push(Instr::Dma { path: MemPath::L1ToL2, bytes: (2 * sq * kvw * dt) as u64 });
+                // Stage the cached context for attention.
+                prog.push(Instr::Dma {
+                    path: MemPath::L2ToL1,
+                    bytes: (2 * skv * kvw * dt) as u64,
+                });
+            }
+            // Per-head attention: scores, softmax, probs @ V.
+            for _ in 0..hc {
+                prog.push(Instr::Compute(Kernel::linear(sq, hd, skv)));
+                prog.push(Instr::Compute(Kernel::Softmax { rows: sq, cols: skv }));
+                prog.push(Instr::Compute(Kernel::linear(sq, skv, hd)));
+            }
+            // Partial output projection.
+            self.emit_weighted_linear(&mut prog, Kernel::linear(sq, w, e), (w * e * dt) as u64);
+            *slot = prog;
+        }
+
+        // --- Sync 1.
+        self.emit_all_reduce(&mut progs, sq);
+
+        // --- FFN slice.
+        for slot in &mut progs {
+            let mut prog = std::mem::take(slot);
+            self.emit_weighted_linear(&mut prog, Kernel::linear(sq, e, fc), (e * fc * dt) as u64);
+            prog.push(Instr::Compute(Kernel::Gelu { n: sq * fc }));
+            self.emit_weighted_linear(&mut prog, Kernel::linear(sq, fc, e), (fc * e * dt) as u64);
+            *slot = prog;
+        }
+
+        // --- Sync 2.
+        self.emit_all_reduce(&mut progs, sq);
+
+        for (c, tag) in prefetch.iter().enumerate() {
+            if let Some(tag) = *tag {
+                progs[c].push(Instr::DmaWait(tag));
+            }
+        }
+        progs
+    }
+
+    /// Programs for `n_blocks` consecutive blocks (steady-state layers
+    /// chained back to back).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `n_blocks` is zero.
+    pub fn model_programs(
+        &mut self,
+        mode: InferenceMode,
+        n_blocks: usize,
+    ) -> Result<Vec<Program>> {
+        if n_blocks == 0 {
+            return Err(CoreError::InvalidConfig("n_blocks must be at least 1".into()));
+        }
+        let n = self.spec.n_chips();
+        let mut progs = vec![Program::new(); n];
+        for _ in 0..n_blocks {
+            let block = self.block_programs(mode);
+            for (p, b) in progs.iter_mut().zip(block) {
+                p.extend(b.instrs().iter().copied());
+            }
+        }
+        Ok(progs)
+    }
+
+    /// The chip specification this scheduler targets.
+    #[must_use]
+    pub fn chip(&self) -> &ChipSpec {
+        &self.chip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtp_sim::Machine;
+
+    fn sched(cfg: &TransformerConfig, n: usize) -> Scheduler {
+        Scheduler::new(cfg, n, &ChipSpec::siracusa()).unwrap()
+    }
+
+    #[test]
+    fn two_syncs_per_block() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        for n in [1usize, 2, 4, 8] {
+            let mut s = sched(&cfg, n);
+            let progs = s.block_programs(InferenceMode::Autoregressive);
+            for p in &progs {
+                assert_eq!(p.sync_phase_count(), 2, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn programs_execute_without_deadlock() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        for n in [1usize, 2, 4, 8] {
+            let mut s = sched(&cfg, n);
+            let progs = s.block_programs(InferenceMode::Autoregressive);
+            let machine = Machine::homogeneous(ChipSpec::siracusa(), n);
+            let stats = machine.run(&progs).unwrap();
+            assert!(stats.makespan > 0, "n={n}");
+            assert_eq!(stats.sync_phases, 2);
+        }
+    }
+
+    #[test]
+    fn single_chip_sends_nothing() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let mut s = sched(&cfg, 1);
+        let progs = s.block_programs(InferenceMode::Autoregressive);
+        assert_eq!(progs[0].sent_bytes(), 0);
+    }
+
+    #[test]
+    fn multi_chip_c2c_volume_matches_topology() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let mut s = sched(&cfg, 8);
+        let progs = s.block_programs(InferenceMode::Autoregressive);
+        let e = cfg.embed_dim as u64;
+        // Two syncs, each: 7 reduce messages + 7 broadcasts, both int8.
+        let expect = 2 * (7 * e + 7 * e);
+        let total: u64 = progs.iter().map(Program::sent_bytes).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn streamed_regime_streams_weight_slice() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let mut s = sched(&cfg, 1);
+        assert_eq!(s.plan().residency, WeightResidency::Streamed);
+        let progs = s.block_programs(InferenceMode::Autoregressive);
+        let l3_bytes: u64 = progs[0]
+            .instrs()
+            .iter()
+            .map(|i| match i {
+                Instr::Dma { path: MemPath::L3ToL2, bytes } => *bytes,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(l3_bytes, cfg.block_weight_bytes());
+    }
+
+    #[test]
+    fn double_buffered_prefetches_async() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let mut s = sched(&cfg, 8);
+        assert_eq!(s.plan().residency, WeightResidency::DoubleBuffered);
+        let progs = s.block_programs(InferenceMode::Autoregressive);
+        for p in &progs {
+            let async_l3: u64 = p
+                .instrs()
+                .iter()
+                .map(|i| match i {
+                    Instr::DmaAsync { path: MemPath::L3ToL2, bytes, .. } => *bytes,
+                    _ => 0,
+                })
+                .sum();
+            assert_eq!(async_l3, cfg.block_weight_bytes() / 8);
+            // No synchronous L3 streaming in this regime.
+            assert!(!p
+                .instrs()
+                .iter()
+                .any(|i| matches!(i, Instr::Dma { path: MemPath::L3ToL2, .. })));
+        }
+    }
+
+    #[test]
+    fn resident_regime_has_no_l3_instructions() {
+        let cfg = TransformerConfig::tiny_llama_scaled_64h();
+        let mut s = sched(&cfg, 64);
+        assert_eq!(s.plan().residency, WeightResidency::Resident);
+        let progs = s.block_programs(InferenceMode::Autoregressive);
+        for p in &progs {
+            assert!(!p.instrs().iter().any(|i| matches!(
+                i,
+                Instr::Dma { path: MemPath::L3ToL2, .. }
+                    | Instr::DmaAsync { path: MemPath::L3ToL2, .. }
+            )));
+        }
+    }
+
+    #[test]
+    fn model_programs_chain_blocks() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let mut s = sched(&cfg, 8);
+        let one = s.block_programs(InferenceMode::Autoregressive)[0].len();
+        let mut s = sched(&cfg, 8);
+        let four = s.model_programs(InferenceMode::Autoregressive, 4).unwrap();
+        assert_eq!(four[0].len(), 4 * one);
+        assert!(s.model_programs(InferenceMode::Autoregressive, 0).is_err());
+    }
+
+    #[test]
+    fn prompt_mode_uses_gemm_kernels() {
+        let cfg = TransformerConfig::tiny_llama_42m().with_seq_len(16);
+        let mut s = sched(&cfg, 8);
+        let progs = s.block_programs(InferenceMode::Prompt);
+        let has_gemm = progs[0]
+            .instrs()
+            .iter()
+            .any(|i| matches!(i, Instr::Compute(Kernel::Gemm { m: 16, .. })));
+        assert!(has_gemm);
+        let has_gemv = progs[0]
+            .instrs()
+            .iter()
+            .any(|i| matches!(i, Instr::Compute(Kernel::Gemv { .. })));
+        assert!(!has_gemv, "prompt mode must not emit GEMV");
+    }
+
+    #[test]
+    fn encoder_blocks_have_no_rope_or_kv() {
+        let cfg = TransformerConfig::mobile_bert();
+        let mut s = sched(&cfg, 4);
+        let progs = s.block_programs(InferenceMode::Prompt);
+        assert!(!progs[0]
+            .instrs()
+            .iter()
+            .any(|i| matches!(i, Instr::Compute(Kernel::Rope { .. }))));
+    }
+}

@@ -1,0 +1,211 @@
+//! The distributed multi-MCU inference system: partitioning + scheduling +
+//! timing simulation + energy in one façade.
+
+use crate::{schedule::Scheduler, MemoryPlan, PartitionSpec, Result, SystemReport};
+use mtp_energy::EnergyParams;
+use mtp_link::Topology;
+use mtp_model::{InferenceMode, TransformerConfig};
+use mtp_sim::{ChipSpec, Machine, RunStats};
+
+/// A system of `N` Siracusa-class chips running one partitioned
+/// Transformer model.
+///
+/// ```
+/// use mtp_core::DistributedSystem;
+/// use mtp_model::{InferenceMode, TransformerConfig};
+///
+/// let cfg = TransformerConfig::tiny_llama_42m();
+/// let single = DistributedSystem::paper_default(cfg.clone(), 1)?;
+/// let eight = DistributedSystem::paper_default(cfg, 8)?;
+/// let s1 = single.simulate_block(InferenceMode::Autoregressive)?;
+/// let s8 = eight.simulate_block(InferenceMode::Autoregressive)?;
+/// assert!(s8.speedup_over(&s1) > 8.0, "super-linear speedup");
+/// # Ok::<(), mtp_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistributedSystem {
+    cfg: TransformerConfig,
+    chip: ChipSpec,
+    n_chips: usize,
+    topology: Option<Topology>,
+}
+
+impl DistributedSystem {
+    /// A system of `n_chips` default Siracusa chips with the paper's
+    /// hierarchical group-of-4 topology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition-divisibility errors (the chip count must
+    /// divide both the head count and the FFN dimension).
+    pub fn paper_default(cfg: TransformerConfig, n_chips: usize) -> Result<Self> {
+        Self::with_chip(cfg, n_chips, ChipSpec::siracusa())
+    }
+
+    /// A system with an explicit chip specification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition-divisibility errors.
+    pub fn with_chip(cfg: TransformerConfig, n_chips: usize, chip: ChipSpec) -> Result<Self> {
+        // Validate the partition up front so construction fails early.
+        let _ = PartitionSpec::new(&cfg, n_chips)?;
+        Ok(DistributedSystem { cfg, chip, n_chips, topology: None })
+    }
+
+    /// Overrides the reduction topology (used by the flat-all-reduce
+    /// ablation).
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// The model configuration.
+    #[must_use]
+    pub fn config(&self) -> &TransformerConfig {
+        &self.cfg
+    }
+
+    /// Number of chips.
+    #[must_use]
+    pub fn n_chips(&self) -> usize {
+        self.n_chips
+    }
+
+    /// The chip specification.
+    #[must_use]
+    pub fn chip(&self) -> &ChipSpec {
+        &self.chip
+    }
+
+    /// The memory plan this system's scheduler will use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition errors.
+    pub fn memory_plan(&self) -> Result<MemoryPlan> {
+        let spec = PartitionSpec::new(&self.cfg, self.n_chips)?;
+        MemoryPlan::decide(&self.cfg, &spec, &self.chip)
+    }
+
+    fn scheduler(&self) -> Result<Scheduler> {
+        let mut s = Scheduler::new(&self.cfg, self.n_chips, &self.chip)?;
+        if let Some(t) = &self.topology {
+            s = s.with_topology(t.clone());
+        }
+        Ok(s)
+    }
+
+    /// Energy-model constants derived from the chip specification.
+    #[must_use]
+    pub fn energy_params(&self) -> EnergyParams {
+        EnergyParams {
+            l3_pj_per_byte: self.chip.l3.energy_pj_per_byte,
+            l2_pj_per_byte: self.chip.l2.energy_pj_per_byte,
+            c2c_pj_per_byte: self.chip.link.energy_pj_per_byte,
+            core_power_w: self.chip.core_power_w,
+            cores: self.chip.cores(),
+            freq_hz: self.chip.freq_hz,
+        }
+    }
+
+    fn report(&self, stats: RunStats, mode: InferenceMode, n_blocks: usize) -> Result<SystemReport> {
+        Ok(crate::report::from_stats(
+            &self.chip,
+            self.n_chips,
+            mode,
+            n_blocks,
+            self.memory_plan()?.residency,
+            stats,
+        ))
+    }
+
+    /// Simulates one steady-state Transformer block (what the paper's
+    /// figures report).
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning and simulation errors.
+    pub fn simulate_block(&self, mode: InferenceMode) -> Result<SystemReport> {
+        self.simulate_blocks(mode, 1)
+    }
+
+    /// Simulates `n_blocks` consecutive blocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning and simulation errors; `n_blocks` must be
+    /// at least 1.
+    pub fn simulate_blocks(&self, mode: InferenceMode, n_blocks: usize) -> Result<SystemReport> {
+        let mut scheduler = self.scheduler()?;
+        let programs = scheduler.model_programs(mode, n_blocks)?;
+        let machine = Machine::homogeneous(self.chip, self.n_chips);
+        let stats = machine.run(&programs)?;
+        self.report(stats, mode, n_blocks)
+    }
+
+    /// Simulates a full forward pass over all `n_layers` blocks of the
+    /// configured model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning and simulation errors.
+    pub fn simulate_model(&self, mode: InferenceMode) -> Result<SystemReport> {
+        self.simulate_blocks(mode, self.cfg.n_layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WeightResidency;
+
+    #[test]
+    fn single_vs_eight_chip_autoregressive() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let s1 = DistributedSystem::paper_default(cfg.clone(), 1)
+            .unwrap()
+            .simulate_block(InferenceMode::Autoregressive)
+            .unwrap();
+        let s8 = DistributedSystem::paper_default(cfg, 8)
+            .unwrap()
+            .simulate_block(InferenceMode::Autoregressive)
+            .unwrap();
+        let speedup = s8.speedup_over(&s1);
+        assert!(speedup > 8.0, "super-linear expected, got {speedup:.1}");
+        assert_eq!(s1.residency, WeightResidency::Streamed);
+        assert_eq!(s8.residency, WeightResidency::DoubleBuffered);
+    }
+
+    #[test]
+    fn report_traffic_reconciles_with_energy() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let r = DistributedSystem::paper_default(cfg.clone(), 8)
+            .unwrap()
+            .simulate_block(InferenceMode::Autoregressive)
+            .unwrap();
+        // L3 term: slice prefetch = one block of weights across chips.
+        let expect_l3_mj = cfg.block_weight_bytes() as f64 * 100.0 * 1e-9;
+        assert!((r.energy.l3_mj - expect_l3_mj).abs() < 1e-9);
+        assert!(r.energy.total_mj() > 0.0);
+    }
+
+    #[test]
+    fn model_pass_is_n_layers_blocks() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let sys = DistributedSystem::paper_default(cfg.clone(), 8).unwrap();
+        let one = sys.simulate_block(InferenceMode::Autoregressive).unwrap();
+        let all = sys.simulate_model(InferenceMode::Autoregressive).unwrap();
+        assert_eq!(all.n_blocks, cfg.n_layers);
+        let per_block = all.cycles_per_block() as f64;
+        let single = one.stats.makespan as f64;
+        assert!((per_block / single - 1.0).abs() < 0.05, "steady-state per-block stable");
+    }
+
+    #[test]
+    fn invalid_chip_count_fails_at_construction() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        assert!(DistributedSystem::paper_default(cfg, 3).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Ablations beyond the paper: design-choice studies DESIGN.md calls out.
+//!
+//! 1. **Hierarchical vs flat all-reduce** — the paper asserts flat
+//!    all-to-one reduction "lacks the required scalability"; we measure it.
+//! 2. **Double-buffering on/off** — what the prefetch overlap buys in the
+//!    8-chip TinyLlama configuration.
+//! 3. **Group size sweep** — why groups of four.
+
+use crate::table::{fmt_cycles, TextTable};
+use mtp_core::{CoreError, DistributedSystem, SystemReport};
+use mtp_link::Topology;
+use mtp_model::{InferenceMode, TransformerConfig};
+use mtp_sim::ChipSpec;
+
+/// Hierarchical vs flat all-reduce at one chip count.
+#[derive(Debug, Clone)]
+pub struct TopologyAblation {
+    /// Chip count.
+    pub n_chips: usize,
+    /// Paper topology (groups of 4).
+    pub hierarchical: SystemReport,
+    /// Flat all-to-one reduction.
+    pub flat: SystemReport,
+}
+
+/// Runs the topology ablation on the scaled-up model in autoregressive
+/// mode at several chip counts.
+///
+/// # Errors
+///
+/// Propagates partitioning/simulation errors.
+pub fn topology(chip_counts: &[usize]) -> Result<Vec<TopologyAblation>, CoreError> {
+    let cfg = TransformerConfig::tiny_llama_scaled_64h();
+    chip_counts
+        .iter()
+        .map(|&n| {
+            let hierarchical = DistributedSystem::paper_default(cfg.clone(), n)?
+                .simulate_block(InferenceMode::Autoregressive)?;
+            let flat = DistributedSystem::paper_default(cfg.clone(), n)?
+                .with_topology(Topology::flat(n)?)
+                .simulate_block(InferenceMode::Autoregressive)?;
+            Ok(TopologyAblation { n_chips: n, hierarchical, flat })
+        })
+        .collect()
+}
+
+/// Double-buffering ablation: the paper's 8-chip TinyLlama configuration
+/// with prefetch (double-buffered) vs with weights force-streamed
+/// (no L2 headroom for the second buffer).
+#[derive(Debug, Clone)]
+pub struct BufferingAblation {
+    /// With double-buffered prefetch (the paper's configuration).
+    pub double_buffered: SystemReport,
+    /// With streaming only (prefetch disabled by shrinking usable L2).
+    pub streamed: SystemReport,
+}
+
+/// Runs the double-buffering ablation.
+///
+/// # Errors
+///
+/// Propagates partitioning/simulation errors.
+pub fn buffering() -> Result<BufferingAblation, CoreError> {
+    let cfg = TransformerConfig::tiny_llama_42m();
+    let double_buffered = DistributedSystem::paper_default(cfg.clone(), 8)?
+        .simulate_block(InferenceMode::Autoregressive)?;
+    let mut chip = ChipSpec::siracusa();
+    // No room for a second buffer: the plan must fall back to streaming.
+    chip.l2_usable_fraction = 0.2;
+    let streamed = DistributedSystem::with_chip(cfg, 8, chip)?
+        .simulate_block(InferenceMode::Autoregressive)?;
+    Ok(BufferingAblation { double_buffered, streamed })
+}
+
+/// Grouped-query-attention ablation (extension beyond the paper): fewer
+/// K/V heads shrink weight slices and per-chip KV-caches, lowering both
+/// off-chip traffic and the chip count needed for on-chip residency.
+///
+/// # Errors
+///
+/// Propagates partitioning/simulation errors.
+pub fn gqa(n_chips: usize, kv_head_counts: &[usize]) -> Result<Vec<(usize, SystemReport)>, CoreError> {
+    kv_head_counts
+        .iter()
+        .map(|&kv| {
+            let cfg = TransformerConfig::tiny_llama_gqa(kv);
+            let r = DistributedSystem::paper_default(cfg, n_chips)?
+                .simulate_block(InferenceMode::Autoregressive)?;
+            Ok((kv, r))
+        })
+        .collect()
+}
+
+/// Group-size sweep for the hierarchical reduction at a fixed chip count.
+///
+/// # Errors
+///
+/// Propagates partitioning/simulation errors.
+pub fn group_size(n_chips: usize, sizes: &[usize]) -> Result<Vec<(usize, SystemReport)>, CoreError> {
+    let cfg = TransformerConfig::tiny_llama_scaled_64h();
+    sizes
+        .iter()
+        .map(|&g| {
+            let r = DistributedSystem::paper_default(cfg.clone(), n_chips)?
+                .with_topology(Topology::hierarchical(n_chips, g)?)
+                .simulate_block(InferenceMode::Autoregressive)?;
+            Ok((g, r))
+        })
+        .collect()
+}
+
+/// Renders all ablations.
+///
+/// # Errors
+///
+/// Propagates partitioning/simulation errors.
+pub fn render_all() -> Result<String, CoreError> {
+    let mut out = String::new();
+
+    let mut t = TextTable::new(
+        ["chips", "hierarchical(cyc)", "flat(cyc)", "flat penalty"].map(String::from).to_vec(),
+    );
+    for a in topology(&[8, 16, 32, 64])? {
+        t.row(vec![
+            a.n_chips.to_string(),
+            fmt_cycles(a.hierarchical.stats.makespan),
+            fmt_cycles(a.flat.stats.makespan),
+            format!(
+                "{:.2}x",
+                a.flat.stats.makespan as f64 / a.hierarchical.stats.makespan.max(1) as f64
+            ),
+        ]);
+    }
+    out.push_str(&format!("Ablation: hierarchical vs flat all-reduce\n{}\n", t.render()));
+
+    let b = buffering()?;
+    let mut t = TextTable::new(["variant", "cycles", "energy(mJ)"].map(String::from).to_vec());
+    t.row(vec![
+        "double-buffered (paper)".into(),
+        fmt_cycles(b.double_buffered.stats.makespan),
+        format!("{:.3}", b.double_buffered.energy_mj()),
+    ]);
+    t.row(vec![
+        "streamed (no prefetch)".into(),
+        fmt_cycles(b.streamed.stats.makespan),
+        format!("{:.3}", b.streamed.energy_mj()),
+    ]);
+    out.push_str(&format!("Ablation: double-buffered weight prefetch\n{}\n", t.render()));
+
+    let mut t = TextTable::new(["group size", "cycles"].map(String::from).to_vec());
+    for (g, r) in group_size(64, &[2, 4, 8, 64])? {
+        t.row(vec![g.to_string(), fmt_cycles(r.stats.makespan)]);
+    }
+    out.push_str(&format!("Ablation: reduction group size (64 chips)\n{}\n", t.render()));
+
+    let mut t = TextTable::new(
+        ["kv heads", "cycles", "energy(mJ)", "L3 bytes/block", "regime"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for (kv, r) in gqa(2, &[8, 4, 2])? {
+        t.row(vec![
+            kv.to_string(),
+            fmt_cycles(r.stats.makespan),
+            format!("{:.3}", r.energy_mj()),
+            r.stats.total_l3_l2_bytes().to_string(),
+            r.residency.to_string(),
+        ]);
+    }
+    out.push_str(&format!(
+        "Ablation: grouped-query attention (TinyLlama, 2 chips, autoregressive)\n{}",
+        t.render()
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_reduce_scales_worse() {
+        let abl = topology(&[8, 64]).unwrap();
+        // At 64 chips the flat all-to-one reduction must be clearly worse;
+        // at 8 the gap is small. This is the paper's justification for
+        // hierarchical grouping.
+        let penalty_8 = abl[0].flat.stats.makespan as f64 / abl[0].hierarchical.stats.makespan as f64;
+        let penalty_64 =
+            abl[1].flat.stats.makespan as f64 / abl[1].hierarchical.stats.makespan as f64;
+        assert!(penalty_64 > penalty_8, "64-chip penalty {penalty_64:.2} vs 8-chip {penalty_8:.2}");
+        assert!(penalty_64 > 1.2);
+    }
+
+    #[test]
+    fn double_buffering_helps() {
+        let b = buffering().unwrap();
+        assert!(b.double_buffered.stats.makespan < b.streamed.stats.makespan);
+    }
+
+    #[test]
+    fn group_of_four_is_a_good_choice() {
+        let sweep = group_size(64, &[2, 4, 64]).unwrap();
+        let of = |g: usize| {
+            sweep.iter().find(|(s, _)| *s == g).map(|(_, r)| r.stats.makespan).unwrap()
+        };
+        // Groups of 4 beat flat-ish wide groups at 64 chips.
+        assert!(of(4) < of(64));
+    }
+
+    #[test]
+    fn render_all_is_complete() {
+        let s = render_all().unwrap();
+        assert!(s.contains("hierarchical vs flat"));
+        assert!(s.contains("double-buffered"));
+        assert!(s.contains("group size"));
+        assert!(s.contains("grouped-query"));
+    }
+
+    #[test]
+    fn gqa_reduces_off_chip_traffic_and_runtime() {
+        let sweep = gqa(2, &[8, 2]).unwrap();
+        let (_, mha) = &sweep[0];
+        let (_, gqa2) = &sweep[1];
+        assert!(gqa2.stats.total_l3_l2_bytes() < mha.stats.total_l3_l2_bytes());
+        assert!(gqa2.stats.makespan < mha.stats.makespan);
+        assert!(gqa2.energy_mj() < mha.energy_mj());
+    }
+}

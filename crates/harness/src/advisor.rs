@@ -1,0 +1,203 @@
+//! Deployment advisor: how many chips does a workload actually need?
+//!
+//! Given a model, an inference mode, and real-time constraints (latency
+//! per full-model pass, energy per pass), the advisor sweeps every valid
+//! chip count, computes the Pareto frontier over (latency, energy), and
+//! recommends the smallest system meeting the constraints — the question
+//! a smart-glasses integrator asks before committing to a board design.
+
+use crate::table::TextTable;
+use mtp_core::{CoreError, DistributedSystem, SystemReport};
+use mtp_model::{InferenceMode, TransformerConfig};
+
+/// Real-time constraints for a full-model inference pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraints {
+    /// Maximum latency in milliseconds (`None` = unconstrained).
+    pub max_latency_ms: Option<f64>,
+    /// Maximum energy in millijoules (`None` = unconstrained).
+    pub max_energy_mj: Option<f64>,
+}
+
+impl Constraints {
+    /// `true` when `report` satisfies every set constraint.
+    #[must_use]
+    pub fn satisfied_by(&self, report: &SystemReport) -> bool {
+        self.max_latency_ms.is_none_or(|lim| report.runtime_ms() <= lim)
+            && self.max_energy_mj.is_none_or(|lim| report.energy_mj() <= lim)
+    }
+}
+
+/// One advisor candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Chip count.
+    pub n_chips: usize,
+    /// Full-model simulation report.
+    pub report: SystemReport,
+    /// Whether this point is Pareto-optimal over (latency, energy).
+    pub pareto: bool,
+    /// Whether this point meets the constraints.
+    pub feasible: bool,
+}
+
+/// The advisor's output.
+#[derive(Debug, Clone)]
+pub struct Advice {
+    /// All evaluated candidates, ascending chip count.
+    pub candidates: Vec<Candidate>,
+    /// Index into `candidates` of the recommendation (smallest feasible
+    /// chip count), if any point is feasible.
+    pub recommended: Option<usize>,
+}
+
+/// Valid chip counts for a config: divisors of the head count that also
+/// divide the FFN dimension, capped at `max_chips`.
+#[must_use]
+pub fn valid_chip_counts(cfg: &TransformerConfig, max_chips: usize) -> Vec<usize> {
+    (1..=cfg.n_heads.min(max_chips))
+        .filter(|n| cfg.n_heads.is_multiple_of(*n) && cfg.ffn_dim.is_multiple_of(*n))
+        .collect()
+}
+
+/// Sweeps all valid chip counts and recommends the smallest feasible one.
+///
+/// # Errors
+///
+/// Propagates partitioning/simulation errors.
+pub fn advise(
+    cfg: &TransformerConfig,
+    mode: InferenceMode,
+    constraints: Constraints,
+    max_chips: usize,
+) -> Result<Advice, CoreError> {
+    let counts = valid_chip_counts(cfg, max_chips);
+    let mut reports = Vec::with_capacity(counts.len());
+    for &n in &counts {
+        let report = DistributedSystem::paper_default(cfg.clone(), n)?.simulate_model(mode)?;
+        reports.push((n, report));
+    }
+    let pareto_flags: Vec<bool> = reports
+        .iter()
+        .map(|(_, r)| {
+            !reports.iter().any(|(_, other)| {
+                (other.runtime_ms() < r.runtime_ms() && other.energy_mj() <= r.energy_mj())
+                    || (other.runtime_ms() <= r.runtime_ms()
+                        && other.energy_mj() < r.energy_mj())
+            })
+        })
+        .collect();
+    let candidates: Vec<Candidate> = reports
+        .into_iter()
+        .zip(pareto_flags)
+        .map(|((n_chips, report), pareto)| {
+            let feasible = constraints.satisfied_by(&report);
+            Candidate { n_chips, report, pareto, feasible }
+        })
+        .collect();
+    let recommended = candidates.iter().position(|c| c.feasible);
+    Ok(Advice { candidates, recommended })
+}
+
+/// Renders the advisor's sweep and recommendation.
+#[must_use]
+pub fn render(advice: &Advice, constraints: &Constraints) -> String {
+    let mut t = TextTable::new(
+        ["chips", "latency(ms)", "energy(mJ)", "regime", "pareto", "feasible"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for c in &advice.candidates {
+        t.row(vec![
+            c.n_chips.to_string(),
+            format!("{:.3}", c.report.runtime_ms()),
+            format!("{:.3}", c.report.energy_mj()),
+            c.report.residency.to_string(),
+            if c.pareto { "*" } else { "" }.to_owned(),
+            if c.feasible { "yes" } else { "no" }.to_owned(),
+        ]);
+    }
+    let verdict = match advice.recommended {
+        Some(i) => format!(
+            "recommendation: {} chip(s) — smallest system meeting the constraints",
+            advice.candidates[i].n_chips
+        ),
+        None => "recommendation: no evaluated system meets the constraints".to_owned(),
+    };
+    let limits = format!(
+        "constraints: latency <= {}, energy <= {}",
+        constraints.max_latency_ms.map_or("-".into(), |v| format!("{v} ms")),
+        constraints.max_energy_mj.map_or("-".into(), |v| format!("{v} mJ")),
+    );
+    format!("{limits}\n{}\n{verdict}\n", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_counts_for_tiny_llama() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        assert_eq!(valid_chip_counts(&cfg, 64), vec![1, 2, 4, 8]);
+        assert_eq!(valid_chip_counts(&cfg, 4), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn advisor_recommends_smallest_feasible_system() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        // A 5 ms/token budget needs the 8-chip system (single chip is
+        // ~85 ms/token, 8-chip ~3.2 ms).
+        let advice = advise(
+            &cfg,
+            InferenceMode::Autoregressive,
+            Constraints { max_latency_ms: Some(5.0), max_energy_mj: None },
+            8,
+        )
+        .unwrap();
+        let rec = advice.recommended.expect("8 chips must be feasible");
+        assert_eq!(advice.candidates[rec].n_chips, 8);
+    }
+
+    #[test]
+    fn unconstrained_recommends_single_chip() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let advice = advise(
+            &cfg,
+            InferenceMode::Autoregressive,
+            Constraints { max_latency_ms: None, max_energy_mj: None },
+            8,
+        )
+        .unwrap();
+        assert_eq!(advice.candidates[advice.recommended.unwrap()].n_chips, 1);
+    }
+
+    #[test]
+    fn infeasible_constraints_yield_no_recommendation() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let advice = advise(
+            &cfg,
+            InferenceMode::Autoregressive,
+            Constraints { max_latency_ms: Some(1e-6), max_energy_mj: None },
+            8,
+        )
+        .unwrap();
+        assert!(advice.recommended.is_none());
+        assert!(render(&advice, &Constraints { max_latency_ms: Some(1e-6), max_energy_mj: None })
+            .contains("no evaluated system"));
+    }
+
+    #[test]
+    fn eight_chip_point_is_pareto_optimal() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let advice = advise(
+            &cfg,
+            InferenceMode::Autoregressive,
+            Constraints { max_latency_ms: None, max_energy_mj: None },
+            8,
+        )
+        .unwrap();
+        let eight = advice.candidates.iter().find(|c| c.n_chips == 8).unwrap();
+        assert!(eight.pareto, "the super-linear point dominates on latency");
+    }
+}

@@ -1,0 +1,150 @@
+//! Fig. 5: energy-vs-runtime scatter for all three workloads, including
+//! the scaled-up (64-head) model points at 16–64 chips.
+
+use crate::table::{fmt_cycles, TextTable};
+use crate::{sweep, SweepPoint};
+use mtp_core::CoreError;
+use mtp_model::{InferenceMode, TransformerConfig};
+
+/// One panel of Fig. 5: the original-model sweep plus (for TinyLlama) the
+/// scaled-up model's high chip counts.
+#[derive(Debug, Clone)]
+pub struct Fig5Panel {
+    /// Panel title (matches the paper's subfigure caption).
+    pub title: String,
+    /// Points from the model in its default configuration (red crosses).
+    pub original: Vec<SweepPoint>,
+    /// Points from the scaled-up model (red circles); empty for
+    /// MobileBERT.
+    pub scaled: Vec<SweepPoint>,
+}
+
+/// Fig. 5(a): TinyLlama autoregressive energy/runtime.
+///
+/// # Errors
+///
+/// Propagates partitioning/simulation errors.
+pub fn fig5a() -> Result<Fig5Panel, CoreError> {
+    let cfg = TransformerConfig::tiny_llama_42m();
+    let scaled_cfg = TransformerConfig::tiny_llama_scaled_64h();
+    Ok(Fig5Panel {
+        title: "Fig 5(a) TinyLlama autoregressive".to_owned(),
+        original: sweep(&cfg, InferenceMode::Autoregressive, &[1, 2, 4, 8])?,
+        scaled: sweep(&scaled_cfg, InferenceMode::Autoregressive, &[16, 32, 64])?,
+    })
+}
+
+/// Fig. 5(b): TinyLlama prompt energy/runtime.
+///
+/// # Errors
+///
+/// Propagates partitioning/simulation errors.
+pub fn fig5b() -> Result<Fig5Panel, CoreError> {
+    let cfg = TransformerConfig::tiny_llama_42m().with_seq_len(16);
+    let scaled_cfg = TransformerConfig::tiny_llama_scaled_64h().with_seq_len(16);
+    Ok(Fig5Panel {
+        title: "Fig 5(b) TinyLlama prompt".to_owned(),
+        original: sweep(&cfg, InferenceMode::Prompt, &[1, 2, 4, 8])?,
+        scaled: sweep(&scaled_cfg, InferenceMode::Prompt, &[16, 32, 64])?,
+    })
+}
+
+/// Fig. 5(c): MobileBERT energy/runtime (original model only).
+///
+/// # Errors
+///
+/// Propagates partitioning/simulation errors.
+pub fn fig5c() -> Result<Fig5Panel, CoreError> {
+    let cfg = TransformerConfig::mobile_bert();
+    Ok(Fig5Panel {
+        title: "Fig 5(c) MobileBERT".to_owned(),
+        original: sweep(&cfg, InferenceMode::Prompt, &[1, 2, 4])?,
+        scaled: Vec::new(),
+    })
+}
+
+/// All three panels.
+///
+/// # Errors
+///
+/// Propagates partitioning/simulation errors.
+pub fn run() -> Result<Vec<Fig5Panel>, CoreError> {
+    Ok(vec![fig5a()?, fig5b()?, fig5c()?])
+}
+
+/// Renders one panel as the scatter series the paper plots.
+#[must_use]
+pub fn render(panel: &Fig5Panel) -> String {
+    let mut t = TextTable::new(
+        ["model", "chips", "runtime(cyc)", "energy(mJ)", "EDP(mJ*ms)", "regime"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for (label, points) in
+        [("original", &panel.original), ("scaled-up", &panel.scaled)]
+    {
+        for p in points {
+            t.row(vec![
+                label.to_owned(),
+                p.n_chips.to_string(),
+                fmt_cycles(p.report.stats.makespan),
+                format!("{:.3}", p.report.energy_mj()),
+                format!("{:.4}", p.report.edp()),
+                p.report.residency.to_string(),
+            ]);
+        }
+    }
+    format!("{}\n{}", panel.title, t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtp_core::WeightResidency;
+
+    #[test]
+    fn fig5a_energy_shape() {
+        let panel = fig5a().unwrap();
+        let single = &panel.original[0].report;
+        let eight = &panel.original[3].report;
+        // Paper: similar energy per inference at 8 chips vs 1, massive
+        // runtime reduction.
+        let ratio = eight.energy_mj() / single.energy_mj();
+        assert!((0.7..1.3).contains(&ratio), "energy ratio {ratio:.2} not 'similar'");
+        // EDP improves by an order of magnitude or more (paper: 27.2x).
+        let edp = single.edp() / eight.edp();
+        assert!(edp > 15.0, "EDP improvement {edp:.1}");
+    }
+
+    #[test]
+    fn fig5a_scaled_resident_points_cut_energy() {
+        let panel = fig5a().unwrap();
+        let sixteen = &panel.scaled[0].report;
+        let thirty_two = &panel.scaled[1].report;
+        // Paper: at 32 chips all weights fit on-chip; double buffering
+        // stops and energy drops further.
+        assert_eq!(thirty_two.residency, WeightResidency::Resident);
+        assert!(thirty_two.energy_mj() < sixteen.energy_mj());
+        assert_eq!(thirty_two.energy.l3_mj, 0.0, "resident regime has zero L3 energy");
+    }
+
+    #[test]
+    fn fig5c_mobilebert_energy_band() {
+        let panel = fig5c().unwrap();
+        let single = &panel.original[0].report;
+        let four = &panel.original[2].report;
+        // Paper: 13-14 mJ per block, roughly flat across chip counts
+        // (within ~25%).
+        let ratio = four.energy_mj() / single.energy_mj();
+        assert!((0.75..1.25).contains(&ratio), "ratio {ratio:.2}");
+        assert!(single.energy_mj() > 5.0 && single.energy_mj() < 40.0);
+    }
+
+    #[test]
+    fn render_lists_scaled_points() {
+        let panel = fig5a().unwrap();
+        let s = render(&panel);
+        assert!(s.contains("scaled-up"));
+        assert!(s.contains("resident"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Fig. 6: scalability study — speedup of the scaled-up (64-head)
+//! TinyLlama on 2–64 chips, autoregressive and prompt modes.
+
+use crate::table::TextTable;
+use crate::{speedups, sweep, SweepPoint};
+use mtp_core::CoreError;
+use mtp_model::{InferenceMode, TransformerConfig};
+
+/// The chip counts of the paper's scalability study.
+pub const CHIP_COUNTS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Both series of Fig. 6.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// Autoregressive-mode sweep (S = 128).
+    pub autoregressive: Vec<SweepPoint>,
+    /// Prompt-mode sweep (S = 16).
+    pub prompt: Vec<SweepPoint>,
+}
+
+/// Runs the scalability study.
+///
+/// # Errors
+///
+/// Propagates partitioning/simulation errors.
+pub fn run() -> Result<Fig6, CoreError> {
+    let ar_cfg = TransformerConfig::tiny_llama_scaled_64h();
+    let pr_cfg = TransformerConfig::tiny_llama_scaled_64h().with_seq_len(16);
+    Ok(Fig6 {
+        autoregressive: sweep(&ar_cfg, InferenceMode::Autoregressive, &CHIP_COUNTS)?,
+        prompt: sweep(&pr_cfg, InferenceMode::Prompt, &CHIP_COUNTS)?,
+    })
+}
+
+/// Renders the speedup-vs-chips series the paper plots.
+#[must_use]
+pub fn render(fig: &Fig6) -> String {
+    let mut t = TextTable::new(
+        ["chips", "autoregressive", "prompt", "linear"].map(String::from).to_vec(),
+    );
+    let ar = speedups(&fig.autoregressive);
+    let pr = speedups(&fig.prompt);
+    for (i, &n) in CHIP_COUNTS.iter().enumerate() {
+        t.row(vec![
+            n.to_string(),
+            format!("{:.1}x", ar[i]),
+            format!("{:.1}x", pr[i]),
+            format!("{n}x"),
+        ]);
+    }
+    format!("Fig 6: scaled-up TinyLlama speedup (2-64 chips)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autoregressive_scalability_matches_paper_shape() {
+        let fig = run().unwrap();
+        let s = speedups(&fig.autoregressive);
+        // Paper: super-linear for 8-32 chips, 60.1x at 64 (quasi-linear).
+        assert!(s[3] > 8.0, "8 chips super-linear, got {:.1}", s[3]);
+        assert!(s[4] > 16.0, "16 chips super-linear, got {:.1}", s[4]);
+        let s64 = s[6];
+        assert!((40.0..90.0).contains(&s64), "64-chip speedup {s64:.1} outside band");
+        // Monotone non-decreasing speedup.
+        for w in s.windows(2) {
+            assert!(w[1] >= w[0] * 0.95, "speedup collapse: {w:?}");
+        }
+    }
+
+    #[test]
+    fn prompt_scalability_diminishes_beyond_16() {
+        let fig = run().unwrap();
+        let s = speedups(&fig.prompt);
+        // Paper: ~linear until 16 chips, diminishing returns after.
+        assert!(s[4] >= 12.0, "16 chips roughly linear, got {:.1}", s[4]);
+        let gain_16_to_64 = s[6] / s[4];
+        assert!(gain_16_to_64 < 2.5, "returns must diminish, got {gain_16_to_64:.2}x over 4x chips");
+    }
+
+    #[test]
+    fn autoregressive_beats_prompt_scaling() {
+        // The paper's central scalability claim: memory-bound
+        // autoregressive mode benefits more than compute-bound prompt.
+        let fig = run().unwrap();
+        let ar = speedups(&fig.autoregressive);
+        let pr = speedups(&fig.prompt);
+        assert!(ar[6] > pr[6]);
+    }
+
+    #[test]
+    fn render_has_all_chip_counts() {
+        let fig = run().unwrap();
+        let s = render(&fig);
+        for n in CHIP_COUNTS {
+            assert!(s.contains(&format!("{n}x")));
+        }
+    }
+}

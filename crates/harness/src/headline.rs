@@ -1,0 +1,155 @@
+//! The abstract's headline numbers, recomputed from the simulator.
+//!
+//! Paper: "The distributed system achieves an energy consumption of
+//! 0.64 mJ, a latency of 0.54 ms per inference, a super-linear speedup of
+//! 26.1x, and an EDP improvement of 27.2x, compared to a single-chip
+//! system. On MobileBERT, the distributed system's runtime is 38.8 ms,
+//! with a super-linear 4.7x speedup when using 4 MCUs."
+
+use crate::table::TextTable;
+use mtp_core::{CoreError, DistributedSystem};
+use mtp_model::{InferenceMode, TransformerConfig};
+
+/// Measured counterparts of every abstract-level claim.
+#[derive(Debug, Clone)]
+pub struct Headline {
+    /// TinyLlama autoregressive 8-chip speedup over 1 chip (paper: 26.1x).
+    pub tinyllama_ar_speedup_8: f64,
+    /// TinyLlama autoregressive 8-chip block latency in ms (paper: 0.54).
+    pub tinyllama_ar_latency_ms: f64,
+    /// TinyLlama autoregressive 8-chip block energy in mJ (paper: 0.64).
+    pub tinyllama_ar_energy_mj: f64,
+    /// TinyLlama autoregressive EDP improvement (paper: 27.2x).
+    pub tinyllama_ar_edp_improvement: f64,
+    /// TinyLlama prompt 8-chip speedup (paper: 9.9x).
+    pub tinyllama_prompt_speedup_8: f64,
+    /// MobileBERT 4-chip speedup (paper: 4.7x).
+    pub mobilebert_speedup_4: f64,
+    /// MobileBERT 4-chip block runtime in ms (paper: 38.8).
+    pub mobilebert_runtime_ms: f64,
+    /// Scaled-up model 64-chip autoregressive speedup (paper: 60.1x).
+    pub scaled_ar_speedup_64: f64,
+    /// Scaled-up model energy reduction with 64 chips (paper: 1.3x).
+    pub scaled_ar_energy_reduction_64: f64,
+}
+
+/// Computes all headline numbers.
+///
+/// # Errors
+///
+/// Propagates partitioning/simulation errors.
+pub fn run() -> Result<Headline, CoreError> {
+    let ar = InferenceMode::Autoregressive;
+    let pr = InferenceMode::Prompt;
+
+    let cfg = TransformerConfig::tiny_llama_42m();
+    let ar1 = DistributedSystem::paper_default(cfg.clone(), 1)?.simulate_block(ar)?;
+    let ar8 = DistributedSystem::paper_default(cfg, 8)?.simulate_block(ar)?;
+
+    let cfg = TransformerConfig::tiny_llama_42m().with_seq_len(16);
+    let pr1 = DistributedSystem::paper_default(cfg.clone(), 1)?.simulate_block(pr)?;
+    let pr8 = DistributedSystem::paper_default(cfg, 8)?.simulate_block(pr)?;
+
+    let cfg = TransformerConfig::mobile_bert();
+    let mb1 = DistributedSystem::paper_default(cfg.clone(), 1)?.simulate_block(pr)?;
+    let mb4 = DistributedSystem::paper_default(cfg, 4)?.simulate_block(pr)?;
+
+    let cfg = TransformerConfig::tiny_llama_scaled_64h();
+    let sc1 = DistributedSystem::paper_default(cfg.clone(), 1)?.simulate_block(ar)?;
+    let sc64 = DistributedSystem::paper_default(cfg, 64)?.simulate_block(ar)?;
+
+    Ok(Headline {
+        tinyllama_ar_speedup_8: ar8.speedup_over(&ar1),
+        tinyllama_ar_latency_ms: ar8.runtime_ms(),
+        tinyllama_ar_energy_mj: ar8.energy_mj(),
+        tinyllama_ar_edp_improvement: ar8.edp_improvement_over(&ar1),
+        tinyllama_prompt_speedup_8: pr8.speedup_over(&pr1),
+        mobilebert_speedup_4: mb4.speedup_over(&mb1),
+        mobilebert_runtime_ms: mb4.runtime_ms(),
+        scaled_ar_speedup_64: sc64.speedup_over(&sc1),
+        scaled_ar_energy_reduction_64: sc1.energy_mj() / sc64.energy_mj(),
+    })
+}
+
+/// Renders paper-vs-measured for every headline claim.
+#[must_use]
+pub fn render(h: &Headline) -> String {
+    let mut t =
+        TextTable::new(["claim", "paper", "measured"].map(String::from).to_vec());
+    let rows: [(&str, String, String); 9] = [
+        (
+            "TinyLlama AR speedup, 8 chips",
+            "26.1x".into(),
+            format!("{:.1}x", h.tinyllama_ar_speedup_8),
+        ),
+        (
+            "TinyLlama AR latency / block",
+            "0.54 ms".into(),
+            format!("{:.2} ms", h.tinyllama_ar_latency_ms),
+        ),
+        (
+            "TinyLlama AR energy / block",
+            "0.64 mJ".into(),
+            format!("{:.2} mJ", h.tinyllama_ar_energy_mj),
+        ),
+        (
+            "TinyLlama AR EDP improvement",
+            "27.2x".into(),
+            format!("{:.1}x", h.tinyllama_ar_edp_improvement),
+        ),
+        (
+            "TinyLlama prompt speedup, 8 chips",
+            "9.9x".into(),
+            format!("{:.1}x", h.tinyllama_prompt_speedup_8),
+        ),
+        ("MobileBERT speedup, 4 chips", "4.7x".into(), format!("{:.1}x", h.mobilebert_speedup_4)),
+        (
+            "MobileBERT runtime / block, 4 chips",
+            "38.8 ms".into(),
+            format!("{:.1} ms", h.mobilebert_runtime_ms),
+        ),
+        (
+            "Scaled model AR speedup, 64 chips",
+            "60.1x".into(),
+            format!("{:.1}x", h.scaled_ar_speedup_64),
+        ),
+        (
+            "Scaled model energy reduction, 64 chips",
+            "1.3x".into(),
+            format!("{:.2}x", h.scaled_ar_energy_reduction_64),
+        ),
+    ];
+    for (claim, paper, measured) in rows {
+        t.row(vec![claim.to_owned(), paper, measured]);
+    }
+    format!("Headline numbers (abstract)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_bands() {
+        let h = run().unwrap();
+        // Shape acceptance bands: super-linearity and rough factors.
+        assert!((20.0..34.0).contains(&h.tinyllama_ar_speedup_8), "{h:?}");
+        assert!(h.tinyllama_prompt_speedup_8 > 8.0);
+        assert!(h.mobilebert_speedup_4 > 4.0);
+        assert!((40.0..90.0).contains(&h.scaled_ar_speedup_64));
+        assert!(h.tinyllama_ar_edp_improvement > 15.0);
+        // Absolute scales: same order of magnitude as the paper.
+        assert!((0.1..2.0).contains(&h.tinyllama_ar_latency_ms));
+        assert!((0.1..2.0).contains(&h.tinyllama_ar_energy_mj));
+        assert!((10.0..120.0).contains(&h.mobilebert_runtime_ms));
+    }
+
+    #[test]
+    fn render_mentions_every_paper_number() {
+        let h = run().unwrap();
+        let s = render(&h);
+        for claim in ["26.1x", "0.54 ms", "0.64 mJ", "27.2x", "9.9x", "4.7x", "38.8 ms", "60.1x"] {
+            assert!(s.contains(claim), "missing {claim}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation section as printed series.
+//!
+//! Each `figN` module exposes a `run()` that produces the figure's data
+//! (chip-count sweeps of [`mtp_core::SystemReport`]s) and a `print()` that
+//! renders the same rows/series the paper plots. The modules are consumed
+//! by the `examples/paper_figures.rs` binary and by the Criterion benches
+//! in `mtp-bench` (one bench target per figure).
+//!
+//! | Paper artefact | Module |
+//! |---|---|
+//! | Fig. 4(a) TinyLlama autoregressive, 1–8 chips | [`fig4`] |
+//! | Fig. 4(b) TinyLlama prompt, 1–8 chips | [`fig4`] |
+//! | Fig. 4(c) MobileBERT, 1–4 chips | [`fig4`] |
+//! | Fig. 5 energy vs runtime (incl. scaled model) | [`fig5`] |
+//! | Fig. 6 scaled-up speedups, 2–64 chips | [`fig6`] |
+//! | Table I strategy comparison | [`table1`] |
+//! | Abstract headline numbers | [`headline`] |
+//! | Extension: ablations (topology, double-buffering, baselines) | [`ablation`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod advisor;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod headline;
+pub mod table;
+pub mod table1;
+
+use mtp_core::{CoreError, DistributedSystem, SystemReport};
+use mtp_model::{InferenceMode, TransformerConfig};
+
+/// One swept point: a chip count and its simulation report.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Number of chips.
+    pub n_chips: usize,
+    /// Simulation result.
+    pub report: SystemReport,
+}
+
+/// Sweeps a workload over chip counts, reporting one steady-state block
+/// per point (what the paper's figures show).
+///
+/// Points are simulated in parallel (one thread per chip count); results
+/// come back in the order of `chip_counts`.
+///
+/// # Errors
+///
+/// Propagates partitioning/simulation errors.
+pub fn sweep(
+    cfg: &TransformerConfig,
+    mode: InferenceMode,
+    chip_counts: &[usize],
+) -> Result<Vec<SweepPoint>, CoreError> {
+    let results = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chip_counts
+            .iter()
+            .map(|&n| {
+                let cfg = cfg.clone();
+                scope.spawn(move |_| -> Result<SweepPoint, CoreError> {
+                    let report =
+                        DistributedSystem::paper_default(cfg, n)?.simulate_block(mode)?;
+                    Ok(SweepPoint { n_chips: n, report })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })
+    .expect("sweep scope panicked");
+    results
+}
+
+/// Speedup of each sweep point relative to the first (single-chip) point.
+#[must_use]
+pub fn speedups(points: &[SweepPoint]) -> Vec<f64> {
+    let Some(base) = points.first() else { return Vec::new() };
+    points.iter().map(|p| p.report.speedup_over(&base.report)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_point_per_count() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let pts = sweep(&cfg, InferenceMode::Autoregressive, &[1, 2]).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].n_chips, 1);
+        let s = speedups(&pts);
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert!(s[1] > 1.5);
+    }
+
+    #[test]
+    fn speedups_of_empty_sweep() {
+        assert!(speedups(&[]).is_empty());
+    }
+}

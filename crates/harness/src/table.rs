@@ -1,0 +1,109 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple fixed-width text table.
+///
+/// ```
+/// use mtp_harness::table::TextTable;
+/// let mut t = TextTable::new(vec!["n".into(), "value".into()]);
+/// t.row(vec!["1".into(), "42".into()]);
+/// let s = t.render();
+/// assert!(s.contains("value"));
+/// assert!(s.contains("42"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    #[must_use]
+    pub fn new(header: Vec<String>) -> Self {
+        TextTable { header, rows: Vec::new() }
+    }
+
+    /// Appends one row (padded/truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate().take(cols) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = cells.get(i).map_or("", String::as_str);
+                line.push_str(&format!("{cell:>width$}"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a cycle count with thousands separators.
+#[must_use]
+pub fn fmt_cycles(cycles: u64) -> String {
+    let s = cycles.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(vec!["a".into(), "bbbb".into()]);
+        t.row(vec!["1234".into(), "x".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["1".into()]);
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    fn cycles_formatting() {
+        assert_eq!(fmt_cycles(0), "0");
+        assert_eq!(fmt_cycles(999), "999");
+        assert_eq!(fmt_cycles(1_000), "1,000");
+        assert_eq!(fmt_cycles(1_234_567), "1,234,567");
+    }
+}

@@ -1,0 +1,95 @@
+//! Functional dense linear-algebra kernels (`f32` golden implementations).
+
+use mtp_tensor::{Result, Shape, Tensor, TensorError};
+
+/// Dense matrix multiply `a @ b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::MatmulMismatch`] when inner dimensions disagree.
+///
+/// ```
+/// use mtp_tensor::{Shape, Tensor};
+/// let a = Tensor::from_vec(Shape::mat(1, 2), vec![1.0, 2.0])?;
+/// let b = Tensor::from_vec(Shape::mat(2, 1), vec![3.0, 4.0])?;
+/// assert_eq!(mtp_kernels::gemm(&a, &b)?.as_slice(), &[11.0]);
+/// # Ok::<(), mtp_tensor::TensorError>(())
+/// ```
+pub fn gemm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.try_matmul(b)
+}
+
+/// Dense matrix multiply with a broadcast row bias: `a @ b + bias`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::MatmulMismatch`] on inner-dimension mismatch and
+/// [`TensorError::ShapeMismatch`] when `bias.len() != b.cols()`.
+pub fn gemm_bias(a: &Tensor, b: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    let mut out = a.try_matmul(b)?;
+    let n = out.shape().cols();
+    if bias.len() != n {
+        return Err(TensorError::ShapeMismatch { left: out.shape(), right: bias.shape() });
+    }
+    let bias = bias.as_slice();
+    for row in 0..out.shape().rows() {
+        let base = row * n;
+        let data = out.as_mut_slice();
+        for (j, b) in bias.iter().enumerate() {
+            data[base + j] += b;
+        }
+    }
+    Ok(out)
+}
+
+/// Matrix-vector product `x @ w` where `x` is a single row.
+///
+/// Functionally identical to [`gemm`] with `m == 1`; provided separately so
+/// call sites document the autoregressive (GEMV-dominated) path.
+///
+/// # Errors
+///
+/// Returns [`TensorError::MatmulMismatch`] when `x.len() != w.rows()`, and
+/// [`TensorError::ShapeMismatch`] when `x` is not a single row.
+pub fn gemv(x: &Tensor, w: &Tensor) -> Result<Tensor> {
+    if x.shape().rows() != 1 {
+        return Err(TensorError::ShapeMismatch { left: x.shape(), right: Shape::mat(1, x.len()) });
+    }
+    x.try_matmul(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_bias_adds_rowwise() {
+        let a = Tensor::from_vec(Shape::mat(2, 2), vec![1., 0., 0., 1.]).unwrap();
+        let b = Tensor::from_vec(Shape::mat(2, 2), vec![1., 2., 3., 4.]).unwrap();
+        let bias = Tensor::from_vec(Shape::vec(2), vec![10., 20.]).unwrap();
+        let out = gemm_bias(&a, &b, &bias).unwrap();
+        assert_eq!(out.as_slice(), &[11., 22., 13., 24.]);
+    }
+
+    #[test]
+    fn gemm_bias_rejects_bad_bias() {
+        let a = Tensor::eye(2);
+        let b = Tensor::eye(2);
+        let bias = Tensor::zeros(Shape::vec(3));
+        assert!(gemm_bias(&a, &b, &bias).is_err());
+    }
+
+    #[test]
+    fn gemv_requires_row_vector() {
+        let x = Tensor::zeros(Shape::mat(2, 4));
+        let w = Tensor::zeros(Shape::mat(4, 4));
+        assert!(gemv(&x, &w).is_err());
+    }
+
+    #[test]
+    fn gemv_matches_gemm() {
+        let x = Tensor::from_vec(Shape::mat(1, 3), vec![1., 2., 3.]).unwrap();
+        let w = Tensor::from_fn(Shape::mat(3, 2), |(r, c)| (r + c) as f32);
+        assert_eq!(gemv(&x, &w).unwrap(), gemm(&x, &w).unwrap());
+    }
+}

@@ -1,0 +1,224 @@
+//! Functional non-linear kernels: softmax, normalizations, activations,
+//! rotary embeddings.
+
+use mtp_tensor::Tensor;
+
+/// Row-wise numerically-stable softmax (paper Eq. 3).
+///
+/// Each row `x` maps to `exp(x_i - max(x)) / sum_j exp(x_j - max(x))`.
+///
+/// ```
+/// use mtp_tensor::{Shape, Tensor};
+/// let t = Tensor::from_vec(Shape::mat(1, 2), vec![0.0, 0.0])?;
+/// let s = mtp_kernels::softmax_rows(&t);
+/// assert!((s.as_slice()[0] - 0.5).abs() < 1e-6);
+/// # Ok::<(), mtp_tensor::TensorError>(())
+/// ```
+#[must_use]
+pub fn softmax_rows(t: &Tensor) -> Tensor {
+    let mut out = t.clone();
+    let cols = t.shape().cols();
+    for r in 0..t.shape().rows() {
+        let row = &mut out.as_mut_slice()[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+    out
+}
+
+/// Row-wise LayerNorm with learned `gamma`/`beta` (both of length `cols`).
+///
+/// # Panics
+///
+/// Panics when `gamma` or `beta` length differs from the row width.
+#[must_use]
+pub fn layer_norm(t: &Tensor, gamma: &[f32], beta: &[f32], eps: f32) -> Tensor {
+    let cols = t.shape().cols();
+    assert_eq!(gamma.len(), cols, "gamma length must equal row width");
+    assert_eq!(beta.len(), cols, "beta length must equal row width");
+    let mut out = t.clone();
+    for r in 0..t.shape().rows() {
+        let row = &mut out.as_mut_slice()[r * cols..(r + 1) * cols];
+        let mean = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (v, (&g, &b)) in row.iter_mut().zip(gamma.iter().zip(beta)) {
+            *v = (*v - mean) * inv * g + b;
+        }
+    }
+    out
+}
+
+/// Row-wise RMSNorm (Llama-style) with learned `gamma` of length `cols`.
+///
+/// # Panics
+///
+/// Panics when `gamma` length differs from the row width.
+#[must_use]
+pub fn rms_norm(t: &Tensor, gamma: &[f32], eps: f32) -> Tensor {
+    let cols = t.shape().cols();
+    assert_eq!(gamma.len(), cols, "gamma length must equal row width");
+    let mut out = t.clone();
+    for r in 0..t.shape().rows() {
+        let row = &mut out.as_mut_slice()[r * cols..(r + 1) * cols];
+        let ms = row.iter().map(|v| v * v).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (ms + eps).sqrt();
+        for (v, &g) in row.iter_mut().zip(gamma) {
+            *v = *v * inv * g;
+        }
+    }
+    out
+}
+
+/// Element-wise GELU (tanh approximation, as deployed on MCUs).
+#[must_use]
+pub fn gelu(t: &Tensor) -> Tensor {
+    let mut out = t.clone();
+    for v in out.as_mut_slice() {
+        let x = *v;
+        let inner = 0.797_884_6 * (x + 0.044_715 * x * x * x);
+        *v = 0.5 * x * (1.0 + inner.tanh());
+    }
+    out
+}
+
+/// Element-wise SiLU (`x * sigmoid(x)`), used by Llama-family FFNs.
+#[must_use]
+pub fn silu(t: &Tensor) -> Tensor {
+    let mut out = t.clone();
+    for v in out.as_mut_slice() {
+        let x = *v;
+        *v = x / (1.0 + (-x).exp());
+    }
+    out
+}
+
+/// Applies rotary positional embedding in place to a `[seq x dim]` matrix
+/// whose rows start at absolute position `pos0`.
+///
+/// Pairs `(2i, 2i+1)` are rotated by angle `pos / theta^(2i/dim)` with the
+/// conventional `theta = 10000`.
+///
+/// # Panics
+///
+/// Panics when `dim` is odd.
+pub fn rope_inplace(t: &mut Tensor, pos0: usize) {
+    let dim = t.shape().cols();
+    assert!(dim.is_multiple_of(2), "rope requires an even head dimension");
+    let rows = t.shape().rows();
+    for r in 0..rows {
+        let pos = (pos0 + r) as f32;
+        let row = &mut t.as_mut_slice()[r * dim..(r + 1) * dim];
+        for i in 0..dim / 2 {
+            let freq = 1.0f32 / 10_000f32.powf(2.0 * i as f32 / dim as f32);
+            let angle = pos * freq;
+            let (sin, cos) = angle.sin_cos();
+            let (a, b) = (row[2 * i], row[2 * i + 1]);
+            row[2 * i] = a * cos - b * sin;
+            row[2 * i + 1] = a * sin + b * cos;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtp_tensor::Shape;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_fn(Shape::mat(3, 5), |(r, c)| (r as f32 - c as f32) * 0.7);
+        let s = softmax_rows(&t);
+        for r in 0..3 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(Shape::mat(1, 3), vec![1., 2., 3.]).unwrap();
+        let b = Tensor::from_vec(Shape::mat(1, 3), vec![1001., 1002., 1003.]).unwrap();
+        let (sa, sb) = (softmax_rows(&a), softmax_rows(&b));
+        assert!(sa.max_abs_diff(&sb).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_handles_large_negatives_without_nan() {
+        let a = Tensor::from_vec(Shape::mat(1, 2), vec![-1e30, -1e30]).unwrap();
+        let s = softmax_rows(&a);
+        assert!(s.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let t = Tensor::from_fn(Shape::mat(2, 64), |(r, c)| (r * 64 + c) as f32);
+        let g = vec![1.0; 64];
+        let b = vec![0.0; 64];
+        let n = layer_norm(&t, &g, &b, 1e-5);
+        for r in 0..2 {
+            let row = n.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 64.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn rms_norm_unit_rms() {
+        let t = Tensor::from_fn(Shape::mat(1, 32), |(_, c)| c as f32 - 16.0);
+        let g = vec![1.0; 32];
+        let n = rms_norm(&t, &g, 1e-6);
+        let ms: f32 = n.row(0).iter().map(|v| v * v).sum::<f32>() / 32.0;
+        assert!((ms - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_known_points() {
+        let t = Tensor::from_vec(Shape::vec(3), vec![-10.0, 0.0, 10.0]).unwrap();
+        let g = gelu(&t);
+        assert!(g.as_slice()[0].abs() < 1e-3); // gelu(-10) ~ 0
+        assert_eq!(g.as_slice()[1], 0.0);
+        assert!((g.as_slice()[2] - 10.0).abs() < 1e-3); // gelu(10) ~ 10
+    }
+
+    #[test]
+    fn silu_known_points() {
+        let t = Tensor::from_vec(Shape::vec(2), vec![0.0, 20.0]).unwrap();
+        let s = silu(&t);
+        assert_eq!(s.as_slice()[0], 0.0);
+        assert!((s.as_slice()[1] - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rope_preserves_pair_norms() {
+        let mut t = Tensor::from_fn(Shape::mat(4, 8), |(r, c)| (r * 8 + c) as f32 * 0.1);
+        let orig = t.clone();
+        rope_inplace(&mut t, 3);
+        for r in 0..4 {
+            for i in 0..4 {
+                let n0 = orig.at(r, 2 * i).hypot(orig.at(r, 2 * i + 1));
+                let n1 = t.at(r, 2 * i).hypot(t.at(r, 2 * i + 1));
+                assert!((n0 - n1).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn rope_position_zero_is_identity() {
+        let mut t = Tensor::from_fn(Shape::mat(1, 8), |(_, c)| c as f32);
+        let orig = t.clone();
+        rope_inplace(&mut t, 0);
+        assert!(t.max_abs_diff(&orig).unwrap() < 1e-6);
+    }
+}

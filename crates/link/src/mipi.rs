@@ -1,0 +1,77 @@
+//! Analytical model of the MIPI chip-to-chip serial port.
+
+use serde::{Deserialize, Serialize};
+
+/// Specification of a chip-to-chip link port.
+///
+/// The paper's MIPI interface: 0.5 GB/s (1 byte per 500 MHz cluster cycle)
+/// and 100 pJ per transferred byte.
+///
+/// ```
+/// let mipi = mtp_link::LinkPortSpec::mipi();
+/// assert_eq!(mipi.transfer_cycles(1000), 500 + 1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkPortSpec {
+    /// Sustained link bandwidth in bytes per cluster cycle.
+    pub bytes_per_cycle: f64,
+    /// Fixed per-message latency in cycles (packetization, protocol).
+    pub latency_cycles: u64,
+    /// Transfer energy in picojoules per byte.
+    pub energy_pj_per_byte: f64,
+}
+
+impl LinkPortSpec {
+    /// The MIPI link model used throughout the paper (0.5 GB/s at a
+    /// 500 MHz cluster clock, 100 pJ/B). The 500-cycle (1 µs) per-message
+    /// latency models lane wake-up and packetization of the serial PHY.
+    #[must_use]
+    pub const fn mipi() -> Self {
+        LinkPortSpec { bytes_per_cycle: 1.0, latency_cycles: 500, energy_pj_per_byte: 100.0 }
+    }
+
+    /// Cycles to deliver one `bytes`-sized message over this port.
+    /// Zero-byte messages are free.
+    #[must_use]
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.latency_cycles + (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+
+    /// Energy in millijoules to move `bytes` over the link once.
+    #[must_use]
+    pub fn transfer_energy_mj(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.energy_pj_per_byte * 1e-9
+    }
+}
+
+impl Default for LinkPortSpec {
+    fn default() -> Self {
+        LinkPortSpec::mipi()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mipi_constants_match_paper() {
+        let m = LinkPortSpec::mipi();
+        assert_eq!(m.energy_pj_per_byte, 100.0);
+        assert_eq!(m.bytes_per_cycle, 1.0);
+    }
+
+    #[test]
+    fn zero_byte_message_free() {
+        assert_eq!(LinkPortSpec::mipi().transfer_cycles(0), 0);
+    }
+
+    #[test]
+    fn energy_scales_linearly() {
+        let m = LinkPortSpec::mipi();
+        assert!((m.transfer_energy_mj(1_000_000) - 0.1).abs() < 1e-12);
+    }
+}

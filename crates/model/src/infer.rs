@@ -1,0 +1,189 @@
+//! Whole-model golden inference drivers: decoder (autoregressive + prompt)
+//! and encoder.
+
+use crate::{reference, KvCache, ModelWeights, TransformerConfig};
+use mtp_tensor::{Result, Tensor};
+
+/// Golden decoder-only model (TinyLlama-style) running on "one big chip":
+/// the reference the distributed system is compared against.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    cfg: TransformerConfig,
+    weights: ModelWeights,
+    caches: Vec<KvCache>,
+}
+
+impl Decoder {
+    /// A decoder with the given config and weights; KV-caches sized to
+    /// `cfg.seq_len`.
+    #[must_use]
+    pub fn new(cfg: TransformerConfig, weights: ModelWeights) -> Self {
+        let caches = (0..cfg.n_layers)
+            .map(|_| KvCache::new(cfg.kv_width(), cfg.seq_len))
+            .collect();
+        Decoder { cfg, weights, caches }
+    }
+
+    /// The model configuration.
+    #[must_use]
+    pub fn config(&self) -> &TransformerConfig {
+        &self.cfg
+    }
+
+    /// Number of positions currently cached.
+    #[must_use]
+    pub fn cached_len(&self) -> usize {
+        self.caches.first().map_or(0, KvCache::len)
+    }
+
+    /// Autoregressive step: one `[1 x E]` embedding row in, one out,
+    /// updating every layer's KV-cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape mismatches (e.g. a wrong-width input row).
+    pub fn step(&mut self, x: &Tensor) -> Result<Tensor> {
+        let mut h = x.clone();
+        for (layer, cache) in self.caches.iter_mut().enumerate() {
+            h = reference::block_forward(&h, self.weights.block(layer), &self.cfg, Some(cache))?;
+        }
+        Ok(h)
+    }
+
+    /// Prompt-mode pass: all `S` rows at once with causal masking, without
+    /// touching the caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape mismatches.
+    pub fn prompt(&self, x: &Tensor) -> Result<Tensor> {
+        let mut h = x.clone();
+        for layer in 0..self.cfg.n_layers {
+            h = reference::block_forward(&h, self.weights.block(layer), &self.cfg, None)?;
+        }
+        Ok(h)
+    }
+
+    /// Resets all KV-caches.
+    pub fn reset(&mut self) {
+        for c in &mut self.caches {
+            c.clear();
+        }
+    }
+}
+
+/// Golden encoder-only model (MobileBERT-style).
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    cfg: TransformerConfig,
+    weights: ModelWeights,
+}
+
+impl Encoder {
+    /// An encoder with the given config and weights.
+    #[must_use]
+    pub fn new(cfg: TransformerConfig, weights: ModelWeights) -> Self {
+        Encoder { cfg, weights }
+    }
+
+    /// The model configuration.
+    #[must_use]
+    pub fn config(&self) -> &TransformerConfig {
+        &self.cfg
+    }
+
+    /// Full bidirectional pass over an `[S x E]` input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape mismatches.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let mut h = x.clone();
+        for layer in 0..self.cfg.n_layers {
+            h = reference::block_forward(&h, self.weights.block(layer), &self.cfg, None)?;
+        }
+        Ok(h)
+    }
+}
+
+/// Builds a `[rows x E]` synthetic embedding matrix for a config (token
+/// embeddings stand-in used across tests, examples and benches).
+#[must_use]
+pub fn synthetic_embeddings(cfg: &TransformerConfig, rows: usize, seed: u64) -> Tensor {
+    reference::synthetic_input(rows, cfg.embed_dim, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::synthetic_input;
+    use mtp_tensor::Shape;
+
+    fn small_cfg() -> TransformerConfig {
+        let mut cfg = TransformerConfig::tiny_llama_42m();
+        cfg.embed_dim = 32;
+        cfg.ffn_dim = 48;
+        cfg.n_heads = 4;
+        cfg.n_kv_heads = 4;
+        cfg.n_layers = 3;
+        cfg.seq_len = 8;
+        cfg
+    }
+
+    #[test]
+    fn decoder_steps_fill_cache() {
+        let cfg = small_cfg();
+        let w = ModelWeights::seeded(&cfg, 1);
+        let mut d = Decoder::new(cfg.clone(), w);
+        assert_eq!(d.cached_len(), 0);
+        for i in 0..4 {
+            let x = synthetic_input(1, cfg.embed_dim, i);
+            let out = d.step(&x).unwrap();
+            assert_eq!(out.shape(), Shape::mat(1, cfg.embed_dim));
+        }
+        assert_eq!(d.cached_len(), 4);
+        d.reset();
+        assert_eq!(d.cached_len(), 0);
+    }
+
+    #[test]
+    fn stepwise_equals_prompt_pass() {
+        // Multi-layer version of the cached-vs-causal equivalence.
+        let cfg = small_cfg();
+        let w = ModelWeights::seeded(&cfg, 5);
+        let mut d = Decoder::new(cfg.clone(), w);
+        let x = synthetic_input(5, cfg.embed_dim, 7);
+        let prompt = d.prompt(&x).unwrap();
+        for r in 0..5 {
+            let row = Tensor::from_vec(Shape::mat(1, cfg.embed_dim), x.row(r).to_vec()).unwrap();
+            let out = d.step(&row).unwrap();
+            let want =
+                Tensor::from_vec(Shape::mat(1, cfg.embed_dim), prompt.row(r).to_vec()).unwrap();
+            assert!(
+                out.approx_eq(&want, 1e-3).unwrap(),
+                "row {r}: diff {}",
+                out.max_abs_diff(&want).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn encoder_forward_shape() {
+        let mut cfg = small_cfg();
+        cfg.attention = crate::AttentionKind::Bidirectional;
+        cfg.norm = crate::NormKind::LayerNorm;
+        let w = ModelWeights::seeded(&cfg, 2);
+        let e = Encoder::new(cfg.clone(), w);
+        let x = synthetic_input(6, cfg.embed_dim, 3);
+        let out = e.forward(&x).unwrap();
+        assert_eq!(out.shape(), x.shape());
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn synthetic_embeddings_width_matches_config() {
+        let cfg = small_cfg();
+        let x = synthetic_embeddings(&cfg, 3, 1);
+        assert_eq!(x.shape(), Shape::mat(3, 32));
+    }
+}

@@ -1,0 +1,142 @@
+//! Key-Value cache for autoregressive decoding.
+
+use mtp_tensor::{Shape, Tensor};
+
+/// The KV-cache of one Transformer block: keys and values for every
+/// already-processed position, laid out as `[len x E]` matrices (head
+/// slicing is a column sub-range, which is what the partitioning scheme
+/// exploits: each chip's cache holds only its own heads' columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvCache {
+    keys: Vec<f32>,
+    values: Vec<f32>,
+    width: usize,
+    len: usize,
+    capacity: usize,
+}
+
+impl KvCache {
+    /// An empty cache for rows of `width` features with room for
+    /// `capacity` positions.
+    #[must_use]
+    pub fn new(width: usize, capacity: usize) -> Self {
+        KvCache {
+            keys: Vec::with_capacity(width * capacity),
+            values: Vec::with_capacity(width * capacity),
+            width,
+            len: 0,
+            capacity,
+        }
+    }
+
+    /// Number of cached positions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no positions are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Feature width of each cached row.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Maximum number of positions.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends one position's key and value rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cache is full or the rows have the wrong width.
+    pub fn append(&mut self, key_row: &[f32], value_row: &[f32]) {
+        assert!(self.len < self.capacity, "kv-cache capacity exceeded");
+        assert_eq!(key_row.len(), self.width, "key row width mismatch");
+        assert_eq!(value_row.len(), self.width, "value row width mismatch");
+        self.keys.extend_from_slice(key_row);
+        self.values.extend_from_slice(value_row);
+        self.len += 1;
+    }
+
+    /// All cached keys as a `[len x width]` tensor.
+    #[must_use]
+    pub fn keys(&self) -> Tensor {
+        Tensor::from_vec(Shape::mat(self.len, self.width), self.keys.clone())
+            .expect("len*width consistency is a KvCache invariant")
+    }
+
+    /// All cached values as a `[len x width]` tensor.
+    #[must_use]
+    pub fn values(&self) -> Tensor {
+        Tensor::from_vec(Shape::mat(self.len, self.width), self.values.clone())
+            .expect("len*width consistency is a KvCache invariant")
+    }
+
+    /// Bytes this cache occupies at `elem_bytes` per element (keys plus
+    /// values over `capacity` positions, as allocated on-chip).
+    #[must_use]
+    pub fn footprint_bytes(&self, elem_bytes: usize) -> u64 {
+        (2 * self.capacity * self.width * elem_bytes) as u64
+    }
+
+    /// Clears all cached positions (capacity is retained).
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.values.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_back() {
+        let mut c = KvCache::new(4, 8);
+        c.append(&[1., 2., 3., 4.], &[5., 6., 7., 8.]);
+        c.append(&[9., 10., 11., 12.], &[13., 14., 15., 16.]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.keys().row(1), &[9., 10., 11., 12.]);
+        assert_eq!(c.values().row(0), &[5., 6., 7., 8.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exceeded")]
+    fn overflow_panics() {
+        let mut c = KvCache::new(2, 1);
+        c.append(&[0., 0.], &[0., 0.]);
+        c.append(&[0., 0.], &[0., 0.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        let mut c = KvCache::new(2, 4);
+        c.append(&[0.], &[0., 0.]);
+    }
+
+    #[test]
+    fn footprint() {
+        let c = KvCache::new(512, 128);
+        assert_eq!(c.footprint_bytes(1), 131_072);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut c = KvCache::new(2, 4);
+        c.append(&[1., 2.], &[3., 4.]);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! Transformer model substrate: configurations, weights, KV-cache, and the
+//! golden single-chip reference inference the distributed executor is
+//! verified against.
+//!
+//! Three model presets match the paper's workloads exactly:
+//!
+//! - [`TransformerConfig::tiny_llama_42m`]: decoder-only, `E = 512`,
+//!   `F = 2048`, 8 layers, 8 heads (llama2.c's 42M-parameter release);
+//! - [`TransformerConfig::tiny_llama_scaled_64h`]: the scalability-study
+//!   variant with 64 heads and all other parameters unchanged;
+//! - [`TransformerConfig::mobile_bert`]: encoder-only, `E = F = 512`,
+//!   4 heads, sequence length 268.
+//!
+//! Weight *values* are seeded-random (checkpoints are not needed: every
+//! quantity the paper reports depends only on shapes and byte counts — see
+//! `DESIGN.md`), but all functional execution is real arithmetic, so the
+//! partitioned execution in `mtp-core` can be checked numerically against
+//! [`reference`] outputs.
+//!
+//! # Examples
+//!
+//! ```
+//! use mtp_model::{BlockWeights, TransformerConfig};
+//!
+//! let cfg = TransformerConfig::tiny_llama_42m();
+//! assert_eq!(cfg.params_per_block(), 4 * 512 * 512 + 2 * 512 * 2048);
+//! let w = BlockWeights::seeded(&cfg, 42);
+//! assert_eq!(w.wq.shape().dims(), &[512, 512]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod infer;
+mod kv_cache;
+mod weights;
+
+pub mod generate;
+pub mod reference;
+
+pub use config::{Activation, AttentionKind, InferenceMode, NormKind, TransformerConfig};
+pub use generate::{generate_greedy, Embedding, TokenId};
+pub use infer::{synthetic_embeddings, Decoder, Encoder};
+pub use kv_cache::KvCache;
+pub use weights::{BlockWeights, ModelWeights};

@@ -1,0 +1,98 @@
+//! Simulator error type.
+
+use crate::{ChipId, DmaTag, MsgId};
+
+/// Convenient alias for `Result<T, SimError>`.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+/// Errors produced while executing programs on the simulated machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The number of programs does not match the number of chips.
+    ProgramCountMismatch {
+        /// Chips in the machine.
+        chips: usize,
+        /// Programs supplied.
+        programs: usize,
+    },
+    /// Execution stalled: every unfinished chip is blocked on a receive
+    /// whose message is never sent.
+    Deadlock {
+        /// Chips blocked at deadlock detection time.
+        blocked: Vec<ChipId>,
+    },
+    /// A `DmaWait` referenced a tag with no matching `DmaAsync`.
+    UnknownDmaTag {
+        /// The offending chip.
+        chip: ChipId,
+        /// The unknown tag.
+        tag: DmaTag,
+    },
+    /// Two sends used the same message id.
+    DuplicateMessage {
+        /// The duplicated id.
+        msg: MsgId,
+    },
+    /// A send targeted a chip outside the machine.
+    InvalidChip {
+        /// The offending target.
+        chip: ChipId,
+        /// Number of chips in the machine.
+        chips: usize,
+    },
+    /// A receive named a different source than the matching send.
+    SenderMismatch {
+        /// Message in question.
+        msg: MsgId,
+        /// Source the receiver expected.
+        expected: ChipId,
+        /// Chip that actually sent the message.
+        actual: ChipId,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::ProgramCountMismatch { chips, programs } => {
+                write!(f, "machine has {chips} chips but {programs} programs were supplied")
+            }
+            SimError::Deadlock { blocked } => {
+                write!(f, "deadlock: {} chip(s) blocked on unmatched receives", blocked.len())
+            }
+            SimError::UnknownDmaTag { chip, tag } => {
+                write!(f, "{chip} waited on unknown dma tag {}", tag.0)
+            }
+            SimError::DuplicateMessage { msg } => {
+                write!(f, "message id {} sent more than once", msg.0)
+            }
+            SimError::InvalidChip { chip, chips } => {
+                write!(f, "{chip} is outside the {chips}-chip machine")
+            }
+            SimError::SenderMismatch { msg, expected, actual } => {
+                write!(f, "message {} expected from {expected} but sent by {actual}", msg.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::ProgramCountMismatch { chips: 4, programs: 2 };
+        assert!(e.to_string().contains("4 chips"));
+        let e = SimError::Deadlock { blocked: vec![ChipId(0)] };
+        assert!(e.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,605 @@
+//! Discrete-event execution of per-chip programs on a multi-chip machine.
+//!
+//! The executor advances chips in global-time order (a conservative
+//! discrete-event scheme): at every step the chip with the smallest local
+//! clock executes its next instruction. Sends occupy the sender's TX port
+//! and the receiver's RX port first-come-first-served, receives block until
+//! the matching message has fully arrived, and asynchronous DMA transfers
+//! overlap compute until the matching [`Instr::DmaWait`].
+
+use crate::{
+    gantt::{Trace, TraceEvent, TraceKind},
+    trace::ChipStats,
+    ChipId, ChipSpec, DmaTag, Instr, MemPath, MsgId, Program, Result, RunStats, SimError,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A multi-chip machine: a set of chips plus the (implicit, fully-connected
+/// logical) chip-to-chip link fabric.
+///
+/// Physical topology constraints (hierarchical groups of four) are encoded
+/// by *which* sends the schedule performs, exactly as in the paper; the
+/// machine itself times any point-to-point message over the sender's and
+/// receiver's MIPI ports.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    chips: Vec<ChipSpec>,
+}
+
+impl Machine {
+    /// A machine built from per-chip specifications.
+    #[must_use]
+    pub fn new(chips: Vec<ChipSpec>) -> Self {
+        Machine { chips }
+    }
+
+    /// A machine of `n` identical chips.
+    #[must_use]
+    pub fn homogeneous(spec: ChipSpec, n: usize) -> Self {
+        Machine { chips: vec![spec; n] }
+    }
+
+    /// The chip specifications.
+    #[must_use]
+    pub fn chips(&self) -> &[ChipSpec] {
+        &self.chips
+    }
+
+    /// Number of chips.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// `true` for a machine with no chips.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chips.is_empty()
+    }
+
+    /// Executes one program per chip to completion.
+    ///
+    /// # Errors
+    ///
+    /// - [`SimError::ProgramCountMismatch`] when `programs.len()` differs
+    ///   from the chip count.
+    /// - [`SimError::Deadlock`] when every unfinished chip waits on a
+    ///   message that is never sent.
+    /// - [`SimError::DuplicateMessage`], [`SimError::InvalidChip`],
+    ///   [`SimError::SenderMismatch`], [`SimError::UnknownDmaTag`] on
+    ///   malformed programs.
+    pub fn run(&self, programs: &[Program]) -> Result<RunStats> {
+        if programs.len() != self.chips.len() {
+            return Err(SimError::ProgramCountMismatch {
+                chips: self.chips.len(),
+                programs: programs.len(),
+            });
+        }
+        Executor::new(self, programs, false).run().map(|(stats, _)| stats)
+    }
+
+    /// Like [`Machine::run`], but also records a per-chip [`Trace`] of
+    /// every busy interval (tracing never changes timing).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Machine::run`].
+    pub fn run_traced(&self, programs: &[Program]) -> Result<(RunStats, Trace)> {
+        if programs.len() != self.chips.len() {
+            return Err(SimError::ProgramCountMismatch {
+                chips: self.chips.len(),
+                programs: programs.len(),
+            });
+        }
+        let (stats, trace) = Executor::new(self, programs, true).run()?;
+        Ok((stats, trace.unwrap_or_default()))
+    }
+}
+
+/// Per-chip mutable execution state.
+#[derive(Debug)]
+struct ChipState {
+    pc: usize,
+    t: u64,
+    tx_free: u64,
+    io_dma_free: u64,
+    cluster_dma_free: u64,
+    dma_tags: HashMap<DmaTag, (u64, MemPath)>,
+    stats: ChipStats,
+    done: bool,
+}
+
+impl ChipState {
+    fn new() -> Self {
+        ChipState {
+            pc: 0,
+            t: 0,
+            tx_free: 0,
+            io_dma_free: 0,
+            cluster_dma_free: 0,
+            dma_tags: HashMap::new(),
+            stats: ChipStats::default(),
+            done: false,
+        }
+    }
+}
+
+struct Executor<'a> {
+    machine: &'a Machine,
+    programs: &'a [Program],
+    state: Vec<ChipState>,
+    rx_free: Vec<u64>,
+    /// msg -> (sender, delivery time)
+    messages: HashMap<MsgId, (ChipId, u64)>,
+    /// msg -> chip parked on it
+    waiting: HashMap<MsgId, usize>,
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
+    sync_ids: Vec<u32>,
+    trace: Option<Trace>,
+}
+
+impl<'a> Executor<'a> {
+    fn new(machine: &'a Machine, programs: &'a [Program], traced: bool) -> Self {
+        let n = machine.len();
+        let mut ready = BinaryHeap::with_capacity(n);
+        for i in 0..n {
+            ready.push(Reverse((0, i)));
+        }
+        Executor {
+            machine,
+            programs,
+            state: (0..n).map(|_| ChipState::new()).collect(),
+            rx_free: vec![0; n],
+            messages: HashMap::new(),
+            waiting: HashMap::new(),
+            ready,
+            sync_ids: Vec::new(),
+            trace: traced.then(Trace::default),
+        }
+    }
+
+    fn record(&mut self, chip: usize, start: u64, end: u64, kind: TraceKind) {
+        if start == end {
+            return;
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent { chip, start, end, kind });
+        }
+    }
+
+    fn run(mut self) -> Result<(RunStats, Option<Trace>)> {
+        while let Some(Reverse((_, chip))) = self.ready.pop() {
+            if self.state[chip].done {
+                continue;
+            }
+            self.step(chip)?;
+        }
+        if let Some(blocked) = self.deadlocked() {
+            return Err(SimError::Deadlock { blocked });
+        }
+        let mut per_chip = Vec::with_capacity(self.state.len());
+        for st in &mut self.state {
+            st.stats.finish_cycles = st.t;
+            per_chip.push(st.stats.clone());
+        }
+        self.sync_ids.sort_unstable();
+        self.sync_ids.dedup();
+        Ok((RunStats::new(per_chip, self.sync_ids.len()), self.trace))
+    }
+
+    fn deadlocked(&self) -> Option<Vec<ChipId>> {
+        let blocked: Vec<ChipId> = self
+            .state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.done)
+            .map(|(i, _)| ChipId(i))
+            .collect();
+        if blocked.is_empty() {
+            None
+        } else {
+            Some(blocked)
+        }
+    }
+
+    /// Executes exactly one instruction of `chip`, or parks/finishes it.
+    fn step(&mut self, chip: usize) -> Result<()> {
+        let program = &self.programs[chip];
+        let pc = self.state[chip].pc;
+        let Some(&instr) = program.instrs().get(pc) else {
+            self.state[chip].done = true;
+            return Ok(());
+        };
+        let spec = self.machine.chips[chip];
+        match instr {
+            Instr::Compute(kernel) => {
+                let cycles = spec.cost_model.cycles(&kernel);
+                let start = self.state[chip].t;
+                {
+                    let st = &mut self.state[chip];
+                    st.stats.compute_cycles += cycles;
+                    st.t += cycles;
+                }
+                self.record(
+                    chip,
+                    start,
+                    start + cycles,
+                    TraceKind::Compute { kernel: kernel.to_string() },
+                );
+            }
+            Instr::Dma { path, bytes } => {
+                let (issue, done) = {
+                    let st = &mut self.state[chip];
+                    let (engine_free, dma) = if path.is_off_chip() {
+                        (&mut st.io_dma_free, &spec.io_dma)
+                    } else {
+                        (&mut st.cluster_dma_free, &spec.cluster_dma)
+                    };
+                    let start = st.t.max(*engine_free);
+                    let done = start + dma.transfer_cycles(bytes);
+                    *engine_free = done;
+                    let exposed = done - st.t;
+                    st.stats.add_dma(path, bytes, exposed);
+                    let issue = st.t;
+                    st.t = done;
+                    (issue, done)
+                };
+                self.record(chip, issue, done, TraceKind::Dma { path, bytes });
+            }
+            Instr::DmaAsync { path, bytes, tag } => {
+                let st = &mut self.state[chip];
+                let (engine_free, dma) = if path.is_off_chip() {
+                    (&mut st.io_dma_free, &spec.io_dma)
+                } else {
+                    (&mut st.cluster_dma_free, &spec.cluster_dma)
+                };
+                let start = st.t.max(*engine_free);
+                let done = start + dma.transfer_cycles(bytes);
+                *engine_free = done;
+                st.dma_tags.insert(tag, (done, path));
+                // Bytes are counted at issue; only the stall at DmaWait is
+                // exposed time.
+                st.stats.add_dma(path, bytes, 0);
+            }
+            Instr::DmaWait(tag) => {
+                let stall = {
+                    let st = &mut self.state[chip];
+                    let Some((done, path)) = st.dma_tags.remove(&tag) else {
+                        return Err(SimError::UnknownDmaTag { chip: ChipId(chip), tag });
+                    };
+                    if done > st.t {
+                        let start = st.t;
+                        st.stats.add_dma(path, 0, done - st.t);
+                        st.t = done;
+                        Some((start, done, path))
+                    } else {
+                        None
+                    }
+                };
+                if let Some((start, done, path)) = stall {
+                    self.record(chip, start, done, TraceKind::Dma { path, bytes: 0 });
+                }
+            }
+            Instr::Send { to, msg, bytes } => {
+                if to.0 >= self.machine.len() {
+                    return Err(SimError::InvalidChip { chip: to, chips: self.machine.len() });
+                }
+                if self.messages.contains_key(&msg) {
+                    return Err(SimError::DuplicateMessage { msg });
+                }
+                let t = self.state[chip].t;
+                let start = t.max(self.state[chip].tx_free).max(self.rx_free[to.0]);
+                let done = start + spec.link.transfer_cycles(bytes);
+                self.state[chip].tx_free = done;
+                self.rx_free[to.0] = done;
+                {
+                    let st = &mut self.state[chip];
+                    st.stats.c2c_bytes_sent += bytes;
+                    st.stats.c2c_exposed_cycles += done - t;
+                    st.t = done;
+                }
+                self.record(chip, t, done, TraceKind::Send { to: to.0, bytes });
+                self.messages.insert(msg, (ChipId(chip), done));
+                if let Some(waiter) = self.waiting.remove(&msg) {
+                    let wt = self.state[waiter].t;
+                    self.ready.push(Reverse((wt, waiter)));
+                }
+            }
+            Instr::Recv { from, msg } => {
+                match self.messages.get(&msg) {
+                    Some(&(sender, delivery)) => {
+                        if sender != from {
+                            return Err(SimError::SenderMismatch {
+                                msg,
+                                expected: from,
+                                actual: sender,
+                            });
+                        }
+                        let stall = {
+                            let st = &mut self.state[chip];
+                            if delivery > st.t {
+                                let start = st.t;
+                                st.stats.c2c_exposed_cycles += delivery - st.t;
+                                st.t = delivery;
+                                Some((start, delivery))
+                            } else {
+                                None
+                            }
+                        };
+                        if let Some((start, end)) = stall {
+                            self.record(chip, start, end, TraceKind::RecvWait { from: from.0 });
+                        }
+                    }
+                    None => {
+                        // Park; the matching send will wake us. pc is not
+                        // advanced, so the Recv re-executes on wake-up.
+                        self.waiting.insert(msg, chip);
+                        return Ok(());
+                    }
+                }
+            }
+            Instr::Sync(id) => {
+                self.sync_ids.push(id);
+                self.state[chip].stats.sync_marks += 1;
+            }
+        }
+        let st = &mut self.state[chip];
+        st.pc += 1;
+        if st.pc >= program.len() {
+            // Account for async DMA still in flight at program end.
+            let pending: Vec<(u64, MemPath)> = st.dma_tags.drain().map(|(_, v)| v).collect();
+            for (done, path) in pending {
+                if done > st.t {
+                    st.stats.add_dma(path, 0, done - st.t);
+                    st.t = done;
+                }
+            }
+            st.done = true;
+        } else {
+            self.ready.push(Reverse((st.t, chip)));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtp_kernels::Kernel;
+
+    fn machine(n: usize) -> Machine {
+        Machine::homogeneous(ChipSpec::siracusa(), n)
+    }
+
+    #[test]
+    fn empty_programs_finish_at_zero() {
+        let m = machine(2);
+        let stats = m.run(&[Program::new(), Program::new()]).unwrap();
+        assert_eq!(stats.makespan, 0);
+    }
+
+    #[test]
+    fn program_count_mismatch() {
+        let m = machine(2);
+        assert!(matches!(
+            m.run(&[Program::new()]),
+            Err(SimError::ProgramCountMismatch { chips: 2, programs: 1 })
+        ));
+    }
+
+    #[test]
+    fn compute_advances_time() {
+        let m = machine(1);
+        let p = Program::from_instrs([Instr::compute(Kernel::gemv(512, 512))]);
+        let stats = m.run(&[p]).unwrap();
+        assert!(stats.makespan > 0);
+        assert_eq!(stats.per_chip[0].compute_cycles, stats.makespan);
+    }
+
+    #[test]
+    fn send_recv_synchronizes() {
+        let m = machine(2);
+        let work = Instr::compute(Kernel::gemv(512, 512));
+        let p0 = Program::from_instrs([work, Instr::send(1, 7, 1024)]);
+        let p1 = Program::from_instrs([Instr::recv(0, 7)]);
+        let stats = m.run(&[p0, p1]).unwrap();
+        // Receiver cannot finish before sender's compute + transfer.
+        let link = ChipSpec::siracusa().link.transfer_cycles(1024);
+        assert_eq!(stats.per_chip[1].finish_cycles, stats.per_chip[0].compute_cycles + link);
+        assert_eq!(stats.per_chip[0].c2c_bytes_sent, 1024);
+    }
+
+    #[test]
+    fn recv_before_send_parks_and_wakes() {
+        // Receiver reaches Recv long before the sender sends.
+        let m = machine(2);
+        let p0 = Program::from_instrs([
+            Instr::compute(Kernel::gemm(64, 512, 512)),
+            Instr::send(1, 1, 64),
+        ]);
+        let p1 = Program::from_instrs([Instr::recv(0, 1), Instr::compute(Kernel::gemv(64, 64))]);
+        let stats = m.run(&[p0, p1]).unwrap();
+        assert!(stats.per_chip[1].finish_cycles > stats.per_chip[0].compute_cycles);
+    }
+
+    #[test]
+    fn rx_port_serializes_concurrent_senders() {
+        // Chips 1 and 2 both send to chip 0 at t=0; the RX port must
+        // serialize them.
+        let m = machine(3);
+        let bytes = 10_000;
+        let p0 = Program::from_instrs([Instr::recv(1, 1), Instr::recv(2, 2)]);
+        let p1 = Program::from_instrs([Instr::send(0, 1, bytes)]);
+        let p2 = Program::from_instrs([Instr::send(0, 2, bytes)]);
+        let stats = m.run(&[p0, p1, p2]).unwrap();
+        let one = ChipSpec::siracusa().link.transfer_cycles(bytes);
+        assert!(stats.per_chip[0].finish_cycles >= 2 * one);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let m = machine(2);
+        let p0 = Program::from_instrs([Instr::recv(1, 1)]);
+        let p1 = Program::from_instrs([Instr::recv(0, 2)]);
+        match m.run(&[p0, p1]) {
+            Err(SimError::Deadlock { blocked }) => assert_eq!(blocked.len(), 2),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_message_rejected() {
+        let m = machine(2);
+        let p0 = Program::from_instrs([Instr::send(1, 5, 8), Instr::send(1, 5, 8)]);
+        let p1 = Program::from_instrs([Instr::recv(0, 5)]);
+        assert!(matches!(m.run(&[p0, p1]), Err(SimError::DuplicateMessage { .. })));
+    }
+
+    #[test]
+    fn sender_mismatch_rejected() {
+        let m = machine(3);
+        let p0 = Program::from_instrs([Instr::send(2, 5, 8)]);
+        let p1 = Program::new();
+        let p2 = Program::from_instrs([Instr::recv(1, 5)]);
+        assert!(matches!(m.run(&[p0, p1, p2]), Err(SimError::SenderMismatch { .. })));
+    }
+
+    #[test]
+    fn invalid_chip_rejected() {
+        let m = machine(1);
+        let p0 = Program::from_instrs([Instr::send(9, 5, 8)]);
+        assert!(matches!(m.run(&[p0]), Err(SimError::InvalidChip { .. })));
+    }
+
+    #[test]
+    fn async_dma_overlaps_compute() {
+        let m = machine(1);
+        let spec = ChipSpec::siracusa();
+        let kernel = Kernel::gemm(64, 512, 512);
+        let kcycles = spec.cost_model.cycles(&kernel);
+        let bytes = 100_000u64;
+        let dcycles = spec.io_dma.transfer_cycles(bytes);
+        assert!(dcycles < kcycles, "test premise: dma hides behind compute");
+        let p = Program::from_instrs([
+            Instr::DmaAsync { path: MemPath::L3ToL2, bytes, tag: DmaTag(0) },
+            Instr::compute(kernel),
+            Instr::DmaWait(DmaTag(0)),
+        ]);
+        let stats = m.run(&[p]).unwrap();
+        assert_eq!(stats.makespan, kcycles, "prefetch fully hidden");
+        assert_eq!(stats.per_chip[0].dma_l3_l2_bytes, bytes);
+        assert_eq!(stats.per_chip[0].dma_l3_l2_exposed_cycles, 0);
+    }
+
+    #[test]
+    fn async_dma_stall_is_exposed() {
+        let m = machine(1);
+        let spec = ChipSpec::siracusa();
+        let bytes = 4_000_000u64;
+        let kernel = Kernel::Add { n: 64 };
+        let kcycles = spec.cost_model.cycles(&kernel);
+        let dcycles = spec.io_dma.transfer_cycles(bytes);
+        assert!(dcycles > kcycles);
+        let p = Program::from_instrs([
+            Instr::DmaAsync { path: MemPath::L3ToL2, bytes, tag: DmaTag(1) },
+            Instr::compute(kernel),
+            Instr::DmaWait(DmaTag(1)),
+        ]);
+        let stats = m.run(&[p]).unwrap();
+        assert_eq!(stats.makespan, dcycles);
+        assert_eq!(stats.per_chip[0].dma_l3_l2_exposed_cycles, dcycles - kcycles);
+    }
+
+    #[test]
+    fn unknown_dma_tag_rejected() {
+        let m = machine(1);
+        let p = Program::from_instrs([Instr::DmaWait(DmaTag(9))]);
+        assert!(matches!(m.run(&[p]), Err(SimError::UnknownDmaTag { .. })));
+    }
+
+    #[test]
+    fn blocking_dma_counts_bytes_and_time() {
+        let m = machine(1);
+        let spec = ChipSpec::siracusa();
+        let p = Program::from_instrs([Instr::Dma { path: MemPath::L2ToL1, bytes: 4096 }]);
+        let stats = m.run(&[p]).unwrap();
+        assert_eq!(stats.makespan, spec.cluster_dma.transfer_cycles(4096));
+        assert_eq!(stats.per_chip[0].dma_l2_l1_bytes, 4096);
+    }
+
+    #[test]
+    fn in_flight_dma_drains_at_program_end() {
+        let m = machine(1);
+        let spec = ChipSpec::siracusa();
+        let bytes = 123_456u64;
+        let p = Program::from_instrs([Instr::DmaAsync {
+            path: MemPath::L3ToL2,
+            bytes,
+            tag: DmaTag(0),
+        }]);
+        let stats = m.run(&[p]).unwrap();
+        assert_eq!(stats.makespan, spec.io_dma.transfer_cycles(bytes));
+    }
+
+    #[test]
+    fn sync_phases_counted_across_chips() {
+        let m = machine(2);
+        let p0 = Program::from_instrs([Instr::Sync(1), Instr::Sync(2)]);
+        let p1 = Program::from_instrs([Instr::Sync(1), Instr::Sync(2)]);
+        let stats = m.run(&[p0, p1]).unwrap();
+        assert_eq!(stats.sync_phases, 2);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_timing() {
+        let m = machine(2);
+        let p0 = Program::from_instrs([
+            Instr::compute(Kernel::gemv(256, 256)),
+            Instr::send(1, 0, 4096),
+        ]);
+        let p1 = Program::from_instrs([Instr::recv(0, 0), Instr::compute(Kernel::Add { n: 64 })]);
+        let programs = [p0, p1];
+        let plain = m.run(&programs).unwrap();
+        let (traced, trace) = m.run_traced(&programs).unwrap();
+        assert_eq!(plain, traced, "tracing must not change timing");
+        assert!(!trace.events().is_empty());
+        assert!(trace.find_overlap().is_none(), "per-chip events must not overlap");
+        // Every event ends no later than its chip's finish time.
+        for e in trace.events() {
+            assert!(e.end <= traced.per_chip[e.chip].finish_cycles);
+        }
+    }
+
+    #[test]
+    fn trace_records_stalls_and_sends() {
+        let m = machine(2);
+        let p0 = Program::from_instrs([
+            Instr::compute(Kernel::gemm(64, 256, 256)),
+            Instr::send(1, 0, 1 << 16),
+        ]);
+        let p1 = Program::from_instrs([Instr::recv(0, 0)]);
+        let (_, trace) = m.run_traced(&[p0, p1]).unwrap();
+        let kinds: Vec<_> = trace.events().iter().map(|e| &e.kind).collect();
+        assert!(kinds.iter().any(|k| matches!(k, crate::TraceKind::Send { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, crate::TraceKind::RecvWait { .. })));
+        assert!(trace.render().contains("send -> chip1"));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let m = machine(4);
+        let mk = |i: usize| {
+            Program::from_instrs([
+                Instr::compute(Kernel::gemv(128, 128 + i * 16)),
+                Instr::send((i + 1) % 4, i as u64, 2048),
+                Instr::recv((i + 3) % 4, ((i + 3) % 4) as u64),
+            ])
+        };
+        let programs: Vec<Program> = (0..4).map(mk).collect();
+        let a = m.run(&programs).unwrap();
+        let b = m.run(&programs).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.per_chip, b.per_chip);
+    }
+}

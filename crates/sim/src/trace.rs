@@ -1,0 +1,217 @@
+//! Run statistics: makespan, per-chip breakdowns, byte counters.
+
+use crate::MemPath;
+use serde::{Deserialize, Serialize};
+
+/// Per-chip counters accumulated by the executor.
+///
+/// *Exposed* cycles are time on the chip's critical path (blocking
+/// transfers, stalls at `DmaWait`/`Recv`); bytes are counted for every
+/// transfer regardless of overlap, because the energy model charges bytes,
+/// not time.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChipStats {
+    /// Cycles the cluster spent executing kernels.
+    pub compute_cycles: u64,
+    /// Exposed cycles of L3↔L2 transfers (off-chip DMA).
+    pub dma_l3_l2_exposed_cycles: u64,
+    /// Exposed cycles of L2↔L1 transfers (cluster DMA).
+    pub dma_l2_l1_exposed_cycles: u64,
+    /// Exposed cycles blocked on the chip-to-chip link.
+    pub c2c_exposed_cycles: u64,
+    /// Bytes moved between L3 and L2 (both directions).
+    pub dma_l3_l2_bytes: u64,
+    /// Bytes moved between L2 and L1 (both directions).
+    pub dma_l2_l1_bytes: u64,
+    /// Bytes this chip pushed onto the chip-to-chip link.
+    pub c2c_bytes_sent: u64,
+    /// Number of `Sync` markers this chip executed.
+    pub sync_marks: u64,
+    /// Local clock when the chip finished its program.
+    pub finish_cycles: u64,
+}
+
+impl ChipStats {
+    pub(crate) fn add_dma(&mut self, path: MemPath, bytes: u64, exposed: u64) {
+        if path.is_off_chip() {
+            self.dma_l3_l2_bytes += bytes;
+            self.dma_l3_l2_exposed_cycles += exposed;
+        } else {
+            self.dma_l2_l1_bytes += bytes;
+            self.dma_l2_l1_exposed_cycles += exposed;
+        }
+    }
+
+    /// Idle cycles: finish time minus all accounted exposed categories.
+    #[must_use]
+    pub fn idle_cycles(&self) -> u64 {
+        self.finish_cycles.saturating_sub(
+            self.compute_cycles
+                + self.dma_l3_l2_exposed_cycles
+                + self.dma_l2_l1_exposed_cycles
+                + self.c2c_exposed_cycles,
+        )
+    }
+}
+
+/// Runtime breakdown into the four categories of the paper's Fig. 4, plus
+/// idle time (cycles).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Cluster computation.
+    pub compute: u64,
+    /// DMA transfers between L3 and L2 (exposed).
+    pub dma_l3_l2: u64,
+    /// DMA transfers between L2 and L1 (exposed).
+    pub dma_l2_l1: u64,
+    /// Chip-to-chip link time (exposed).
+    pub c2c: u64,
+    /// Idle / load-imbalance time.
+    pub idle: u64,
+}
+
+impl Breakdown {
+    /// Sum of all categories.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.compute + self.dma_l3_l2 + self.dma_l2_l1 + self.c2c + self.idle
+    }
+
+    fn from_chip(stats: &ChipStats) -> Self {
+        Breakdown {
+            compute: stats.compute_cycles,
+            dma_l3_l2: stats.dma_l3_l2_exposed_cycles,
+            dma_l2_l1: stats.dma_l2_l1_exposed_cycles,
+            c2c: stats.c2c_exposed_cycles,
+            idle: stats.idle_cycles(),
+        }
+    }
+}
+
+impl std::fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "compute={} l3l2={} l2l1={} c2c={} idle={}",
+            self.compute, self.dma_l3_l2, self.dma_l2_l1, self.c2c, self.idle
+        )
+    }
+}
+
+/// Result of executing one set of programs on a [`crate::Machine`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// End-to-end runtime in cycles (max finish over chips).
+    pub makespan: u64,
+    /// Per-chip counters, indexed by chip id.
+    pub per_chip: Vec<ChipStats>,
+    /// Number of distinct collective synchronization phases observed.
+    pub sync_phases: usize,
+}
+
+impl RunStats {
+    pub(crate) fn new(per_chip: Vec<ChipStats>, sync_phases: usize) -> Self {
+        let makespan = per_chip.iter().map(|c| c.finish_cycles).max().unwrap_or(0);
+        RunStats { makespan, per_chip, sync_phases }
+    }
+
+    /// Index of the chip that finishes last (the critical chip).
+    #[must_use]
+    pub fn critical_chip(&self) -> usize {
+        self.per_chip
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| c.finish_cycles)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Runtime breakdown of the critical chip (what the paper's stacked
+    /// bars show).
+    #[must_use]
+    pub fn critical_breakdown(&self) -> Breakdown {
+        self.per_chip
+            .get(self.critical_chip())
+            .map(Breakdown::from_chip)
+            .unwrap_or_default()
+    }
+
+    /// Total bytes moved between L3 and L2 across all chips
+    /// (`N_{L3<->L2}` in the paper's energy formula).
+    #[must_use]
+    pub fn total_l3_l2_bytes(&self) -> u64 {
+        self.per_chip.iter().map(|c| c.dma_l3_l2_bytes).sum()
+    }
+
+    /// Total bytes moved between L2 and L1 across all chips.
+    #[must_use]
+    pub fn total_l2_l1_bytes(&self) -> u64 {
+        self.per_chip.iter().map(|c| c.dma_l2_l1_bytes).sum()
+    }
+
+    /// Total bytes sent over the chip-to-chip link (`N_{C2C}`).
+    #[must_use]
+    pub fn total_c2c_bytes(&self) -> u64 {
+        self.per_chip.iter().map(|c| c.c2c_bytes_sent).sum()
+    }
+
+    /// Sum of cluster-busy compute cycles over chips (for the `P * T_comp`
+    /// energy term).
+    #[must_use]
+    pub fn total_compute_cycles(&self) -> u64 {
+        self.per_chip.iter().map(|c| c.compute_cycles).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip(compute: u64, finish: u64) -> ChipStats {
+        ChipStats { compute_cycles: compute, finish_cycles: finish, ..ChipStats::default() }
+    }
+
+    #[test]
+    fn makespan_is_max_finish() {
+        let stats = RunStats::new(vec![chip(10, 50), chip(10, 80)], 0);
+        assert_eq!(stats.makespan, 80);
+        assert_eq!(stats.critical_chip(), 1);
+    }
+
+    #[test]
+    fn idle_is_residual() {
+        let c = chip(30, 100);
+        assert_eq!(c.idle_cycles(), 70);
+    }
+
+    #[test]
+    fn breakdown_total_matches_finish() {
+        let stats = RunStats::new(vec![chip(30, 100)], 0);
+        let b = stats.critical_breakdown();
+        assert_eq!(b.total(), 100);
+        assert_eq!(b.compute, 30);
+        assert_eq!(b.idle, 70);
+    }
+
+    #[test]
+    fn totals_sum_over_chips() {
+        let mut a = chip(5, 10);
+        a.dma_l3_l2_bytes = 100;
+        a.c2c_bytes_sent = 7;
+        let mut b = chip(6, 12);
+        b.dma_l3_l2_bytes = 50;
+        b.dma_l2_l1_bytes = 20;
+        let stats = RunStats::new(vec![a, b], 0);
+        assert_eq!(stats.total_l3_l2_bytes(), 150);
+        assert_eq!(stats.total_l2_l1_bytes(), 20);
+        assert_eq!(stats.total_c2c_bytes(), 7);
+        assert_eq!(stats.total_compute_cycles(), 11);
+    }
+
+    #[test]
+    fn empty_run_stats() {
+        let stats = RunStats::new(vec![], 0);
+        assert_eq!(stats.makespan, 0);
+        assert_eq!(stats.critical_breakdown(), Breakdown::default());
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for tensor operations.
+
+use crate::Shape;
+
+/// Convenient alias for `Result<T, TensorError>`.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by tensor construction and shape-checked operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes were required to agree (e.g. element-wise ops) but differ.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Shape,
+        /// Shape of the right operand.
+        right: Shape,
+    },
+    /// Inner dimensions of a matrix product do not agree.
+    MatmulMismatch {
+        /// Shape of the left operand.
+        left: Shape,
+        /// Shape of the right operand.
+        right: Shape,
+    },
+    /// The data length does not match the number of elements the shape implies.
+    LengthMismatch {
+        /// Expected element count (product of dims).
+        expected: usize,
+        /// Provided element count.
+        actual: usize,
+    },
+    /// A split was requested that does not evenly divide the axis.
+    UnevenSplit {
+        /// Axis length being split.
+        axis_len: usize,
+        /// Number of requested parts.
+        parts: usize,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Requested axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left} vs {right}")
+            }
+            TensorError::MatmulMismatch { left, right } => {
+                write!(f, "matmul inner-dimension mismatch: {left} x {right}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape ({expected} elements)")
+            }
+            TensorError::UnevenSplit { axis_len, parts } => {
+                write!(f, "axis of length {axis_len} cannot be split into {parts} equal parts")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = TensorError::UnevenSplit { axis_len: 7, parts: 2 };
+        let s = e.to_string();
+        assert!(s.starts_with("axis of length 7"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

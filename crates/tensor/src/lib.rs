@@ -1,0 +1,71 @@
+//! Minimal tensor substrate for MCU transformer-inference simulation.
+//!
+//! This crate provides the small, dependency-light tensor types used by the
+//! rest of the workspace: dense row-major [`Tensor`]s of `f32`, quantized
+//! [`QTensor`]s of `i8` with per-tensor scale, and [`Shape`] bookkeeping.
+//!
+//! The goal is *not* to compete with ndarray: transformer inference on a
+//! micro-controller uses a handful of dense 2-D operations, and keeping the
+//! type surface small makes the partitioning logic in `mtp-core` easy to
+//! audit. Everything is row-major `Vec`-backed and deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use mtp_tensor::{Tensor, Shape};
+//!
+//! let a = Tensor::from_fn(Shape::mat(2, 3), |idx| (idx.0 * 3 + idx.1) as f32);
+//! let b = Tensor::eye(3);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod quant;
+mod shape;
+mod tensor;
+
+pub use error::{Result, TensorError};
+pub use quant::{dequantize, quantize_symmetric, QTensor, Quantization};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Numeric precision used to store a tensor when it is placed in MCU memory.
+///
+/// The simulator only needs the *byte width*; the functional executor always
+/// computes in `f32` (with an `i32` accumulator path for the int8 pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Dtype {
+    /// 8-bit signed integer (the deployment dtype used in the paper).
+    Int8,
+    /// 32-bit IEEE float (reference/golden dtype).
+    Float32,
+}
+
+impl Dtype {
+    /// Size in bytes of one element of this dtype.
+    ///
+    /// ```
+    /// assert_eq!(mtp_tensor::Dtype::Int8.size_bytes(), 1);
+    /// assert_eq!(mtp_tensor::Dtype::Float32.size_bytes(), 4);
+    /// ```
+    #[must_use]
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            Dtype::Int8 => 1,
+            Dtype::Float32 => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Dtype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Dtype::Int8 => write!(f, "int8"),
+            Dtype::Float32 => write!(f, "f32"),
+        }
+    }
+}

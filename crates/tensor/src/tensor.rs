@@ -1,0 +1,502 @@
+//! Dense row-major `f32` tensor and the operations the workspace needs.
+
+use crate::{Result, Shape, TensorError};
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// This is the golden-model numeric type: all functional (value-producing)
+/// execution in the workspace happens on `Tensor`s, whether the simulated
+/// deployment dtype is int8 or f32.
+///
+/// ```
+/// use mtp_tensor::{Shape, Tensor};
+/// let x = Tensor::from_vec(Shape::mat(2, 2), vec![1.0, 2.0, 3.0, 4.0])?;
+/// let y = x.matmul(&Tensor::eye(2));
+/// assert_eq!(x, y);
+/// # Ok::<(), mtp_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    #[must_use]
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor { data: vec![0.0; shape.len()], shape }
+    }
+
+    /// The `n x n` identity matrix.
+    #[must_use]
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(Shape::mat(n, n));
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Builds a matrix by evaluating `f` at each `(row, col)` index.
+    #[must_use]
+    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut((usize, usize)) -> f32) -> Self {
+        let shape = shape.into();
+        let (rows, cols) = (shape.rows(), shape.cols().max(1));
+        let mut data = Vec::with_capacity(shape.len());
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f((r, c)));
+            }
+        }
+        // Rank-3 shapes are filled as (d0, d1*d2) matrices.
+        if shape.rank() == 3 {
+            let extra = shape.len() / (rows * cols);
+            let base = data.clone();
+            for _ in 1..extra {
+                data.extend_from_slice(&base);
+            }
+            data.truncate(shape.len());
+        }
+        Tensor { shape, data }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` differs from
+    /// the element count implied by `shape`.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self> {
+        let shape = shape.into();
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.len(), actual: data.len() });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub const fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the backing buffer (row-major).
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer (row-major).
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the backing buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at `(row, col)` of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[must_use]
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        debug_assert!(row < self.shape.rows() && col < self.shape.cols());
+        self.data[row * self.shape.cols() + col]
+    }
+
+    /// Sets the element at `(row, col)` of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        let cols = self.shape.cols();
+        self.data[row * cols + col] = value;
+    }
+
+    /// Borrow row `r` of a matrix as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let cols = self.shape.cols();
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Matrix product `self @ rhs` with shape checking.
+    ///
+    /// # Panics
+    ///
+    /// Panics when inner dimensions disagree; use [`Tensor::try_matmul`] for
+    /// a fallible variant.
+    #[must_use]
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        self.try_matmul(rhs).expect("matmul shape mismatch")
+    }
+
+    /// Matrix product `self @ rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulMismatch`] when `self.cols() != rhs.rows()`.
+    pub fn try_matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (m, k) = (self.shape.rows(), self.shape.cols());
+        let (k2, n) = (rhs.shape.rows(), rhs.shape.cols());
+        if k != k2 {
+            return Err(TensorError::MatmulMismatch { left: self.shape, right: rhs.shape });
+        }
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[p * n..(p + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(Tensor { shape: Shape::mat(m, n), data: out })
+    }
+
+    /// Matrix product with the transpose of `rhs`: `self @ rhs^T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulMismatch`] when `self.cols() != rhs.cols()`.
+    pub fn try_matmul_t(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (m, k) = (self.shape.rows(), self.shape.cols());
+        let (n, k2) = (rhs.shape.rows(), rhs.shape.cols());
+        if k != k2 {
+            return Err(TensorError::MatmulMismatch { left: self.shape, right: rhs.shape });
+        }
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &rhs.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Ok(Tensor { shape: Shape::mat(m, n), data: out })
+    }
+
+    /// Transposed copy of a matrix.
+    #[must_use]
+    pub fn transposed(&self) -> Tensor {
+        let (m, n) = (self.shape.rows(), self.shape.cols());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor { shape: Shape::mat(n, m), data: out }
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn try_add(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.shape != rhs.shape {
+            return Err(TensorError::ShapeMismatch { left: self.shape, right: rhs.shape });
+        }
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Ok(Tensor { shape: self.shape, data })
+    }
+
+    /// In-place element-wise accumulation `self += rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn accumulate(&mut self, rhs: &Tensor) -> Result<()> {
+        if self.shape != rhs.shape {
+            return Err(TensorError::ShapeMismatch { left: self.shape, right: rhs.shape });
+        }
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Scales every element by `factor`, returning a new tensor.
+    #[must_use]
+    pub fn scaled(&self, factor: f32) -> Tensor {
+        Tensor { shape: self.shape, data: self.data.iter().map(|v| v * factor).collect() }
+    }
+
+    /// Splits a matrix into `parts` equal column blocks.
+    ///
+    /// This is the core slicing primitive of the partitioning scheme: weight
+    /// matrices are scattered across chips as contiguous column (or, via
+    /// [`Tensor::split_rows`], row) slices with **no duplication**.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::UnevenSplit`] when `parts` does not divide the
+    /// column count.
+    pub fn split_cols(&self, parts: usize) -> Result<Vec<Tensor>> {
+        let (m, n) = (self.shape.rows(), self.shape.cols());
+        if parts == 0 || n % parts != 0 {
+            return Err(TensorError::UnevenSplit { axis_len: n, parts });
+        }
+        let w = n / parts;
+        let mut out = Vec::with_capacity(parts);
+        for p in 0..parts {
+            let mut data = Vec::with_capacity(m * w);
+            for r in 0..m {
+                let start = r * n + p * w;
+                data.extend_from_slice(&self.data[start..start + w]);
+            }
+            out.push(Tensor { shape: Shape::mat(m, w), data });
+        }
+        Ok(out)
+    }
+
+    /// Splits a matrix into `parts` equal row blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::UnevenSplit`] when `parts` does not divide the
+    /// row count.
+    pub fn split_rows(&self, parts: usize) -> Result<Vec<Tensor>> {
+        let (m, n) = (self.shape.rows(), self.shape.cols());
+        if parts == 0 || m % parts != 0 {
+            return Err(TensorError::UnevenSplit { axis_len: m, parts });
+        }
+        let h = m / parts;
+        let out = (0..parts)
+            .map(|p| Tensor {
+                shape: Shape::mat(h, n),
+                data: self.data[p * h * n..(p + 1) * h * n].to_vec(),
+            })
+            .collect();
+        Ok(out)
+    }
+
+    /// Concatenates matrices along the column axis (inverse of `split_cols`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when row counts differ, and
+    /// [`TensorError::LengthMismatch`] when `parts` is empty.
+    pub fn concat_cols(parts: &[Tensor]) -> Result<Tensor> {
+        let first = parts.first().ok_or(TensorError::LengthMismatch { expected: 1, actual: 0 })?;
+        let m = first.shape.rows();
+        let total: usize = {
+            for p in parts {
+                if p.shape.rows() != m {
+                    return Err(TensorError::ShapeMismatch { left: first.shape, right: p.shape });
+                }
+            }
+            parts.iter().map(|p| p.shape.cols()).sum()
+        };
+        let mut data = Vec::with_capacity(m * total);
+        for r in 0..m {
+            for p in parts {
+                data.extend_from_slice(p.row(r));
+            }
+        }
+        Ok(Tensor { shape: Shape::mat(m, total), data })
+    }
+
+    /// Maximum absolute element (0 for an empty tensor).
+    #[must_use]
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn max_abs_diff(&self, rhs: &Tensor) -> Result<f32> {
+        if self.shape != rhs.shape {
+            return Err(TensorError::ShapeMismatch { left: self.shape, right: rhs.shape });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .fold(0.0f32, |m, (a, b)| m.max((a - b).abs())))
+    }
+
+    /// Returns `true` when every element differs from `rhs` by at most `tol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn approx_eq(&self, rhs: &Tensor, tol: f32) -> Result<bool> {
+        Ok(self.max_abs_diff(rhs)? <= tol)
+    }
+
+    /// Byte size of this tensor when stored at the given dtype.
+    #[must_use]
+    pub fn size_bytes(&self, dtype: crate::Dtype) -> usize {
+        self.len() * dtype.size_bytes()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Tensor {
+    type Output = f32;
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.shape.cols() + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, vals: &[f32]) -> Tensor {
+        Tensor::from_vec(Shape::mat(rows, cols), vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.matmul(&Tensor::eye(3)), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = t(2, 2, &[1., 2., 3., 4.]);
+        let b = t(2, 2, &[5., 6., 7., 8.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = t(4, 3, &[1., 0., 1., 0., 1., 0., 2., 2., 2., 1., 1., 1.]);
+        let via_t = a.try_matmul_t(&b).unwrap();
+        let explicit = a.matmul(&b.transposed());
+        assert_eq!(via_t, explicit);
+    }
+
+    #[test]
+    fn matmul_mismatch_errors() {
+        let a = t(2, 3, &[0.; 6]);
+        let b = t(2, 2, &[0.; 4]);
+        assert!(matches!(a.try_matmul(&b), Err(TensorError::MatmulMismatch { .. })));
+    }
+
+    #[test]
+    fn split_cols_roundtrip() {
+        let a = t(2, 4, &[1., 2., 3., 4., 5., 6., 7., 8.]);
+        let parts = a.split_cols(2).unwrap();
+        assert_eq!(parts[0].as_slice(), &[1., 2., 5., 6.]);
+        assert_eq!(parts[1].as_slice(), &[3., 4., 7., 8.]);
+        assert_eq!(Tensor::concat_cols(&parts).unwrap(), a);
+    }
+
+    #[test]
+    fn split_rows_roundtrip() {
+        let a = t(4, 2, &[1., 2., 3., 4., 5., 6., 7., 8.]);
+        let parts = a.split_rows(2).unwrap();
+        assert_eq!(parts[0].as_slice(), &[1., 2., 3., 4.]);
+        assert_eq!(parts[1].as_slice(), &[5., 6., 7., 8.]);
+    }
+
+    #[test]
+    fn uneven_split_errors() {
+        let a = t(2, 3, &[0.; 6]);
+        assert!(matches!(a.split_cols(2), Err(TensorError::UnevenSplit { .. })));
+        assert!(matches!(a.split_rows(0), Err(TensorError::UnevenSplit { .. })));
+    }
+
+    #[test]
+    fn accumulate_and_add() {
+        let mut a = t(1, 3, &[1., 2., 3.]);
+        let b = t(1, 3, &[10., 20., 30.]);
+        a.accumulate(&b).unwrap();
+        assert_eq!(a.as_slice(), &[11., 22., 33.]);
+        let c = a.try_add(&b).unwrap();
+        assert_eq!(c.as_slice(), &[21., 42., 63.]);
+    }
+
+    #[test]
+    fn partial_sums_equal_full_matmul() {
+        // The algebraic identity the whole partitioning scheme rests on:
+        // X @ W == sum_p X[:, p-th col block] @ W[p-th row block].
+        let x = Tensor::from_fn(Shape::mat(3, 8), |(r, c)| (r * 8 + c) as f32 * 0.1 - 1.0);
+        let w = Tensor::from_fn(Shape::mat(8, 5), |(r, c)| ((r * 5 + c) % 7) as f32 * 0.25 - 0.5);
+        let full = x.matmul(&w);
+        let xs = x.split_cols(4).unwrap();
+        let ws = w.split_rows(4).unwrap();
+        let mut acc = Tensor::zeros(Shape::mat(3, 5));
+        for (xp, wp) in xs.iter().zip(&ws) {
+            acc.accumulate(&xp.matmul(wp)).unwrap();
+        }
+        assert!(full.approx_eq(&acc, 1e-4).unwrap());
+    }
+
+    #[test]
+    fn indexing_and_rows() {
+        let a = t(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a[(1, 2)], 6.0);
+        assert_eq!(a.at(0, 1), 2.0);
+        assert_eq!(a.row(1), &[4., 5., 6.]);
+    }
+
+    #[test]
+    fn size_bytes() {
+        let a = Tensor::zeros(Shape::mat(4, 4));
+        assert_eq!(a.size_bytes(crate::Dtype::Int8), 16);
+        assert_eq!(a.size_bytes(crate::Dtype::Float32), 64);
+    }
+
+    #[test]
+    fn from_vec_length_mismatch() {
+        assert!(matches!(
+            Tensor::from_vec(Shape::mat(2, 2), vec![0.0; 3]),
+            Err(TensorError::LengthMismatch { expected: 4, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn scaled() {
+        let a = t(1, 3, &[1., -2., 4.]);
+        assert_eq!(a.scaled(0.5).as_slice(), &[0.5, -1., 2.]);
+    }
+
+    #[test]
+    fn max_abs_diff() {
+        let a = t(1, 3, &[1., 2., 3.]);
+        let b = t(1, 3, &[1., 2.5, 3.]);
+        assert!((a.max_abs_diff(&b).unwrap() - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! Run with: `cargo run --release --example paper_figures`
+
+use mtp::harness::{fig4, fig5, fig6, headline, table1};
+use mtp::model::InferenceMode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", fig4::render("Fig 4(a): TinyLlama autoregressive (S=128)", &fig4::fig4a()?));
+    println!("{}", fig4::render("Fig 4(b): TinyLlama prompt (S=16)", &fig4::fig4b()?));
+    println!("{}", fig4::render("Fig 4(c): MobileBERT (S=268)", &fig4::fig4c()?));
+    for panel in fig5::run()? {
+        println!("{}", fig5::render(&panel));
+    }
+    println!("{}", fig6::render(&fig6::run()?));
+    println!("{}", table1::render(&table1::run(4, InferenceMode::Autoregressive)?));
+    println!("{}", headline::render(&headline::run()?));
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Scalability study (paper Sec. V-C / Fig. 6): the 64-head TinyLlama
+//! variant on 2–64 chips, plus the design-choice ablations.
+//!
+//! Run with: `cargo run --release --example scalability_study`
+
+use mtp::harness::{ablation, fig6};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fig = fig6::run()?;
+    println!("{}", fig6::render(&fig));
+    println!("{}", ablation::render_all()?);
+    Ok(())
+}

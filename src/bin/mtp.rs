@@ -1,0 +1,197 @@
+//! `mtp` — command-line front end for the distributed-inference simulator.
+//!
+//! ```text
+//! mtp simulate --model tinyllama --chips 8 --mode ar [--blocks N] [--trace]
+//! mtp figures      # regenerate every paper figure/table
+//! mtp headline     # paper-vs-measured headline numbers
+//! mtp ablation     # design-choice ablations
+//! mtp table1       # strategy comparison (ours vs baselines)
+//! ```
+
+use mtp::core::{schedule::Scheduler, DistributedSystem};
+use mtp::harness::{ablation, advisor, fig4, fig5, fig6, headline, table1};
+use mtp::model::{InferenceMode, TransformerConfig};
+use mtp::sim::{ChipSpec, Machine};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mtp — distributed Transformer inference on low-power MCU networks
+
+USAGE:
+    mtp simulate [--model NAME] [--chips N] [--mode ar|prompt] [--blocks N]
+                 [--trace] [--chrome-trace FILE]
+    mtp advise   [--model NAME] [--mode ar|prompt] [--latency-ms X] [--energy-mj X]
+                 [--max-chips N]
+    mtp figures
+    mtp headline
+    mtp ablation
+    mtp table1 [--chips N]
+
+MODELS:
+    tinyllama       TinyLlama-42M (default; S=128 ar / S=16 prompt)
+    tinyllama-64h   the scalability-study variant (64 heads)
+    tinyllama-gqaK  grouped-query variant with K kv heads (K in 1,2,4,8)
+    mobilebert      MobileBERT encoder (S=268, prompt mode only)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("simulate") => simulate(&args[1..]),
+        Some("advise") => advise(&args[1..]),
+        Some("figures") => figures(),
+        Some("headline") => headline_cmd(),
+        Some("ablation") => ablation_cmd(),
+        Some("table1") => table1_cmd(&args[1..]),
+        Some("--help" | "-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_model(name: &str, mode: InferenceMode) -> Result<TransformerConfig, String> {
+    match name {
+        "tinyllama" => Ok(match mode {
+            InferenceMode::Autoregressive => TransformerConfig::tiny_llama_42m(),
+            InferenceMode::Prompt => TransformerConfig::tiny_llama_42m().with_seq_len(16),
+        }),
+        "tinyllama-64h" => Ok(match mode {
+            InferenceMode::Autoregressive => TransformerConfig::tiny_llama_scaled_64h(),
+            InferenceMode::Prompt => TransformerConfig::tiny_llama_scaled_64h().with_seq_len(16),
+        }),
+        "mobilebert" => Ok(TransformerConfig::mobile_bert()),
+        other => {
+            if let Some(k) = other.strip_prefix("tinyllama-gqa") {
+                let kv: usize = k
+                    .parse()
+                    .map_err(|_| format!("bad kv-head count in `{other}`"))?;
+                if kv == 0 || 8 % kv != 0 {
+                    return Err(format!("kv heads must divide 8, got {kv}"));
+                }
+                let cfg = TransformerConfig::tiny_llama_gqa(kv);
+                return Ok(match mode {
+                    InferenceMode::Autoregressive => cfg,
+                    InferenceMode::Prompt => cfg.with_seq_len(16),
+                });
+            }
+            Err(format!(
+                "unknown model `{other}` (tinyllama|tinyllama-64h|tinyllama-gqaK|mobilebert)"
+            ))
+        }
+    }
+}
+
+fn simulate(args: &[String]) -> CliResult {
+    let mode = match flag_value(args, "--mode").unwrap_or("ar") {
+        "ar" | "autoregressive" => InferenceMode::Autoregressive,
+        "prompt" => InferenceMode::Prompt,
+        other => return Err(format!("unknown mode `{other}` (ar|prompt)").into()),
+    };
+    let model = flag_value(args, "--model").unwrap_or("tinyllama");
+    let cfg = parse_model(model, mode)?;
+    let chips: usize = flag_value(args, "--chips").unwrap_or("8").parse()?;
+    let blocks: usize = flag_value(args, "--blocks").unwrap_or("1").parse()?;
+
+    let sys = DistributedSystem::paper_default(cfg.clone(), chips)?;
+    let report = sys.simulate_blocks(mode, blocks)?;
+    println!("{report}");
+    let b = report.breakdown();
+    println!(
+        "breakdown (critical chip): compute {} | L3<->L2 {} | L2<->L1 {} | C2C {} | idle {}",
+        b.compute, b.dma_l3_l2, b.dma_l2_l1, b.c2c, b.idle
+    );
+    if chips > 1 {
+        let single = DistributedSystem::paper_default(cfg.clone(), 1)?.simulate_blocks(mode, blocks)?;
+        println!(
+            "vs single chip: speedup {:.1}x, EDP improvement {:.1}x",
+            report.speedup_over(&single),
+            report.edp_improvement_over(&single)
+        );
+    }
+    let want_text_trace = has_flag(args, "--trace");
+    let chrome_path = flag_value(args, "--chrome-trace");
+    if want_text_trace || chrome_path.is_some() {
+        let chip = ChipSpec::siracusa();
+        let mut scheduler = Scheduler::new(&cfg, chips, &chip)?;
+        let programs = scheduler.model_programs(mode, 1)?;
+        let machine = Machine::homogeneous(chip, chips);
+        let (_, trace) = machine.run_traced(&programs)?;
+        if want_text_trace {
+            println!("\nexecution trace (1 block):\n{}", trace.render());
+        }
+        if let Some(path) = chrome_path {
+            std::fs::write(path, trace.to_chrome_json())?;
+            println!("chrome trace written to {path} (open in chrome://tracing or Perfetto)");
+        }
+    }
+    Ok(())
+}
+
+fn advise(args: &[String]) -> CliResult {
+    let mode = match flag_value(args, "--mode").unwrap_or("ar") {
+        "ar" | "autoregressive" => InferenceMode::Autoregressive,
+        "prompt" => InferenceMode::Prompt,
+        other => return Err(format!("unknown mode `{other}` (ar|prompt)").into()),
+    };
+    let model = flag_value(args, "--model").unwrap_or("tinyllama");
+    let cfg = parse_model(model, mode)?;
+    let constraints = advisor::Constraints {
+        max_latency_ms: flag_value(args, "--latency-ms").map(str::parse).transpose()?,
+        max_energy_mj: flag_value(args, "--energy-mj").map(str::parse).transpose()?,
+    };
+    let max_chips: usize = flag_value(args, "--max-chips").unwrap_or("64").parse()?;
+    let advice = advisor::advise(&cfg, mode, constraints, max_chips)?;
+    print!("{}", advisor::render(&advice, &constraints));
+    Ok(())
+}
+
+fn figures() -> CliResult {
+    println!("{}", fig4::render("Fig 4(a): TinyLlama autoregressive (S=128)", &fig4::fig4a()?));
+    println!("{}", fig4::render("Fig 4(b): TinyLlama prompt (S=16)", &fig4::fig4b()?));
+    println!("{}", fig4::render("Fig 4(c): MobileBERT (S=268)", &fig4::fig4c()?));
+    for panel in fig5::run()? {
+        println!("{}", fig5::render(&panel));
+    }
+    println!("{}", fig6::render(&fig6::run()?));
+    println!("{}", table1::render(&table1::run(4, InferenceMode::Autoregressive)?));
+    println!("{}", headline::render(&headline::run()?));
+    Ok(())
+}
+
+fn headline_cmd() -> CliResult {
+    println!("{}", headline::render(&headline::run()?));
+    Ok(())
+}
+
+fn ablation_cmd() -> CliResult {
+    println!("{}", ablation::render_all()?);
+    Ok(())
+}
+
+fn table1_cmd(args: &[String]) -> CliResult {
+    let chips: usize = flag_value(args, "--chips").unwrap_or("4").parse()?;
+    println!("{}", table1::render(&table1::run(chips, InferenceMode::Autoregressive)?));
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! # mtp — Minimal-Traffic Partitioning for Transformers on MCU networks
+//!
+//! A Rust implementation of *"Distributed Inference with Minimal Off-Chip
+//! Traffic for Transformers on Low-Power MCUs"* (DATE 2025): a
+//! tensor-parallel partitioning scheme that scatters a Transformer block's
+//! weights across a network of Siracusa-class MCUs with **zero weight
+//! replication** and only **two chip synchronizations per block**, so that
+//! — given enough chips — inference runs entirely from on-chip memory and
+//! achieves super-linear speedups over a single chip.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! - [`tensor`] — dense `f32`/int8 tensor substrate;
+//! - [`kernels`] — functional kernels + cluster cycle-cost models;
+//! - [`sim`] — event-driven multi-chip MCU simulator;
+//! - [`link`] — MIPI link model, group-of-4 topology, collectives;
+//! - [`model`] — Transformer configs, weights, golden reference;
+//! - [`core`] — the partitioning scheme, schedules, system reports;
+//! - [`energy`] — the paper's analytical energy model;
+//! - [`harness`] — experiment drivers regenerating every figure/table.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mtp::core::DistributedSystem;
+//! use mtp::model::{InferenceMode, TransformerConfig};
+//!
+//! // TinyLlama-42M partitioned over 8 Siracusa chips.
+//! let cfg = TransformerConfig::tiny_llama_42m();
+//! let system = DistributedSystem::paper_default(cfg.clone(), 8)?;
+//! let report = system.simulate_block(InferenceMode::Autoregressive)?;
+//!
+//! // One Transformer block runs from on-chip memory: super-linear vs 1 chip.
+//! let single = DistributedSystem::paper_default(cfg, 1)?
+//!     .simulate_block(InferenceMode::Autoregressive)?;
+//! assert!(report.speedup_over(&single) > 8.0);
+//! # Ok::<(), mtp::core::CoreError>(())
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mtp_core as core;
+pub use mtp_energy as energy;
+pub use mtp_harness as harness;
+pub use mtp_kernels as kernels;
+pub use mtp_link as link;
+pub use mtp_model as model;
+pub use mtp_sim as sim;
+pub use mtp_tensor as tensor;

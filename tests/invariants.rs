@@ -1,0 +1,190 @@
+//! Integration tests of the paper's structural invariants, checked
+//! end-to-end through the public API (see DESIGN.md §5).
+
+use mtp::core::{slice_block, DistributedSystem, PartitionSpec, WeightResidency};
+use mtp::model::{BlockWeights, InferenceMode, TransformerConfig};
+use proptest::prelude::*;
+
+#[test]
+fn zero_weight_duplication_at_full_size() {
+    let cfg = TransformerConfig::tiny_llama_42m();
+    let weights = BlockWeights::seeded(&cfg, 0);
+    for n in [1usize, 2, 4, 8] {
+        let spec = PartitionSpec::new(&cfg, n).unwrap();
+        let slices = slice_block(&weights, &spec).unwrap();
+        let total: usize = slices.iter().map(|s| s.matrix_elems()).sum();
+        assert_eq!(total, weights.param_count(), "n={n}: element budget must be exact");
+    }
+}
+
+#[test]
+fn exactly_two_synchronizations_per_block() {
+    for (cfg, mode, counts) in [
+        (TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive, vec![1, 2, 4, 8]),
+        (
+            TransformerConfig::tiny_llama_42m().with_seq_len(16),
+            InferenceMode::Prompt,
+            vec![2, 8],
+        ),
+        (TransformerConfig::mobile_bert(), InferenceMode::Prompt, vec![1, 2, 4]),
+        (TransformerConfig::tiny_llama_scaled_64h(), InferenceMode::Autoregressive, vec![16, 64]),
+    ] {
+        for n in counts {
+            let r = DistributedSystem::paper_default(cfg.clone(), n)
+                .unwrap()
+                .simulate_block(mode)
+                .unwrap();
+            assert_eq!(r.stats.sync_phases, 2, "{} n={n}", cfg.name);
+        }
+    }
+}
+
+#[test]
+fn gqa_preserves_zero_duplication_and_shrinks_memory() {
+    // Grouped-query attention (extension): fewer K/V heads shrink both the
+    // weight slice and the KV-cache, with the exact-partition property
+    // intact.
+    let mha = TransformerConfig::tiny_llama_42m();
+    let gqa = TransformerConfig::tiny_llama_gqa(2);
+    let weights = BlockWeights::seeded(&gqa, 0);
+    let spec = PartitionSpec::new(&gqa, 2).unwrap();
+    let slices = slice_block(&weights, &spec).unwrap();
+    let total: usize = slices.iter().map(|s| s.matrix_elems()).sum();
+    assert_eq!(total, weights.param_count(), "GQA slicing must stay duplication-free");
+    // 8 -> 2 kv heads: K/V weights and cache shrink 4x.
+    assert!(gqa.block_weight_bytes() < mha.block_weight_bytes());
+    assert_eq!(gqa.kv_cache_bytes_per_block(128) * 4, mha.kv_cache_bytes_per_block(128));
+    let spec_mha = PartitionSpec::new(&mha, 2).unwrap();
+    assert!(spec.slice_bytes_per_block() < spec_mha.slice_bytes_per_block());
+}
+
+#[test]
+fn per_chip_l3_traffic_never_increases_with_chip_count() {
+    let cfg = TransformerConfig::tiny_llama_42m();
+    let mut prev = u64::MAX;
+    for n in [1usize, 2, 4, 8] {
+        let r = DistributedSystem::paper_default(cfg.clone(), n)
+            .unwrap()
+            .simulate_block(InferenceMode::Autoregressive)
+            .unwrap();
+        let per_chip = r.stats.total_l3_l2_bytes() / n as u64;
+        assert!(per_chip <= prev, "n={n}: per-chip L3 grew");
+        prev = per_chip;
+    }
+}
+
+#[test]
+fn resident_regime_has_zero_steady_state_l3_traffic() {
+    let cfg = TransformerConfig::tiny_llama_scaled_64h();
+    let r = DistributedSystem::paper_default(cfg, 64)
+        .unwrap()
+        .simulate_block(InferenceMode::Autoregressive)
+        .unwrap();
+    assert_eq!(r.residency, WeightResidency::Resident);
+    assert_eq!(r.stats.total_l3_l2_bytes(), 0);
+    assert_eq!(r.energy.l3_mj, 0.0);
+}
+
+#[test]
+fn total_weight_traffic_is_conserved_in_non_resident_regimes() {
+    // In the streamed and double-buffered regimes, the sum of per-chip L3
+    // weight traffic must equal exactly one block of weights — slicing
+    // shards traffic, never multiplies it.
+    let cfg = TransformerConfig::tiny_llama_42m();
+    for n in [1usize, 2, 4, 8] {
+        let r = DistributedSystem::paper_default(cfg.clone(), n)
+            .unwrap()
+            .simulate_block(InferenceMode::Autoregressive)
+            .unwrap();
+        assert_eq!(
+            r.stats.total_l3_l2_bytes(),
+            cfg.block_weight_bytes(),
+            "n={n}: L3 bytes must be exactly one block of weights"
+        );
+    }
+}
+
+#[test]
+fn energy_formula_reconciles_with_counters() {
+    let cfg = TransformerConfig::tiny_llama_42m();
+    let sys = DistributedSystem::paper_default(cfg, 8).unwrap();
+    let r = sys.simulate_block(InferenceMode::Autoregressive).unwrap();
+    let p = sys.energy_params();
+    let expect_l3 = r.stats.total_l3_l2_bytes() as f64 * p.l3_pj_per_byte * 1e-9;
+    let expect_l2 = r.stats.total_l2_l1_bytes() as f64 * p.l2_pj_per_byte * 1e-9;
+    let expect_c2c = r.stats.total_c2c_bytes() as f64 * p.c2c_pj_per_byte * 1e-9;
+    assert!((r.energy.l3_mj - expect_l3).abs() < 1e-12);
+    assert!((r.energy.l2_mj - expect_l2).abs() < 1e-12);
+    assert!((r.energy.c2c_mj - expect_c2c).abs() < 1e-12);
+    let compute = r.stats.total_compute_cycles() as f64 / p.freq_hz
+        * p.core_power_w
+        * p.cores as f64
+        * 1e3;
+    assert!((r.energy.compute_mj - compute).abs() < 1e-9);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let cfg = TransformerConfig::tiny_llama_scaled_64h();
+    let sys = DistributedSystem::paper_default(cfg, 16).unwrap();
+    let a = sys.simulate_block(InferenceMode::Autoregressive).unwrap();
+    let b = sys.simulate_block(InferenceMode::Autoregressive).unwrap();
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn breakdown_sums_to_makespan_on_critical_chip() {
+    for n in [1usize, 4, 8] {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let r = DistributedSystem::paper_default(cfg, n)
+            .unwrap()
+            .simulate_block(InferenceMode::Autoregressive)
+            .unwrap();
+        assert_eq!(r.breakdown().total(), r.stats.makespan, "n={n}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Zero duplication holds for arbitrary valid (dims, chips).
+    #[test]
+    fn prop_partition_is_exact(
+        heads_pow in 0usize..=4,
+        chips_pow in 0usize..=4,
+        head_dim in prop::sample::select(vec![2usize, 4, 8]),
+        f_mult in 1usize..=4,
+        seed in 0u64..100,
+    ) {
+        let heads = 1 << heads_pow;
+        let chips = 1 << chips_pow;
+        prop_assume!(chips <= heads);
+        let mut cfg = TransformerConfig::tiny_llama_42m();
+        cfg.embed_dim = heads * head_dim;
+        cfg.n_heads = heads;
+        cfg.n_kv_heads = heads;
+        cfg.ffn_dim = cfg.embed_dim * f_mult;
+        prop_assume!(cfg.ffn_dim.is_multiple_of(chips));
+        let weights = BlockWeights::seeded(&cfg, seed);
+        let spec = PartitionSpec::new(&cfg, chips).unwrap();
+        let slices = slice_block(&weights, &spec).unwrap();
+        let total: usize = slices.iter().map(|s| s.matrix_elems()).sum();
+        prop_assert_eq!(total, weights.param_count());
+        // And byte accounting agrees with the analytical spec.
+        prop_assert_eq!(
+            spec.slice_bytes_per_block() * chips as u64,
+            cfg.block_weight_bytes()
+        );
+    }
+
+    /// Makespan never decreases when blocks are appended (sanity of the
+    /// event-driven executor under chained schedules).
+    #[test]
+    fn prop_makespan_monotone_in_blocks(blocks in 1usize..4) {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let sys = DistributedSystem::paper_default(cfg, 8).unwrap();
+        let a = sys.simulate_blocks(InferenceMode::Autoregressive, blocks).unwrap();
+        let b = sys.simulate_blocks(InferenceMode::Autoregressive, blocks + 1).unwrap();
+        prop_assert!(b.stats.makespan > a.stats.makespan);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the event-driven simulator: any well-formed
+//! program set executes deterministically, without deadlock, with
+//! internally consistent accounting — independent of program content.
+
+use mtp::kernels::Kernel;
+use mtp::sim::{ChipSpec, Instr, Machine, MemPath, Program};
+use proptest::prelude::*;
+
+/// Generates a well-formed multi-chip program set: every chip gets random
+/// local work, plus a ring of sends so the chips genuinely interact
+/// (chip i sends to chip (i+1) % n and receives from (i-1+n) % n).
+fn program_set(n_chips: usize, seed: u64) -> Vec<Program> {
+    let mut programs = Vec::with_capacity(n_chips);
+    for c in 0..n_chips {
+        let mut p = Program::new();
+        let mut state = seed.wrapping_add(c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..(next() % 6 + 1) {
+            match next() % 4 {
+                0 => p.push(Instr::compute(Kernel::gemv(
+                    (next() % 256 + 1) as usize,
+                    (next() % 256 + 1) as usize,
+                ))),
+                1 => p.push(Instr::Dma { path: MemPath::L2ToL1, bytes: next() % 100_000 }),
+                2 => p.push(Instr::Dma { path: MemPath::L3ToL2, bytes: next() % 100_000 }),
+                _ => p.push(Instr::compute(Kernel::Softmax {
+                    rows: (next() % 8 + 1) as usize,
+                    cols: (next() % 128 + 1) as usize,
+                })),
+            }
+        }
+        if n_chips > 1 {
+            // Ring exchange: deterministic message ids per edge.
+            p.push(Instr::send((c + 1) % n_chips, c as u64, next() % 10_000 + 1));
+            p.push(Instr::recv((c + n_chips - 1) % n_chips, ((c + n_chips - 1) % n_chips) as u64));
+        }
+        programs.push(p);
+    }
+    programs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_well_formed_programs_never_deadlock(
+        n_chips in 1usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let machine = Machine::homogeneous(ChipSpec::siracusa(), n_chips);
+        let programs = program_set(n_chips, seed);
+        let stats = machine.run(&programs).expect("well-formed programs must complete");
+        prop_assert_eq!(stats.per_chip.len(), n_chips);
+    }
+
+    #[test]
+    fn prop_execution_is_deterministic(
+        n_chips in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let machine = Machine::homogeneous(ChipSpec::siracusa(), n_chips);
+        let programs = program_set(n_chips, seed);
+        let a = machine.run(&programs).unwrap();
+        let b = machine.run(&programs).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prop_accounting_is_consistent(
+        n_chips in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let machine = Machine::homogeneous(ChipSpec::siracusa(), n_chips);
+        let programs = program_set(n_chips, seed);
+        let stats = machine.run(&programs).unwrap();
+        for (c, chip) in stats.per_chip.iter().enumerate() {
+            // Exposed categories never exceed the chip's finish time.
+            let busy = chip.compute_cycles
+                + chip.dma_l3_l2_exposed_cycles
+                + chip.dma_l2_l1_exposed_cycles
+                + chip.c2c_exposed_cycles;
+            prop_assert!(busy <= chip.finish_cycles, "chip {c}: busy {busy} > finish");
+            // Sent bytes reconcile with the program.
+            prop_assert_eq!(chip.c2c_bytes_sent, programs[c].sent_bytes());
+        }
+        prop_assert_eq!(stats.makespan, stats.per_chip.iter().map(|c| c.finish_cycles).max().unwrap());
+    }
+
+    #[test]
+    fn prop_traced_run_is_consistent(
+        n_chips in 1usize..6,
+        seed in 0u64..5_000,
+    ) {
+        let machine = Machine::homogeneous(ChipSpec::siracusa(), n_chips);
+        let programs = program_set(n_chips, seed);
+        let plain = machine.run(&programs).unwrap();
+        let (traced, trace) = machine.run_traced(&programs).unwrap();
+        prop_assert_eq!(&plain, &traced, "tracing must not perturb timing");
+        prop_assert!(trace.find_overlap().is_none());
+        for e in trace.events() {
+            prop_assert!(e.end <= traced.per_chip[e.chip].finish_cycles);
+        }
+    }
+
+    #[test]
+    fn prop_slower_links_never_reduce_makespan(
+        seed in 0u64..5_000,
+    ) {
+        let n = 4;
+        let programs = program_set(n, seed);
+        let fast = Machine::homogeneous(ChipSpec::siracusa(), n).run(&programs).unwrap();
+        let mut slow_chip = ChipSpec::siracusa();
+        slow_chip.link.bytes_per_cycle = 0.25;
+        slow_chip.link.latency_cycles *= 4;
+        let slow = Machine::homogeneous(slow_chip, n).run(&programs).unwrap();
+        prop_assert!(slow.makespan >= fast.makespan);
+    }
+}
+
+#[test]
+fn heterogeneous_machines_are_supported() {
+    // A fast chip and a slow chip cooperating: the slow chip's compute
+    // dominates the makespan.
+    let fast = ChipSpec::siracusa();
+    let mut slow = ChipSpec::siracusa();
+    slow.cost_model = {
+        let mut params = *slow.cost_model.params();
+        params.cores = 1;
+        mtp::kernels::ClusterCostModel::new(params)
+    };
+    let machine = Machine::new(vec![fast, slow]);
+    let work = Instr::compute(Kernel::gemm(64, 256, 256));
+    let programs =
+        vec![Program::from_instrs([work]), Program::from_instrs([work])];
+    let stats = machine.run(&programs).unwrap();
+    assert!(
+        stats.per_chip[1].finish_cycles > 4 * stats.per_chip[0].finish_cycles,
+        "1-core chip should be much slower than the 8-core chip"
+    );
+    assert_eq!(stats.critical_chip(), 1);
+}
+
+#[test]
+fn empty_machine_runs_empty_program_set() {
+    let machine = Machine::new(vec![]);
+    let stats = machine.run(&[]).unwrap();
+    assert_eq!(stats.makespan, 0);
+}
