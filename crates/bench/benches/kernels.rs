@@ -15,9 +15,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("functional/gemm_64x512x512", |b| {
         b.iter(|| x.try_matmul(&w).expect("matmul"))
     });
-    group.bench_function("functional/softmax_64x512", |b| {
-        b.iter(|| mtp_kernels::softmax_rows(&x))
-    });
+    group.bench_function("functional/softmax_64x512", |b| b.iter(|| mtp_kernels::softmax_rows(&x)));
 
     // Cost model evaluation.
     let model = mtp_kernels::ClusterCostModel::siracusa();

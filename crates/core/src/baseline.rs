@@ -294,10 +294,8 @@ mod tests {
         // For one real-time request, an N-stage pipeline is sequential.
         let cfg = TransformerConfig::tiny_llama_42m();
         let chip = ChipSpec::siracusa();
-        let one =
-            pipeline::simulate_model(&cfg, 1, &chip, InferenceMode::Autoregressive).unwrap();
-        let four =
-            pipeline::simulate_model(&cfg, 4, &chip, InferenceMode::Autoregressive).unwrap();
+        let one = pipeline::simulate_model(&cfg, 1, &chip, InferenceMode::Autoregressive).unwrap();
+        let four = pipeline::simulate_model(&cfg, 4, &chip, InferenceMode::Autoregressive).unwrap();
         // Pipelining may gain from better residency, but never the
         // super-linear factors tensor parallelism reaches.
         let speedup = four.speedup_over(&one);

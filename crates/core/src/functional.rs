@@ -39,16 +39,11 @@ impl FunctionalSystem {
     pub fn new(cfg: TransformerConfig, weights: &ModelWeights, n_chips: usize) -> Result<Self> {
         let spec = PartitionSpec::new(&cfg, n_chips)?;
         let topology = Topology::paper_default(n_chips)?;
-        let sliced = weights
-            .blocks()
-            .iter()
-            .map(|b| slice_block(b, &spec))
-            .collect::<Result<Vec<_>>>()?;
+        let sliced =
+            weights.blocks().iter().map(|b| slice_block(b, &spec)).collect::<Result<Vec<_>>>()?;
         let caches = (0..cfg.n_layers)
             .map(|_| {
-                (0..n_chips)
-                    .map(|_| KvCache::new(spec.kv_slice_width(), cfg.seq_len))
-                    .collect()
+                (0..n_chips).map(|_| KvCache::new(spec.kv_slice_width(), cfg.seq_len)).collect()
             })
             .collect();
         Ok(FunctionalSystem { cfg, spec, topology, sliced, caches })
@@ -69,10 +64,7 @@ impl FunctionalSystem {
     /// Positions currently cached (layer 0, chip 0; all agree).
     #[must_use]
     pub fn cached_len(&self) -> usize {
-        self.caches
-            .first()
-            .and_then(|layer| layer.first())
-            .map_or(0, KvCache::len)
+        self.caches.first().and_then(|layer| layer.first()).map_or(0, KvCache::len)
     }
 
     /// Clears every chip's KV-cache.
@@ -211,7 +203,6 @@ impl FunctionalSystem {
 mod tests {
     use super::*;
     use mtp_model::reference::synthetic_input;
-    
 
     fn small_cfg() -> TransformerConfig {
         let mut cfg = TransformerConfig::tiny_llama_42m();
@@ -231,8 +222,7 @@ mod tests {
         let mut sys = FunctionalSystem::new(cfg.clone(), &weights, 1).unwrap();
         let x = synthetic_input(4, cfg.embed_dim, 5);
         let dist = sys.block_forward(&x, 0, false).unwrap();
-        let golden =
-            mtp_model::reference::block_forward(&x, weights.block(0), &cfg, None).unwrap();
+        let golden = mtp_model::reference::block_forward(&x, weights.block(0), &cfg, None).unwrap();
         assert!(
             dist.approx_eq(&golden, 1e-4).unwrap(),
             "diff={}",
@@ -245,8 +235,7 @@ mod tests {
         let cfg = small_cfg();
         let weights = ModelWeights::seeded(&cfg, 17);
         let x = synthetic_input(4, cfg.embed_dim, 3);
-        let golden =
-            mtp_model::reference::block_forward(&x, weights.block(0), &cfg, None).unwrap();
+        let golden = mtp_model::reference::block_forward(&x, weights.block(0), &cfg, None).unwrap();
         for n in [2usize, 4] {
             let mut sys = FunctionalSystem::new(cfg.clone(), &weights, n).unwrap();
             let dist = sys.block_forward(&x, 0, false).unwrap();

@@ -190,11 +190,7 @@ impl Scheduler {
         let steps: Vec<_> = self.topology.reduce_steps().to_vec();
         for step in steps {
             let msg = self.fresh_msg();
-            progs[step.from].push(Instr::Send {
-                to: ChipId(step.to),
-                msg,
-                bytes: reduce_bytes,
-            });
+            progs[step.from].push(Instr::Send { to: ChipId(step.to), msg, bytes: reduce_bytes });
             progs[step.to].push(Instr::Recv { from: ChipId(step.from), msg });
             progs[step.to].push(Instr::Compute(Kernel::Add { n: n_elems }));
         }
@@ -226,11 +222,8 @@ impl Scheduler {
         let sq = self.cfg.tokens_per_pass(mode);
         // Steady-state context length: a full KV-cache in autoregressive
         // mode, the pass itself otherwise.
-        let skv = if decoder && mode == InferenceMode::Autoregressive {
-            self.cfg.seq_len
-        } else {
-            sq
-        };
+        let skv =
+            if decoder && mode == InferenceMode::Autoregressive { self.cfg.seq_len } else { sq };
 
         // Next-block weight prefetch (double-buffered regime): issued
         // first, awaited at block end.
@@ -274,10 +267,7 @@ impl Scheduler {
                 // KV-cache write-back of the new rows.
                 prog.push(Instr::Dma { path: MemPath::L1ToL2, bytes: (2 * sq * kvw * dt) as u64 });
                 // Stage the cached context for attention.
-                prog.push(Instr::Dma {
-                    path: MemPath::L2ToL1,
-                    bytes: (2 * skv * kvw * dt) as u64,
-                });
+                prog.push(Instr::Dma { path: MemPath::L2ToL1, bytes: (2 * skv * kvw * dt) as u64 });
             }
             // Per-head attention: scores, softmax, probs @ V.
             for _ in 0..hc {
@@ -319,11 +309,7 @@ impl Scheduler {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] when `n_blocks` is zero.
-    pub fn model_programs(
-        &mut self,
-        mode: InferenceMode,
-        n_blocks: usize,
-    ) -> Result<Vec<Program>> {
+    pub fn model_programs(&mut self, mode: InferenceMode, n_blocks: usize) -> Result<Vec<Program>> {
         if n_blocks == 0 {
             return Err(CoreError::InvalidConfig("n_blocks must be at least 1".into()));
         }
@@ -476,10 +462,8 @@ mod tests {
             .iter()
             .any(|i| matches!(i, Instr::Compute(Kernel::Gemm { m: 16, .. })));
         assert!(has_gemm);
-        let has_gemv = progs[0]
-            .instrs()
-            .iter()
-            .any(|i| matches!(i, Instr::Compute(Kernel::Gemv { .. })));
+        let has_gemv =
+            progs[0].instrs().iter().any(|i| matches!(i, Instr::Compute(Kernel::Gemv { .. })));
         assert!(!has_gemv, "prompt mode must not emit GEMV");
     }
 

@@ -180,7 +180,11 @@ impl SlicedBlockWeights {
     /// Total matrix elements held by this chip.
     #[must_use]
     pub fn matrix_elems(&self) -> usize {
-        self.wq.len() + self.wk.len() + self.wv.len() + self.wo.len() + self.w1.len()
+        self.wq.len()
+            + self.wk.len()
+            + self.wv.len()
+            + self.wo.len()
+            + self.w1.len()
             + self.w2.len()
     }
 }
@@ -207,13 +211,8 @@ pub fn slice_block(
     let w1 = weights.w1.split_cols(n)?;
     let w2 = weights.w2.split_rows(n)?;
     let mut out = Vec::with_capacity(n);
-    for (chip, ((((wq, wk), wv), wo), (w1, w2))) in wq
-        .into_iter()
-        .zip(wk)
-        .zip(wv)
-        .zip(wo)
-        .zip(w1.into_iter().zip(w2))
-        .enumerate()
+    for (chip, ((((wq, wk), wv), wo), (w1, w2))) in
+        wq.into_iter().zip(wk).zip(wv).zip(wo).zip(w1.into_iter().zip(w2)).enumerate()
     {
         out.push(SlicedBlockWeights {
             chip,
@@ -290,8 +289,8 @@ mod tests {
         let spec = PartitionSpec::new(&c, 4).unwrap();
         let slices = slice_block(&w, &spec).unwrap();
         assert_eq!(slices.len(), 4);
-        let wq = Tensor::concat_cols(&slices.iter().map(|s| s.wq.clone()).collect::<Vec<_>>())
-            .unwrap();
+        let wq =
+            Tensor::concat_cols(&slices.iter().map(|s| s.wq.clone()).collect::<Vec<_>>()).unwrap();
         assert_eq!(wq, w.wq);
         // W_O reconstructs by row concatenation.
         let mut wo_rows = Vec::new();

@@ -110,7 +110,12 @@ impl DistributedSystem {
         }
     }
 
-    fn report(&self, stats: RunStats, mode: InferenceMode, n_blocks: usize) -> Result<SystemReport> {
+    fn report(
+        &self,
+        stats: RunStats,
+        mode: InferenceMode,
+        n_blocks: usize,
+    ) -> Result<SystemReport> {
         Ok(crate::report::from_stats(
             &self.chip,
             self.n_chips,

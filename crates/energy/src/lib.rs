@@ -162,14 +162,10 @@ mod tests {
     #[test]
     fn compute_term_scales_with_chips() {
         let p = EnergyParams::paper();
-        let one = p.energy(&Traffic {
-            compute_cycles_per_chip: vec![500_000],
-            ..Traffic::default()
-        });
-        let eight = p.energy(&Traffic {
-            compute_cycles_per_chip: vec![500_000; 8],
-            ..Traffic::default()
-        });
+        let one =
+            p.energy(&Traffic { compute_cycles_per_chip: vec![500_000], ..Traffic::default() });
+        let eight =
+            p.energy(&Traffic { compute_cycles_per_chip: vec![500_000; 8], ..Traffic::default() });
         assert!((eight.compute_mj / one.compute_mj - 8.0).abs() < 1e-9);
         // 500k cycles at 500 MHz = 1 ms at 104 mW = 0.104 mJ.
         assert!((one.compute_mj - 0.104).abs() < 1e-9);

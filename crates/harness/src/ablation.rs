@@ -79,7 +79,10 @@ pub fn buffering() -> Result<BufferingAblation, CoreError> {
 /// # Errors
 ///
 /// Propagates partitioning/simulation errors.
-pub fn gqa(n_chips: usize, kv_head_counts: &[usize]) -> Result<Vec<(usize, SystemReport)>, CoreError> {
+pub fn gqa(
+    n_chips: usize,
+    kv_head_counts: &[usize],
+) -> Result<Vec<(usize, SystemReport)>, CoreError> {
     kv_head_counts
         .iter()
         .map(|&kv| {
@@ -96,7 +99,10 @@ pub fn gqa(n_chips: usize, kv_head_counts: &[usize]) -> Result<Vec<(usize, Syste
 /// # Errors
 ///
 /// Propagates partitioning/simulation errors.
-pub fn group_size(n_chips: usize, sizes: &[usize]) -> Result<Vec<(usize, SystemReport)>, CoreError> {
+pub fn group_size(
+    n_chips: usize,
+    sizes: &[usize],
+) -> Result<Vec<(usize, SystemReport)>, CoreError> {
     let cfg = TransformerConfig::tiny_llama_scaled_64h();
     sizes
         .iter()
@@ -154,9 +160,7 @@ pub fn render_all() -> Result<String, CoreError> {
     out.push_str(&format!("Ablation: reduction group size (64 chips)\n{}\n", t.render()));
 
     let mut t = TextTable::new(
-        ["kv heads", "cycles", "energy(mJ)", "L3 bytes/block", "regime"]
-            .map(String::from)
-            .to_vec(),
+        ["kv heads", "cycles", "energy(mJ)", "L3 bytes/block", "regime"].map(String::from).to_vec(),
     );
     for (kv, r) in gqa(2, &[8, 4, 2])? {
         t.row(vec![
@@ -184,7 +188,8 @@ mod tests {
         // At 64 chips the flat all-to-one reduction must be clearly worse;
         // at 8 the gap is small. This is the paper's justification for
         // hierarchical grouping.
-        let penalty_8 = abl[0].flat.stats.makespan as f64 / abl[0].hierarchical.stats.makespan as f64;
+        let penalty_8 =
+            abl[0].flat.stats.makespan as f64 / abl[0].hierarchical.stats.makespan as f64;
         let penalty_64 =
             abl[1].flat.stats.makespan as f64 / abl[1].hierarchical.stats.makespan as f64;
         assert!(penalty_64 > penalty_8, "64-chip penalty {penalty_64:.2} vs 8-chip {penalty_8:.2}");
@@ -200,9 +205,8 @@ mod tests {
     #[test]
     fn group_of_four_is_a_good_choice() {
         let sweep = group_size(64, &[2, 4, 64]).unwrap();
-        let of = |g: usize| {
-            sweep.iter().find(|(s, _)| *s == g).map(|(_, r)| r.stats.makespan).unwrap()
-        };
+        let of =
+            |g: usize| sweep.iter().find(|(s, _)| *s == g).map(|(_, r)| r.stats.makespan).unwrap();
         // Groups of 4 beat flat-ish wide groups at 64 chips.
         assert!(of(4) < of(64));
     }

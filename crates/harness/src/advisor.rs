@@ -82,8 +82,7 @@ pub fn advise(
         .map(|(_, r)| {
             !reports.iter().any(|(_, other)| {
                 (other.runtime_ms() < r.runtime_ms() && other.energy_mj() <= r.energy_mj())
-                    || (other.runtime_ms() <= r.runtime_ms()
-                        && other.energy_mj() < r.energy_mj())
+                    || (other.runtime_ms() <= r.runtime_ms() && other.energy_mj() < r.energy_mj())
             })
         })
         .collect();

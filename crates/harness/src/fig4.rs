@@ -41,9 +41,19 @@ pub fn fig4c() -> Result<Vec<SweepPoint>, CoreError> {
 #[must_use]
 pub fn render(title: &str, points: &[SweepPoint]) -> String {
     let mut t = TextTable::new(
-        ["chips", "runtime(cyc)", "compute", "DMA L3<->L2", "DMA L2<->L1", "C2C", "speedup", "linear", "regime"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "chips",
+            "runtime(cyc)",
+            "compute",
+            "DMA L3<->L2",
+            "DMA L2<->L1",
+            "C2C",
+            "speedup",
+            "linear",
+            "regime",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let base = points.first().map(|p| p.report.stats.makespan).unwrap_or(1);
     for p in points {

@@ -80,9 +80,7 @@ pub fn render(panel: &Fig5Panel) -> String {
             .map(String::from)
             .to_vec(),
     );
-    for (label, points) in
-        [("original", &panel.original), ("scaled-up", &panel.scaled)]
-    {
+    for (label, points) in [("original", &panel.original), ("scaled-up", &panel.scaled)] {
         for p in points {
             t.row(vec![
                 label.to_owned(),

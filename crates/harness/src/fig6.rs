@@ -35,9 +35,8 @@ pub fn run() -> Result<Fig6, CoreError> {
 /// Renders the speedup-vs-chips series the paper plots.
 #[must_use]
 pub fn render(fig: &Fig6) -> String {
-    let mut t = TextTable::new(
-        ["chips", "autoregressive", "prompt", "linear"].map(String::from).to_vec(),
-    );
+    let mut t =
+        TextTable::new(["chips", "autoregressive", "prompt", "linear"].map(String::from).to_vec());
     let ar = speedups(&fig.autoregressive);
     let pr = speedups(&fig.prompt);
     for (i, &n) in CHIP_COUNTS.iter().enumerate() {
@@ -77,7 +76,10 @@ mod tests {
         // Paper: ~linear until 16 chips, diminishing returns after.
         assert!(s[4] >= 12.0, "16 chips roughly linear, got {:.1}", s[4]);
         let gain_16_to_64 = s[6] / s[4];
-        assert!(gain_16_to_64 < 2.5, "returns must diminish, got {gain_16_to_64:.2}x over 4x chips");
+        assert!(
+            gain_16_to_64 < 2.5,
+            "returns must diminish, got {gain_16_to_64:.2}x over 4x chips"
+        );
     }
 
     #[test]

@@ -74,8 +74,7 @@ pub fn run() -> Result<Headline, CoreError> {
 /// Renders paper-vs-measured for every headline claim.
 #[must_use]
 pub fn render(h: &Headline) -> String {
-    let mut t =
-        TextTable::new(["claim", "paper", "measured"].map(String::from).to_vec());
+    let mut t = TextTable::new(["claim", "paper", "measured"].map(String::from).to_vec());
     let rows: [(&str, String, String); 9] = [
         (
             "TinyLlama AR speedup, 8 chips",

@@ -56,14 +56,13 @@ pub fn sweep(
     mode: InferenceMode,
     chip_counts: &[usize],
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    let results = crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = chip_counts
             .iter()
             .map(|&n| {
                 let cfg = cfg.clone();
-                scope.spawn(move |_| -> Result<SweepPoint, CoreError> {
-                    let report =
-                        DistributedSystem::paper_default(cfg, n)?.simulate_block(mode)?;
+                scope.spawn(move || -> Result<SweepPoint, CoreError> {
+                    let report = DistributedSystem::paper_default(cfg, n)?.simulate_block(mode)?;
                     Ok(SweepPoint { n_chips: n, report })
                 })
             })
@@ -73,8 +72,6 @@ pub fn sweep(
             .map(|h| h.join().expect("sweep worker panicked"))
             .collect::<Result<Vec<_>, _>>()
     })
-    .expect("sweep scope panicked");
-    results
 }
 
 /// Speedup of each sweep point relative to the first (single-chip) point.

@@ -79,10 +79,7 @@ pub fn run(n_chips: usize, mode: InferenceMode) -> Result<Vec<ComparisonRow>, Co
     Ok(vec![
         ComparisonRow { properties: ours_properties(n_chips), measured: Some(ours) },
         ComparisonRow { properties: pipeline_properties(n_chips), measured: Some(pipeline) },
-        ComparisonRow {
-            properties: replicated_properties(n_chips),
-            measured: Some(replicated),
-        },
+        ComparisonRow { properties: replicated_properties(n_chips), measured: Some(replicated) },
     ])
 }
 

@@ -69,10 +69,7 @@ impl Embedding {
         let mut data = Vec::with_capacity(tokens.len() * self.width());
         for &t in tokens {
             if t as usize >= self.vocab() {
-                return Err(TensorError::AxisOutOfRange {
-                    axis: t as usize,
-                    rank: self.vocab(),
-                });
+                return Err(TensorError::AxisOutOfRange { axis: t as usize, rank: self.vocab() });
             }
             data.extend_from_slice(self.table.row(t as usize));
         }
@@ -214,8 +211,7 @@ mod tests {
         let weights = ModelWeights::seeded(&cfg, 4);
         let emb = Embedding::seeded(&cfg, 32, 5);
         let mut d1 = Decoder::new(cfg.clone(), weights.clone());
-        let out1 =
-            generate_greedy(&emb, &[1, 2, 3], 8, |x| d1.step(x)).unwrap();
+        let out1 = generate_greedy(&emb, &[1, 2, 3], 8, |x| d1.step(x)).unwrap();
         let mut d2 = Decoder::new(cfg, weights);
         let out2 = generate_greedy(&emb, &[1, 2, 3], 8, |x| d2.step(x)).unwrap();
         assert_eq!(out1, out2);

@@ -18,9 +18,7 @@ impl Decoder {
     /// `cfg.seq_len`.
     #[must_use]
     pub fn new(cfg: TransformerConfig, weights: ModelWeights) -> Self {
-        let caches = (0..cfg.n_layers)
-            .map(|_| KvCache::new(cfg.kv_width(), cfg.seq_len))
-            .collect();
+        let caches = (0..cfg.n_layers).map(|_| KvCache::new(cfg.kv_width(), cfg.seq_len)).collect();
         Decoder { cfg, weights, caches }
     }
 

@@ -193,10 +193,8 @@ pub fn block_forward(
 pub fn synthetic_input(rows: usize, cols: usize, seed: u64) -> Tensor {
     Tensor::from_fn(Shape::mat(rows, cols), |(r, c)| {
         // A cheap splitmix-style hash for reproducible, well-spread values.
-        let mut z = seed
-            .wrapping_add(r as u64)
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(c as u64);
+        let mut z =
+            seed.wrapping_add(r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(c as u64);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         ((z >> 40) as f32 / (1 << 24) as f32) * 2.0 - 1.0
@@ -280,11 +278,8 @@ mod tests {
             step_rows.push(out);
         }
         for (r, out) in step_rows.iter().enumerate() {
-            let want = Tensor::from_vec(
-                Shape::mat(1, cfg.embed_dim),
-                prompt_out.row(r).to_vec(),
-            )
-            .unwrap();
+            let want =
+                Tensor::from_vec(Shape::mat(1, cfg.embed_dim), prompt_out.row(r).to_vec()).unwrap();
             assert!(out.approx_eq(&want, 1e-4).unwrap(), "row {r} diverged");
         }
     }
@@ -298,8 +293,7 @@ mod tests {
         assert_eq!(z.shape(), x.shape());
         assert!(z.as_slice().iter().all(|v| v.is_finite()));
         // Post-norm RMS ~ 1 per row.
-        let ms: f32 =
-            z.row(0).iter().map(|v| v * v).sum::<f32>() / cfg.embed_dim as f32;
+        let ms: f32 = z.row(0).iter().map(|v| v * v).sum::<f32>() / cfg.embed_dim as f32;
         assert!((ms - 1.0).abs() < 0.1);
     }
 

@@ -68,7 +68,11 @@ impl BlockWeights {
     /// [`TransformerConfig::params_per_block`]).
     #[must_use]
     pub fn param_count(&self) -> usize {
-        self.wq.len() + self.wk.len() + self.wv.len() + self.wo.len() + self.w1.len()
+        self.wq.len()
+            + self.wk.len()
+            + self.wv.len()
+            + self.wo.len()
+            + self.w1.len()
             + self.w2.len()
     }
 }

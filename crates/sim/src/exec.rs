@@ -554,10 +554,8 @@ mod tests {
     #[test]
     fn traced_run_matches_untraced_timing() {
         let m = machine(2);
-        let p0 = Program::from_instrs([
-            Instr::compute(Kernel::gemv(256, 256)),
-            Instr::send(1, 0, 4096),
-        ]);
+        let p0 =
+            Program::from_instrs([Instr::compute(Kernel::gemv(256, 256)), Instr::send(1, 0, 4096)]);
         let p1 = Program::from_instrs([Instr::recv(0, 0), Instr::compute(Kernel::Add { n: 64 })]);
         let programs = [p0, p1];
         let plain = m.run(&programs).unwrap();

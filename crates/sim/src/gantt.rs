@@ -87,8 +87,7 @@ impl Trace {
     /// overlap. Returns the first violating pair, if any.
     #[must_use]
     pub fn find_overlap(&self) -> Option<(&TraceEvent, &TraceEvent)> {
-        let chips: std::collections::BTreeSet<usize> =
-            self.events.iter().map(|e| e.chip).collect();
+        let chips: std::collections::BTreeSet<usize> = self.events.iter().map(|e| e.chip).collect();
         for chip in chips {
             let ev = self.chip_events(chip);
             for pair in ev.windows(2) {
@@ -137,8 +136,7 @@ impl Trace {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let chips: std::collections::BTreeSet<usize> =
-            self.events.iter().map(|e| e.chip).collect();
+        let chips: std::collections::BTreeSet<usize> = self.events.iter().map(|e| e.chip).collect();
         for chip in chips {
             out.push_str(&format!("chip{chip}:\n"));
             for e in self.chip_events(chip) {
@@ -160,12 +158,7 @@ mod tests {
     use super::*;
 
     fn ev(chip: usize, start: u64, end: u64) -> TraceEvent {
-        TraceEvent {
-            chip,
-            start,
-            end,
-            kind: TraceKind::Compute { kernel: "gemv".into() },
-        }
+        TraceEvent { chip, start, end, kind: TraceKind::Compute { kernel: "gemv".into() } }
     }
 
     #[test]

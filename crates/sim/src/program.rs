@@ -145,10 +145,7 @@ impl Program {
     /// Total bytes this program sends over the chip-to-chip link.
     #[must_use]
     pub fn sent_bytes(&self) -> u64 {
-        self.instrs
-            .iter()
-            .map(|i| if let Instr::Send { bytes, .. } = i { *bytes } else { 0 })
-            .sum()
+        self.instrs.iter().map(|i| if let Instr::Send { bytes, .. } = i { *bytes } else { 0 }).sum()
     }
 
     /// Number of distinct [`Instr::Sync`] phase ids in this program.

@@ -130,10 +130,7 @@ impl RunStats {
     /// bars show).
     #[must_use]
     pub fn critical_breakdown(&self) -> Breakdown {
-        self.per_chip
-            .get(self.critical_chip())
-            .map(Breakdown::from_chip)
-            .unwrap_or_default()
+        self.per_chip.get(self.critical_chip()).map(Breakdown::from_chip).unwrap_or_default()
     }
 
     /// Total bytes moved between L3 and L2 across all chips

@@ -346,11 +346,7 @@ impl Tensor {
         if self.shape != rhs.shape {
             return Err(TensorError::ShapeMismatch { left: self.shape, right: rhs.shape });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&rhs.data)
-            .fold(0.0f32, |m, (a, b)| m.max((a - b).abs())))
+        Ok(self.data.iter().zip(&rhs.data).fold(0.0f32, |m, (a, b)| m.max((a - b).abs())))
     }
 
     /// Returns `true` when every element differs from `rhs` by at most `tol`.

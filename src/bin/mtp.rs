@@ -61,10 +61,7 @@ fn main() -> ExitCode {
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -84,9 +81,7 @@ fn parse_model(name: &str, mode: InferenceMode) -> Result<TransformerConfig, Str
         "mobilebert" => Ok(TransformerConfig::mobile_bert()),
         other => {
             if let Some(k) = other.strip_prefix("tinyllama-gqa") {
-                let kv: usize = k
-                    .parse()
-                    .map_err(|_| format!("bad kv-head count in `{other}`"))?;
+                let kv: usize = k.parse().map_err(|_| format!("bad kv-head count in `{other}`"))?;
                 if kv == 0 || 8 % kv != 0 {
                     return Err(format!("kv heads must divide 8, got {kv}"));
                 }
@@ -123,7 +118,8 @@ fn simulate(args: &[String]) -> CliResult {
         b.compute, b.dma_l3_l2, b.dma_l2_l1, b.c2c, b.idle
     );
     if chips > 1 {
-        let single = DistributedSystem::paper_default(cfg.clone(), 1)?.simulate_blocks(mode, blocks)?;
+        let single =
+            DistributedSystem::paper_default(cfg.clone(), 1)?.simulate_blocks(mode, blocks)?;
         println!(
             "vs single chip: speedup {:.1}x, EDP improvement {:.1}x",
             report.speedup_over(&single),

@@ -7,13 +7,18 @@
 
 use mtp::core::functional::FunctionalSystem;
 use mtp::model::{
-    reference, AttentionKind, Decoder, Encoder, ModelWeights, NormKind,
-    TransformerConfig,
+    reference, AttentionKind, Decoder, Encoder, ModelWeights, NormKind, TransformerConfig,
 };
 use mtp::tensor::Tensor;
 use proptest::prelude::*;
 
-fn small(e: usize, f: usize, h: usize, layers: usize, attention: AttentionKind) -> TransformerConfig {
+fn small(
+    e: usize,
+    f: usize,
+    h: usize,
+    layers: usize,
+    attention: AttentionKind,
+) -> TransformerConfig {
     let mut cfg = TransformerConfig::tiny_llama_42m();
     cfg.embed_dim = e;
     cfg.ffn_dim = f;
@@ -78,8 +83,7 @@ fn full_size_tinyllama_block_is_equivalent_on_8_chips() {
     cfg.n_layers = 1;
     let weights = ModelWeights::seeded(&cfg, 1);
     let x = reference::synthetic_input(1, cfg.embed_dim, 2);
-    let golden =
-        reference::block_forward(&x, weights.block(0), &cfg, None).unwrap();
+    let golden = reference::block_forward(&x, weights.block(0), &cfg, None).unwrap();
     let mut sys = FunctionalSystem::new(cfg, &weights, 8).unwrap();
     let out = sys.block_forward(&x, 0, false).unwrap();
     let diff = out.max_abs_diff(&golden).unwrap();
@@ -209,12 +213,10 @@ fn end_to_end_generation_matches_token_for_token() {
     let prompt = [3u32, 14, 15, 9];
 
     let mut golden = Decoder::new(cfg.clone(), weights.clone());
-    let golden_tokens =
-        mtp::model::generate_greedy(&emb, &prompt, 10, |x| golden.step(x)).unwrap();
+    let golden_tokens = mtp::model::generate_greedy(&emb, &prompt, 10, |x| golden.step(x)).unwrap();
 
     let mut dist = FunctionalSystem::new(cfg, &weights, 4).unwrap();
-    let dist_tokens =
-        mtp::model::generate_greedy(&emb, &prompt, 10, |x| dist.step(x)).unwrap();
+    let dist_tokens = mtp::model::generate_greedy(&emb, &prompt, 10, |x| dist.step(x)).unwrap();
 
     assert_eq!(golden_tokens, dist_tokens, "token streams must be identical");
 }

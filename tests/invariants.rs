@@ -21,11 +21,7 @@ fn zero_weight_duplication_at_full_size() {
 fn exactly_two_synchronizations_per_block() {
     for (cfg, mode, counts) in [
         (TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive, vec![1, 2, 4, 8]),
-        (
-            TransformerConfig::tiny_llama_42m().with_seq_len(16),
-            InferenceMode::Prompt,
-            vec![2, 8],
-        ),
+        (TransformerConfig::tiny_llama_42m().with_seq_len(16), InferenceMode::Prompt, vec![2, 8]),
         (TransformerConfig::mobile_bert(), InferenceMode::Prompt, vec![1, 2, 4]),
         (TransformerConfig::tiny_llama_scaled_64h(), InferenceMode::Autoregressive, vec![16, 64]),
     ] {
@@ -116,10 +112,8 @@ fn energy_formula_reconciles_with_counters() {
     assert!((r.energy.l3_mj - expect_l3).abs() < 1e-12);
     assert!((r.energy.l2_mj - expect_l2).abs() < 1e-12);
     assert!((r.energy.c2c_mj - expect_c2c).abs() < 1e-12);
-    let compute = r.stats.total_compute_cycles() as f64 / p.freq_hz
-        * p.core_power_w
-        * p.cores as f64
-        * 1e3;
+    let compute =
+        r.stats.total_compute_cycles() as f64 / p.freq_hz * p.core_power_w * p.cores as f64 * 1e3;
     assert!((r.energy.compute_mj - compute).abs() < 1e-9);
 }
 

@@ -135,8 +135,7 @@ fn heterogeneous_machines_are_supported() {
     };
     let machine = Machine::new(vec![fast, slow]);
     let work = Instr::compute(Kernel::gemm(64, 256, 256));
-    let programs =
-        vec![Program::from_instrs([work]), Program::from_instrs([work])];
+    let programs = vec![Program::from_instrs([work]), Program::from_instrs([work])];
     let stats = machine.run(&programs).unwrap();
     assert!(
         stats.per_chip[1].finish_cycles > 4 * stats.per_chip[0].finish_cycles,

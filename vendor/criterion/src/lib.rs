@@ -1,0 +1,186 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion API the workspace's bench
+//! targets use — `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function`, `Bencher::iter`, `sample_size` — over a plain
+//! wall-clock timer. Reported numbers are min/mean over `sample_size`
+//! samples of one iteration each; there is no outlier analysis or HTML
+//! report, but the bench *targets* compile and run identically, so they
+//! cannot rot while the real crate is unavailable offline.
+//!
+//! Mode selection follows cargo's conventions: `cargo bench` passes
+//! `--bench`, which enables timed runs; without it (e.g. a bench target
+//! compiled and executed by `cargo test --benches`) each benchmark body
+//! runs exactly once as a smoke test so suites stay fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Top-level harness state, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { bench_mode: std::env::args().any(|a| a == "--bench") }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration, mirroring
+    /// `Criterion::configure_from_args` (only `--bench` is meaningful for
+    /// this stand-in).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let bench_mode = self.bench_mode;
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 10, bench_mode }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named collection of benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    bench_mode: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = if self.name.is_empty() { id } else { format!("{}/{}", self.name, id) };
+        let samples = if self.bench_mode { self.sample_size } else { 1 };
+        let mut durations = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut bencher = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            f(&mut bencher);
+            if bencher.iters > 0 {
+                durations.push(bencher.elapsed / u32::try_from(bencher.iters).unwrap_or(u32::MAX));
+            }
+        }
+        if self.bench_mode {
+            let min = durations.iter().min().copied().unwrap_or_default();
+            let mean = if durations.is_empty() {
+                Duration::ZERO
+            } else {
+                durations.iter().sum::<Duration>() / u32::try_from(durations.len()).unwrap_or(1)
+            };
+            println!(
+                "bench: {full:<60} min {min:>12.3?}   mean {mean:>12.3?}   ({samples} samples)"
+            );
+        } else {
+            println!("bench (smoke, pass --bench to time): {full}");
+        }
+        self
+    }
+
+    /// Ends the group, mirroring `BenchmarkGroup::finish`.
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark timing handle, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`; one call per sample in this
+    /// stand-in (criterion's auto-calibrated batching is not reproduced).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(black_box(out));
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench-target entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_body_once() {
+        let mut c = Criterion { bench_mode: false };
+        let mut calls = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50).bench_function("probe", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bench_mode_collects_sample_size_samples() {
+        let mut c = Criterion { bench_mode: true };
+        let mut calls = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(7).bench_function("probe", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+}

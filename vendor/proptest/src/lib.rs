@@ -1,0 +1,482 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! suites use — the `proptest!` macro with `#![proptest_config(...)]`,
+//! integer-range and `prop::sample::select` strategies, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros — over a
+//! fully deterministic runner:
+//!
+//! - Case seeds are derived from the test name and case index, so a given
+//!   (test, case-count) pair explores the same inputs on every run and on
+//!   every machine. CI runtime is therefore bounded and reproducible.
+//! - Failure seeds persist: a failing case panics with a `cc 0x<seed>`
+//!   line; appending that line to
+//!   `proptest-regressions/<suite>/<test_name>.txt` (next to the crate's
+//!   `Cargo.toml`; `<suite>` is the declaring source file's stem) makes
+//!   every future run replay it first, exactly like upstream proptest's
+//!   regression files.
+//! - `PROPTEST_CASES` in the environment scales the case count of tests
+//!   that use `ProptestConfig::default()`; explicit `with_cases(n)` pins
+//!   it regardless of the environment.
+//!
+//! No shrinking is performed: seeds, not values, are what persists, and
+//! the suites' generators are narrow enough that raw failing cases are
+//! directly debuggable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::path::Path;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property (rejected cases count toward
+    /// this bound so runtime stays bounded even with aggressive
+    /// `prop_assume!` filters).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases — pinned, ignoring the
+    /// `PROPTEST_CASES` environment variable.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, overridable via the `PROPTEST_CASES` environment
+    /// variable (like upstream proptest).
+    fn default() -> Self {
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not pass, mirroring
+/// `proptest::test_runner::TestCaseError`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was filtered out by `prop_assume!`; it is skipped, not
+    /// failed.
+    Reject(String),
+    /// The property does not hold for this case.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection (skip) outcome.
+    #[must_use]
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// A failure outcome.
+    #[must_use]
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "failed: {r}"),
+        }
+    }
+}
+
+/// Per-case result type used by the generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The per-case random source handed to strategies. SplitMix64 over the
+/// case seed: deterministic and platform-independent.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    state: u64,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// A runner for one case seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        TestRunner { state: seed, seed }
+    }
+
+    /// The case seed this runner was created from (what regression files
+    /// store).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty sampling range");
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator, mirroring (a deterministic, non-shrinking subset of)
+/// `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value for the current case.
+    fn pick(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + runner.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, runner: &mut TestRunner) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return runner.next_u64() as $t;
+                }
+                lo + runner.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(usize, u64, u32, u16, u8);
+
+/// Strategy modules, mirroring the `prop::` namespace of the upstream
+/// prelude.
+pub mod sample {
+    use super::{Strategy, TestRunner};
+
+    /// Uniform choice among a fixed set of options; see [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniformly selects one of `options` per case, mirroring
+    /// `proptest::sample::select`.
+    #[must_use]
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn pick(&self, runner: &mut TestRunner) -> T {
+            let i = runner.below(self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+}
+
+/// FNV-1a over the test name: a stable, platform-independent base seed.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The regression file for one property, relative to the crate root:
+/// `proptest-regressions/<suite>/<test_name>.txt`, where `<suite>` is the
+/// stem of the source file that declared the test (e.g. `invariants` for
+/// `tests/invariants.rs`). Keying by suite as well as test name keeps two
+/// same-named properties in different suites of one package from sharing
+/// seeds — mirroring upstream proptest's source-path keying.
+fn regression_rel_path(source_file: &str, test_name: &str) -> String {
+    let suite =
+        Path::new(source_file).file_stem().and_then(|s| s.to_str()).unwrap_or("unknown_suite");
+    format!("proptest-regressions/{suite}/{test_name}.txt")
+}
+
+/// Loads persisted failure seeds for one property. Lines look like
+/// `cc 0xdeadbeefdeadbeef` (comments after `#`, blank lines and `#`-only
+/// lines ignored).
+fn regression_seeds(manifest_dir: &str, rel_path: &str) -> Vec<u64> {
+    let path = Path::new(manifest_dir).join(rel_path);
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        let Some(hex) = line.strip_prefix("cc 0x") else {
+            continue;
+        };
+        if let Ok(seed) = u64::from_str_radix(hex.trim(), 16) {
+            seeds.push(seed);
+        }
+    }
+    seeds
+}
+
+/// Drives one property: replays persisted regression seeds first, then
+/// runs `config.cases` fresh deterministic cases. Panics (failing the
+/// surrounding `#[test]`) on the first failing case, printing the seed in
+/// regression-file syntax.
+///
+/// This is the expansion target of the [`proptest!`] macro; it is public
+/// so the macro can reach it, not intended to be called directly.
+pub fn run_proptest(
+    config: &ProptestConfig,
+    test_name: &str,
+    source_file: &str,
+    manifest_dir: &str,
+    body: &mut dyn FnMut(&mut TestRunner) -> TestCaseResult,
+) {
+    let rel_path = regression_rel_path(source_file, test_name);
+    let mut failures = Vec::new();
+    let mut rejected = 0u32;
+    let mut run_one = |seed: u64, origin: &str, failures: &mut Vec<String>, rejected: &mut u32| {
+        let mut runner = TestRunner::from_seed(seed);
+        match body(&mut runner) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => *rejected += 1,
+            Err(TestCaseError::Fail(msg)) => failures.push(format!(
+                "{origin} case failed: {msg}\n  persist it: echo 'cc {seed:#018x}' >> {rel_path}"
+            )),
+        }
+    };
+
+    for seed in regression_seeds(manifest_dir, &rel_path) {
+        run_one(seed, "persisted regression", &mut failures, &mut rejected);
+    }
+    let base = fnv1a(test_name);
+    for case in 0..config.cases {
+        // Re-randomize the per-case seed through the runner's own mixer so
+        // consecutive cases are decorrelated.
+        let seed = TestRunner::from_seed(base.wrapping_add(u64::from(case))).next_u64();
+        run_one(seed, "generated", &mut failures, &mut rejected);
+        if !failures.is_empty() {
+            break;
+        }
+    }
+    assert!(failures.is_empty(), "property `{test_name}`: {}", failures.join("\n"));
+    assert!(
+        rejected < config.cases.max(1),
+        "property `{test_name}`: every case was rejected by prop_assume! — generator and filter disagree"
+    );
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Supports the upstream form used in this workspace: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions
+/// whose arguments are drawn from strategies with `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    (@funcs ($config:expr)) => {};
+    (@funcs ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::run_proptest(
+                &config,
+                stringify!($name),
+                file!(),
+                env!("CARGO_MANIFEST_DIR"),
+                &mut |__proptest_runner: &mut $crate::TestRunner| {
+                    $(let $arg = $crate::Strategy::pick(&($strategy), __proptest_runner);)*
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Skips the current case when `condition` is false, mirroring
+/// `proptest::prop_assume!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case when `condition` is false, mirroring
+/// `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(concat!("assertion failed: ", stringify!($cond))));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case when the operands differ, mirroring
+/// `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), format!($($fmt)*), l, r
+            )));
+        }
+    }};
+}
+
+/// The common import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult, TestRunner,
+    };
+
+    /// Strategy namespace (`prop::sample::select(...)`), mirroring the
+    /// upstream prelude's `prop` module.
+    pub mod prop {
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3usize..10, b in 5u64..=9) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((5..=9).contains(&b), "b={b}");
+        }
+
+        #[test]
+        fn select_draws_from_options(x in prop::sample::select(vec![2usize, 4, 8])) {
+            prop_assert!(x == 2 || x == 4 || x == 8);
+        }
+
+        #[test]
+        fn assume_filters_cases(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            crate::run_proptest(
+                &ProptestConfig::with_cases(16),
+                "determinism_probe",
+                file!(),
+                env!("CARGO_MANIFEST_DIR"),
+                &mut |runner| {
+                    out.push(runner.next_u64());
+                    Ok(())
+                },
+            );
+        }
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "cc 0x")]
+    fn failures_print_persistable_seed() {
+        crate::run_proptest(
+            &ProptestConfig::with_cases(1),
+            "always_fails_probe",
+            file!(),
+            env!("CARGO_MANIFEST_DIR"),
+            &mut |_| Err(TestCaseError::fail("nope")),
+        );
+    }
+
+    #[test]
+    fn regression_files_are_keyed_by_suite_and_test() {
+        assert_eq!(
+            crate::regression_rel_path("tests/invariants.rs", "prop_partition_is_exact"),
+            "proptest-regressions/invariants/prop_partition_is_exact.txt"
+        );
+    }
+
+    #[test]
+    fn regression_file_seeds_are_replayed() {
+        // vendor/proptest/proptest-regressions/lib/replay_probe.txt pins
+        // one seed; the body records what it sees.
+        let mut seen = Vec::new();
+        crate::run_proptest(
+            &ProptestConfig::with_cases(0),
+            "replay_probe",
+            file!(),
+            env!("CARGO_MANIFEST_DIR"),
+            &mut |runner| {
+                seen.push(runner.seed());
+                Ok(())
+            },
+        );
+        assert_eq!(seen, vec![0x00ab_cdef_0123_4567]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data
+//! types so downstream users can persist reports and traces, but nothing
+//! in-tree serializes at runtime and the build environment has no network
+//! access to fetch the real crate. This stub keeps the *type-level*
+//! contract — the trait names, the derive attribute grammar, and the
+//! `#[serde(...)]` helper attribute — while implementing the traits as
+//! blanket markers. Replacing it with the real `serde` is a one-line
+//! `Cargo.toml` change and requires no source edits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// Blanket-implemented for every type; the derive macro expands to
+/// nothing.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+///
+/// Blanket-implemented for every type; the derive macro expands to
+/// nothing.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::de` module path.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module path.
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! The workspace's `serde` stub blanket-implements its marker traits, so
+//! these derives only need to *accept* the attribute grammar — they expand
+//! to nothing. Swapping in the real `serde`/`serde_derive` requires no
+//! source changes in the workspace.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helper attributes)
+/// and expands to nothing; the `serde` stub's blanket impl provides the
+/// trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helper
+/// attributes) and expands to nothing; the `serde` stub's blanket impl
+/// provides the trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
