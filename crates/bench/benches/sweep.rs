@@ -1,0 +1,39 @@
+//! Benchmarks the scenario-sweep engine itself: a fixed 16-point grid
+//! run serially vs on all available worker threads (cold engine each
+//! iteration, so the cache cannot flatter either side), plus the
+//! cached re-run path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtp_harness::sweep::{SweepEngine, SweepGrid, TopologySpec};
+use mtp_model::{InferenceMode, TransformerConfig};
+
+fn grid() -> SweepGrid {
+    SweepGrid::new(
+        vec![
+            (TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive),
+            (TransformerConfig::tiny_llama_42m().with_seq_len(16), InferenceMode::Prompt),
+        ],
+        vec![1, 2, 4, 8],
+    )
+    .with_topologies(vec![TopologySpec::PaperDefault, TopologySpec::Flat])
+}
+
+fn bench(c: &mut Criterion) {
+    let g = grid();
+    let threads = SweepEngine::new().threads();
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("serial/16scenarios", |b| {
+        b.iter(|| SweepEngine::serial().run(&g).rows.len())
+    });
+    group.bench_function(format!("parallel{threads}/16scenarios"), |b| {
+        b.iter(|| SweepEngine::new().run(&g).rows.len())
+    });
+    let warm = SweepEngine::new();
+    let _ = warm.run(&g);
+    group.bench_function("cached/16scenarios", |b| b.iter(|| warm.run(&g).cache_hits));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

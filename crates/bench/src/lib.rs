@@ -1,1 +1,7 @@
-//! Benchmark-only crate; see `benches/`.
+//! Benchmark-only crate: the library target is empty; the Criterion
+//! targets under `benches/` (one per paper figure/table, plus substrate
+//! micro-benchmarks and the sweep-engine serial-vs-parallel comparison)
+//! are the content.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]

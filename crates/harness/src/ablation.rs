@@ -6,11 +6,10 @@
 //!    8-chip TinyLlama configuration.
 //! 3. **Group size sweep** — why groups of four.
 
+use crate::sweep::{PlacementPolicy, Scenario, SweepEngine, TopologySpec};
 use crate::table::{fmt_cycles, TextTable};
-use mtp_core::{CoreError, DistributedSystem, SystemReport};
-use mtp_link::Topology;
+use mtp_core::{CoreError, SystemReport};
 use mtp_model::{InferenceMode, TransformerConfig};
-use mtp_sim::ChipSpec;
 
 /// Hierarchical vs flat all-reduce at one chip count.
 #[derive(Debug, Clone)]
@@ -24,24 +23,30 @@ pub struct TopologyAblation {
 }
 
 /// Runs the topology ablation on the scaled-up model in autoregressive
-/// mode at several chip counts.
+/// mode at several chip counts (one parallel sweep-engine batch).
 ///
 /// # Errors
 ///
 /// Propagates partitioning/simulation errors.
 pub fn topology(chip_counts: &[usize]) -> Result<Vec<TopologyAblation>, CoreError> {
     let cfg = TransformerConfig::tiny_llama_scaled_64h();
-    chip_counts
+    let scenarios: Vec<Scenario> = chip_counts
         .iter()
-        .map(|&n| {
-            let hierarchical = DistributedSystem::paper_default(cfg.clone(), n)?
-                .simulate_block(InferenceMode::Autoregressive)?;
-            let flat = DistributedSystem::paper_default(cfg.clone(), n)?
-                .with_topology(Topology::flat(n)?)
-                .simulate_block(InferenceMode::Autoregressive)?;
-            Ok(TopologyAblation { n_chips: n, hierarchical, flat })
+        .flat_map(|&n| {
+            let base = Scenario::new(cfg.clone(), InferenceMode::Autoregressive, n);
+            [base.clone(), base.with_topology(TopologySpec::Flat)]
         })
-        .collect()
+        .collect();
+    let reports = SweepEngine::new().reports(&scenarios)?;
+    Ok(chip_counts
+        .iter()
+        .zip(reports.chunks_exact(2))
+        .map(|(&n_chips, pair)| TopologyAblation {
+            n_chips,
+            hierarchical: pair[0].clone(),
+            flat: pair[1].clone(),
+        })
+        .collect())
 }
 
 /// Double-buffering ablation: the paper's 8-chip TinyLlama configuration
@@ -55,20 +60,17 @@ pub struct BufferingAblation {
     pub streamed: SystemReport,
 }
 
-/// Runs the double-buffering ablation.
+/// Runs the double-buffering ablation (the sweep engine's
+/// [`PlacementPolicy::ForceStreamed`] axis).
 ///
 /// # Errors
 ///
 /// Propagates partitioning/simulation errors.
 pub fn buffering() -> Result<BufferingAblation, CoreError> {
-    let cfg = TransformerConfig::tiny_llama_42m();
-    let double_buffered = DistributedSystem::paper_default(cfg.clone(), 8)?
-        .simulate_block(InferenceMode::Autoregressive)?;
-    let mut chip = ChipSpec::siracusa();
-    // No room for a second buffer: the plan must fall back to streaming.
-    chip.l2_usable_fraction = 0.2;
-    let streamed = DistributedSystem::with_chip(cfg, 8, chip)?
-        .simulate_block(InferenceMode::Autoregressive)?;
+    let base = Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive, 8);
+    let scenarios = [base.clone(), base.with_placement(PlacementPolicy::ForceStreamed)];
+    let [double_buffered, streamed] =
+        SweepEngine::new().reports(&scenarios)?.try_into().expect("two scenarios");
     Ok(BufferingAblation { double_buffered, streamed })
 }
 
@@ -83,15 +85,18 @@ pub fn gqa(
     n_chips: usize,
     kv_head_counts: &[usize],
 ) -> Result<Vec<(usize, SystemReport)>, CoreError> {
-    kv_head_counts
+    let scenarios: Vec<Scenario> = kv_head_counts
         .iter()
         .map(|&kv| {
-            let cfg = TransformerConfig::tiny_llama_gqa(kv);
-            let r = DistributedSystem::paper_default(cfg, n_chips)?
-                .simulate_block(InferenceMode::Autoregressive)?;
-            Ok((kv, r))
+            Scenario::new(
+                TransformerConfig::tiny_llama_gqa(kv),
+                InferenceMode::Autoregressive,
+                n_chips,
+            )
         })
-        .collect()
+        .collect();
+    let reports = SweepEngine::new().reports(&scenarios)?;
+    Ok(kv_head_counts.iter().copied().zip(reports).collect())
 }
 
 /// Group-size sweep for the hierarchical reduction at a fixed chip count.
@@ -104,15 +109,15 @@ pub fn group_size(
     sizes: &[usize],
 ) -> Result<Vec<(usize, SystemReport)>, CoreError> {
     let cfg = TransformerConfig::tiny_llama_scaled_64h();
-    sizes
+    let scenarios: Vec<Scenario> = sizes
         .iter()
-        .map(|&g| {
-            let r = DistributedSystem::paper_default(cfg.clone(), n_chips)?
-                .with_topology(Topology::hierarchical(n_chips, g)?)
-                .simulate_block(InferenceMode::Autoregressive)?;
-            Ok((g, r))
+        .map(|&group_size| {
+            Scenario::new(cfg.clone(), InferenceMode::Autoregressive, n_chips)
+                .with_topology(TopologySpec::Hierarchical { group_size })
         })
-        .collect()
+        .collect();
+    let reports = SweepEngine::new().reports(&scenarios)?;
+    Ok(sizes.iter().copied().zip(reports).collect())
 }
 
 /// Renders all ablations.

@@ -6,8 +6,9 @@
 //! system. On MobileBERT, the distributed system's runtime is 38.8 ms,
 //! with a super-linear 4.7x speedup when using 4 MCUs."
 
+use crate::sweep::{Scenario, SweepEngine};
 use crate::table::TextTable;
-use mtp_core::{CoreError, DistributedSystem};
+use mtp_core::CoreError;
 use mtp_model::{InferenceMode, TransformerConfig};
 
 /// Measured counterparts of every abstract-level claim.
@@ -35,6 +36,9 @@ pub struct Headline {
 
 /// Computes all headline numbers.
 ///
+/// A view over the sweep engine: all eight system points run as one
+/// scenario batch (simulated in parallel, deduplicated by the cache).
+///
 /// # Errors
 ///
 /// Propagates partitioning/simulation errors.
@@ -42,21 +46,22 @@ pub fn run() -> Result<Headline, CoreError> {
     let ar = InferenceMode::Autoregressive;
     let pr = InferenceMode::Prompt;
 
-    let cfg = TransformerConfig::tiny_llama_42m();
-    let ar1 = DistributedSystem::paper_default(cfg.clone(), 1)?.simulate_block(ar)?;
-    let ar8 = DistributedSystem::paper_default(cfg, 8)?.simulate_block(ar)?;
-
-    let cfg = TransformerConfig::tiny_llama_42m().with_seq_len(16);
-    let pr1 = DistributedSystem::paper_default(cfg.clone(), 1)?.simulate_block(pr)?;
-    let pr8 = DistributedSystem::paper_default(cfg, 8)?.simulate_block(pr)?;
-
-    let cfg = TransformerConfig::mobile_bert();
-    let mb1 = DistributedSystem::paper_default(cfg.clone(), 1)?.simulate_block(pr)?;
-    let mb4 = DistributedSystem::paper_default(cfg, 4)?.simulate_block(pr)?;
-
-    let cfg = TransformerConfig::tiny_llama_scaled_64h();
-    let sc1 = DistributedSystem::paper_default(cfg.clone(), 1)?.simulate_block(ar)?;
-    let sc64 = DistributedSystem::paper_default(cfg, 64)?.simulate_block(ar)?;
+    let tiny = TransformerConfig::tiny_llama_42m();
+    let tiny16 = TransformerConfig::tiny_llama_42m().with_seq_len(16);
+    let bert = TransformerConfig::mobile_bert();
+    let scaled = TransformerConfig::tiny_llama_scaled_64h();
+    let scenarios = [
+        Scenario::new(tiny.clone(), ar, 1),
+        Scenario::new(tiny, ar, 8),
+        Scenario::new(tiny16.clone(), pr, 1),
+        Scenario::new(tiny16, pr, 8),
+        Scenario::new(bert.clone(), pr, 1),
+        Scenario::new(bert, pr, 4),
+        Scenario::new(scaled.clone(), ar, 1),
+        Scenario::new(scaled, ar, 64),
+    ];
+    let reports = SweepEngine::new().reports(&scenarios)?;
+    let [ar1, ar8, pr1, pr8, mb1, mb4, sc1, sc64] = reports.try_into().expect("eight scenarios");
 
     Ok(Headline {
         tinyllama_ar_speedup_8: ar8.speedup_over(&ar1),

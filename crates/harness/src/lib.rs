@@ -17,9 +17,14 @@
 //! | Table I strategy comparison | [`table1`] |
 //! | Abstract headline numbers | [`headline`] |
 //! | Extension: ablations (topology, double-buffering, baselines) | [`ablation`] |
+//!
+//! Since the sweep-engine refactor, every module above is a thin view
+//! over [`sweep::SweepEngine`] — one declarative, parallel, cached code
+//! path produces every number (see `DESIGN.md` §7). New scenario studies
+//! should declare a [`sweep::SweepGrid`] instead of hand-rolling loops.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ablation;
 pub mod advisor;
@@ -27,11 +32,13 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod headline;
+pub mod sweep;
 pub mod table;
 pub mod table1;
 
-use mtp_core::{CoreError, DistributedSystem, SystemReport};
+use mtp_core::{CoreError, SystemReport};
 use mtp_model::{InferenceMode, TransformerConfig};
+use sweep::{Scenario, SweepEngine, SweepGrid};
 
 /// One swept point: a chip count and its simulation report.
 #[derive(Debug, Clone)]
@@ -45,8 +52,9 @@ pub struct SweepPoint {
 /// Sweeps a workload over chip counts, reporting one steady-state block
 /// per point (what the paper's figures show).
 ///
-/// Points are simulated in parallel (one thread per chip count); results
-/// come back in the order of `chip_counts`.
+/// A thin view over [`sweep::SweepEngine`]: points are simulated in
+/// parallel and deduplicated through the scenario cache; results come
+/// back in the order of `chip_counts`.
 ///
 /// # Errors
 ///
@@ -56,22 +64,14 @@ pub fn sweep(
     mode: InferenceMode,
     chip_counts: &[usize],
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chip_counts
-            .iter()
-            .map(|&n| {
-                let cfg = cfg.clone();
-                scope.spawn(move || -> Result<SweepPoint, CoreError> {
-                    let report = DistributedSystem::paper_default(cfg, n)?.simulate_block(mode)?;
-                    Ok(SweepPoint { n_chips: n, report })
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect::<Result<Vec<_>, _>>()
-    })
+    let grid = SweepGrid::single(cfg.clone(), mode, chip_counts.to_vec());
+    let scenarios: Vec<Scenario> = grid.scenarios();
+    let reports = SweepEngine::new().reports(&scenarios)?;
+    Ok(scenarios
+        .into_iter()
+        .zip(reports)
+        .map(|(s, report)| SweepPoint { n_chips: s.n_chips, report })
+        .collect())
 }
 
 /// Speedup of each sweep point relative to the first (single-chip) point.

@@ -1,0 +1,1136 @@
+//! The unified scenario-sweep engine: every paper artefact (and every
+//! future scaling/workload study) is a *view* over this module.
+//!
+//! A [`Scenario`] is one fully-specified experiment point — model
+//! configuration, inference mode, chip count, reduction topology,
+//! placement policy, link bandwidth, and span (one steady-state block or
+//! the full model pass). A [`SweepGrid`] declares a cross product over
+//! those axes; the [`SweepEngine`] enumerates the grid, deduplicates
+//! repeated configurations through a scenario-key cache, simulates the
+//! unique points in parallel with `std::thread::scope`, and returns
+//! [`SweepResults`] that render as a text table or serialize to CSV and
+//! JSON rows (makespan, runtime breakdown, per-chip breakdown, bytes
+//! moved, energy).
+//!
+//! Determinism: grids enumerate in a fixed nested order, workers write
+//! results into pre-assigned slots, and the underlying simulator is
+//! bit-deterministic — so two runs of the same grid produce byte-identical
+//! CSV/JSON (locked by `tests/sweep.rs`). See `DESIGN.md` §7.
+//!
+//! # Examples
+//!
+//! ```
+//! use mtp_harness::sweep::{SweepEngine, SweepGrid};
+//! use mtp_model::{InferenceMode, TransformerConfig};
+//!
+//! let cfg = TransformerConfig::tiny_llama_42m();
+//! let grid = SweepGrid::single(cfg, InferenceMode::Autoregressive, vec![1, 8]);
+//! let results = SweepEngine::new().run(&grid);
+//! assert_eq!(results.rows.len(), 2);
+//! assert!(results.rows[1].report.speedup_over(&results.rows[0].report) > 8.0);
+//! ```
+
+use crate::table::{fmt_cycles, TextTable};
+use mtp_core::{CoreError, DistributedSystem, SystemReport};
+use mtp_link::Topology;
+use mtp_model::{InferenceMode, TransformerConfig};
+use mtp_sim::ChipSpec;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The named model presets of the paper plus the in-repo extensions —
+/// the `--models` vocabulary of `mtp sweep` and the model axis of
+/// [`SweepGrid::paper_default`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelPreset {
+    /// TinyLlama-42M (S = 128 autoregressive / S = 16 prompt).
+    TinyLlama,
+    /// The scalability-study variant with 64 heads.
+    TinyLlamaScaled64h,
+    /// Grouped-query TinyLlama with the given number of K/V heads.
+    TinyLlamaGqa(usize),
+    /// The MobileBERT encoder (S = 268).
+    MobileBert,
+}
+
+impl ModelPreset {
+    /// Parses a CLI model name (`tinyllama`, `tinyllama-64h`,
+    /// `tinyllama-gqaK`, `mobilebert`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the accepted vocabulary on unknown names
+    /// and of the divisibility constraint on bad `gqaK` suffixes.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "tinyllama" => Ok(ModelPreset::TinyLlama),
+            "tinyllama-64h" => Ok(ModelPreset::TinyLlamaScaled64h),
+            "mobilebert" => Ok(ModelPreset::MobileBert),
+            other => {
+                if let Some(k) = other.strip_prefix("tinyllama-gqa") {
+                    let kv: usize =
+                        k.parse().map_err(|_| format!("bad kv-head count in `{other}`"))?;
+                    if kv == 0 || !8usize.is_multiple_of(kv) {
+                        return Err(format!("kv heads must divide 8, got {kv}"));
+                    }
+                    return Ok(ModelPreset::TinyLlamaGqa(kv));
+                }
+                Err(format!(
+                    "unknown model `{other}` (tinyllama|tinyllama-64h|tinyllama-gqaK|mobilebert)"
+                ))
+            }
+        }
+    }
+
+    /// The CLI name this preset parses from.
+    #[must_use]
+    pub fn cli_name(self) -> String {
+        match self {
+            ModelPreset::TinyLlama => "tinyllama".to_owned(),
+            ModelPreset::TinyLlamaScaled64h => "tinyllama-64h".to_owned(),
+            ModelPreset::TinyLlamaGqa(kv) => format!("tinyllama-gqa{kv}"),
+            ModelPreset::MobileBert => "mobilebert".to_owned(),
+        }
+    }
+
+    /// The concrete configuration for this preset in the given mode
+    /// (prompt-mode TinyLlama variants use the paper's S = 16).
+    #[must_use]
+    pub fn config(self, mode: InferenceMode) -> TransformerConfig {
+        let cfg = match self {
+            ModelPreset::TinyLlama => TransformerConfig::tiny_llama_42m(),
+            ModelPreset::TinyLlamaScaled64h => TransformerConfig::tiny_llama_scaled_64h(),
+            ModelPreset::TinyLlamaGqa(kv) => TransformerConfig::tiny_llama_gqa(kv),
+            ModelPreset::MobileBert => return TransformerConfig::mobile_bert(),
+        };
+        match mode {
+            InferenceMode::Autoregressive => cfg,
+            InferenceMode::Prompt => cfg.with_seq_len(16),
+        }
+    }
+}
+
+/// The reduction-topology axis of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// The paper's hierarchical groups of four
+    /// ([`Topology::paper_default`]).
+    PaperDefault,
+    /// A hierarchical tree with an explicit group size.
+    Hierarchical {
+        /// Chips per reduction group (the paper uses 4).
+        group_size: usize,
+    },
+    /// Flat all-to-one reduction (the ablation baseline).
+    Flat,
+}
+
+impl TopologySpec {
+    /// Parses a CLI topology name (`hier4`, `hierN`, `flat`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the accepted vocabulary.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "hier4" => Ok(TopologySpec::PaperDefault),
+            "flat" => Ok(TopologySpec::Flat),
+            other => {
+                if let Some(g) = other.strip_prefix("hier") {
+                    let group_size: usize =
+                        g.parse().map_err(|_| format!("bad group size in `{other}`"))?;
+                    if group_size < 2 {
+                        return Err(format!("group size must be at least 2, got {group_size}"));
+                    }
+                    return Ok(TopologySpec::Hierarchical { group_size });
+                }
+                Err(format!("unknown topology `{other}` (hier4|hierN|flat)"))
+            }
+        }
+    }
+
+    /// Short label (`hier4`, `hierN`, `flat`) used in keys, tables, and
+    /// serialized rows.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            TopologySpec::PaperDefault => "hier4".to_owned(),
+            TopologySpec::Hierarchical { group_size } => format!("hier{group_size}"),
+            TopologySpec::Flat => "flat".to_owned(),
+        }
+    }
+
+    /// Builds the concrete topology for `n_chips`; `None` means "let the
+    /// system use its default" (which is the paper topology).
+    fn build(self, n_chips: usize) -> Result<Option<Topology>, CoreError> {
+        match self {
+            TopologySpec::PaperDefault => Ok(None),
+            TopologySpec::Hierarchical { group_size } => {
+                Ok(Some(Topology::hierarchical(n_chips, group_size)?))
+            }
+            TopologySpec::Flat => Ok(Some(Topology::flat(n_chips)?)),
+        }
+    }
+}
+
+/// The weight-placement axis of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Let the memory plan pick the best residency regime that fits
+    /// (streamed / double-buffered / resident) — the paper's policy.
+    Auto,
+    /// Force the streamed regime by shrinking usable L2 below the
+    /// double-buffering threshold (the prefetch ablation's baseline).
+    ForceStreamed,
+}
+
+impl PlacementPolicy {
+    /// Parses a CLI placement name (`auto`, `streamed`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the accepted vocabulary.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "auto" => Ok(PlacementPolicy::Auto),
+            "streamed" => Ok(PlacementPolicy::ForceStreamed),
+            other => Err(format!("unknown placement `{other}` (auto|streamed)")),
+        }
+    }
+
+    /// Short label (`auto`, `streamed`) used in keys, tables, and
+    /// serialized rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::Auto => "auto",
+            PlacementPolicy::ForceStreamed => "streamed",
+        }
+    }
+}
+
+/// How much of the workload a scenario simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Span {
+    /// One steady-state Transformer block (what the paper's figures show).
+    Block,
+    /// A full forward pass over all layers (what Table I reports).
+    Model,
+}
+
+impl Span {
+    /// Parses a CLI span name (`block`, `model`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the accepted vocabulary.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "block" => Ok(Span::Block),
+            "model" => Ok(Span::Model),
+            other => Err(format!("unknown span `{other}` (block|model)")),
+        }
+    }
+
+    /// Short label (`block`, `model`) used in keys, tables, and serialized
+    /// rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Span::Block => "block",
+            Span::Model => "model",
+        }
+    }
+}
+
+/// One fully-specified experiment point of the sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Model architecture (including sequence length and dtype — the
+    /// quantization axis is `config.dtype`).
+    pub config: TransformerConfig,
+    /// Inference mode.
+    pub mode: InferenceMode,
+    /// Number of chips.
+    pub n_chips: usize,
+    /// Reduction topology.
+    pub topology: TopologySpec,
+    /// Weight-placement policy.
+    pub placement: PlacementPolicy,
+    /// Chip-to-chip link bandwidth as a percentage of the paper's MIPI
+    /// port (100 = 1 byte per cycle).
+    pub link_bw_pct: u32,
+    /// Simulated span.
+    pub span: Span,
+}
+
+impl Scenario {
+    /// A scenario with the paper's defaults on every non-mandatory axis
+    /// (paper topology, automatic placement, 100% MIPI bandwidth, one
+    /// steady-state block).
+    #[must_use]
+    pub fn new(config: TransformerConfig, mode: InferenceMode, n_chips: usize) -> Self {
+        Scenario {
+            config,
+            mode,
+            n_chips,
+            topology: TopologySpec::PaperDefault,
+            placement: PlacementPolicy::Auto,
+            link_bw_pct: 100,
+            span: Span::Block,
+        }
+    }
+
+    /// The same scenario with a different topology.
+    #[must_use]
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// The same scenario with a different placement policy.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The same scenario with a different link bandwidth (percent of the
+    /// paper's MIPI port).
+    #[must_use]
+    pub fn with_link_bw_pct(mut self, pct: u32) -> Self {
+        self.link_bw_pct = pct;
+        self
+    }
+
+    /// The same scenario with a different span.
+    #[must_use]
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// The cache/deduplication key: two scenarios with equal keys simulate
+    /// identically. Every architectural dimension participates, so
+    /// distinct configurations cannot collide even when names match.
+    #[must_use]
+    pub fn key(&self) -> String {
+        let c = &self.config;
+        format!(
+            "{}|e{}h{}kv{}f{}l{}s{}|{:?}|{:?}|{:?}|{}|{}|{}chips|{}|{}|bw{}|{}",
+            c.name,
+            c.embed_dim,
+            c.n_heads,
+            c.n_kv_heads,
+            c.ffn_dim,
+            c.n_layers,
+            c.seq_len,
+            c.norm,
+            c.activation,
+            c.attention,
+            c.dtype,
+            self.mode,
+            self.n_chips,
+            self.topology.label(),
+            self.placement.label(),
+            self.link_bw_pct,
+            self.span.label(),
+        )
+    }
+
+    /// The chip specification this scenario simulates on: Siracusa with
+    /// the link-bandwidth and placement axes applied.
+    #[must_use]
+    pub fn chip(&self) -> ChipSpec {
+        let mut chip = ChipSpec::siracusa();
+        chip.link.bytes_per_cycle *= f64::from(self.link_bw_pct) / 100.0;
+        if self.placement == PlacementPolicy::ForceStreamed {
+            // No L2 headroom for a second weight buffer: the memory plan
+            // must fall back to synchronous streaming.
+            chip.l2_usable_fraction = 0.2;
+        }
+        chip
+    }
+
+    /// Runs the scenario once (uncached; the engine is the cached entry
+    /// point).
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning, topology, and simulation errors.
+    pub fn run(&self) -> Result<SystemReport, CoreError> {
+        let mut sys = DistributedSystem::with_chip(self.config.clone(), self.n_chips, self.chip())?;
+        if let Some(t) = self.topology.build(self.n_chips)? {
+            sys = sys.with_topology(t);
+        }
+        match self.span {
+            Span::Block => sys.simulate_block(self.mode),
+            Span::Model => sys.simulate_model(self.mode),
+        }
+    }
+}
+
+/// A declarative cross product of scenario axes.
+///
+/// Enumeration order is fixed (workloads, then chip counts, then
+/// topologies, placements, bandwidths), which makes sweep output
+/// deterministic row-for-row.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Model/mode pairs to sweep (a pair, not a cross product, so encoder
+    /// models can be paired with prompt mode only where that is wanted).
+    pub workloads: Vec<(TransformerConfig, InferenceMode)>,
+    /// Chip-count axis.
+    pub chip_counts: Vec<usize>,
+    /// Topology axis.
+    pub topologies: Vec<TopologySpec>,
+    /// Placement axis.
+    pub placements: Vec<PlacementPolicy>,
+    /// Link-bandwidth axis (percent of the paper's MIPI port).
+    pub link_bw_pcts: Vec<u32>,
+    /// Simulated span (one value, not an axis: mixing block- and
+    /// model-span rows in one table is rarely meaningful).
+    pub span: Span,
+}
+
+impl SweepGrid {
+    /// A grid over the given workloads and chip counts with the paper's
+    /// defaults on every other axis.
+    #[must_use]
+    pub fn new(
+        workloads: Vec<(TransformerConfig, InferenceMode)>,
+        chip_counts: Vec<usize>,
+    ) -> Self {
+        SweepGrid {
+            workloads,
+            chip_counts,
+            topologies: vec![TopologySpec::PaperDefault],
+            placements: vec![PlacementPolicy::Auto],
+            link_bw_pcts: vec![100],
+            span: Span::Block,
+        }
+    }
+
+    /// A single-model grid (the shape of every paper figure).
+    #[must_use]
+    pub fn single(config: TransformerConfig, mode: InferenceMode, chip_counts: Vec<usize>) -> Self {
+        SweepGrid::new(vec![(config, mode)], chip_counts)
+    }
+
+    /// The default `mtp sweep` grid: all three paper workloads in both
+    /// modes, chip counts 1–64, hierarchical and flat topologies — at
+    /// least 48 valid scenarios (invalid chip counts are skipped with a
+    /// reason at run time).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        let ar = InferenceMode::Autoregressive;
+        let pr = InferenceMode::Prompt;
+        let mut grid = SweepGrid::new(
+            vec![
+                (ModelPreset::TinyLlama.config(ar), ar),
+                (ModelPreset::TinyLlama.config(pr), pr),
+                (ModelPreset::TinyLlamaScaled64h.config(ar), ar),
+                (ModelPreset::TinyLlamaScaled64h.config(pr), pr),
+                (ModelPreset::MobileBert.config(pr), pr),
+            ],
+            vec![1, 2, 4, 8, 16, 32, 64],
+        );
+        grid.topologies = vec![TopologySpec::PaperDefault, TopologySpec::Flat];
+        grid
+    }
+
+    /// The same grid with a different topology axis.
+    #[must_use]
+    pub fn with_topologies(mut self, topologies: Vec<TopologySpec>) -> Self {
+        self.topologies = topologies;
+        self
+    }
+
+    /// The same grid with a different placement axis.
+    #[must_use]
+    pub fn with_placements(mut self, placements: Vec<PlacementPolicy>) -> Self {
+        self.placements = placements;
+        self
+    }
+
+    /// The same grid with a different link-bandwidth axis (percent of the
+    /// paper's MIPI port).
+    #[must_use]
+    pub fn with_link_bw_pcts(mut self, pcts: Vec<u32>) -> Self {
+        self.link_bw_pcts = pcts;
+        self
+    }
+
+    /// The same grid with a different span.
+    #[must_use]
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Number of scenarios the grid enumerates (before validity checks).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+            * self.chip_counts.len()
+            * self.topologies.len()
+            * self.placements.len()
+            * self.link_bw_pcts.len()
+    }
+
+    /// `true` when the grid enumerates no scenario.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates every scenario of the cross product in deterministic
+    /// nested order.
+    #[must_use]
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.len());
+        for (cfg, mode) in &self.workloads {
+            for &n_chips in &self.chip_counts {
+                for &topology in &self.topologies {
+                    for &placement in &self.placements {
+                        for &link_bw_pct in &self.link_bw_pcts {
+                            out.push(Scenario {
+                                config: cfg.clone(),
+                                mode: *mode,
+                                n_chips,
+                                topology,
+                                placement,
+                                link_bw_pct,
+                                span: self.span,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One successfully simulated grid point.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The scenario that produced the report.
+    pub scenario: Scenario,
+    /// The simulation result.
+    pub report: SystemReport,
+}
+
+/// A grid point that could not run (with the reason — typically a
+/// partition-divisibility violation for that chip count).
+#[derive(Debug, Clone)]
+pub struct SkippedScenario {
+    /// The scenario that was skipped.
+    pub scenario: Scenario,
+    /// Human-readable reason (the underlying error's message).
+    pub reason: String,
+}
+
+/// Everything one engine run produced.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    /// Successful rows, in grid-enumeration order.
+    pub rows: Vec<SweepRow>,
+    /// Skipped scenarios, in grid-enumeration order.
+    pub skipped: Vec<SkippedScenario>,
+    /// Scenarios answered from the cache (duplicates within this run plus
+    /// hits from earlier runs of the same engine).
+    pub cache_hits: usize,
+    /// Scenarios actually simulated by this run.
+    pub unique_simulated: usize,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+/// CSV column header of [`SweepResults::to_csv`] (one value per
+/// [`SweepRow`] field, stable for downstream tooling).
+pub const CSV_HEADER: &str = "model,mode,chips,topology,placement,link_bw_pct,span,blocks,\
+                              residency,makespan_cycles,runtime_ms,compute_cycles,\
+                              dma_l3_l2_cycles,dma_l2_l1_cycles,c2c_cycles,idle_cycles,\
+                              l3_l2_bytes,l2_l1_bytes,c2c_bytes,energy_mj,edp_mj_ms";
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl SweepRow {
+    /// One CSV line (no trailing newline), matching [`CSV_HEADER`].
+    #[must_use]
+    pub fn to_csv_line(&self) -> String {
+        let s = &self.scenario;
+        let r = &self.report;
+        let b = r.breakdown();
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{},{},{},{},{:.6},{:.6}",
+            csv_field(&s.config.name),
+            s.mode,
+            s.n_chips,
+            s.topology.label(),
+            s.placement.label(),
+            s.link_bw_pct,
+            s.span.label(),
+            r.n_blocks,
+            r.residency,
+            r.stats.makespan,
+            r.runtime_ms(),
+            b.compute,
+            b.dma_l3_l2,
+            b.dma_l2_l1,
+            b.c2c,
+            b.idle,
+            r.stats.total_l3_l2_bytes(),
+            r.stats.total_l2_l1_bytes(),
+            r.stats.total_c2c_bytes(),
+            r.energy_mj(),
+            r.edp(),
+        )
+    }
+
+    /// One JSON object (the same fields as the CSV line plus the per-chip
+    /// breakdown array).
+    #[must_use]
+    pub fn to_json_object(&self) -> String {
+        let s = &self.scenario;
+        let r = &self.report;
+        let b = r.breakdown();
+        let per_chip: Vec<String> = r
+            .per_chip_breakdowns()
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"compute\":{},\"dma_l3_l2\":{},\"dma_l2_l1\":{},\"c2c\":{},\"idle\":{}}}",
+                    c.compute, c.dma_l3_l2, c.dma_l2_l1, c.c2c, c.idle
+                )
+            })
+            .collect();
+        format!(
+            "{{\"model\":{},\"mode\":{},\"chips\":{},\"topology\":{},\"placement\":{},\
+             \"link_bw_pct\":{},\"span\":{},\"blocks\":{},\"residency\":{},\
+             \"makespan_cycles\":{},\"runtime_ms\":{:.6},\"compute_cycles\":{},\
+             \"dma_l3_l2_cycles\":{},\"dma_l2_l1_cycles\":{},\"c2c_cycles\":{},\
+             \"idle_cycles\":{},\"l3_l2_bytes\":{},\"l2_l1_bytes\":{},\"c2c_bytes\":{},\
+             \"energy_mj\":{:.6},\"edp_mj_ms\":{:.6},\"per_chip\":[{}]}}",
+            json_string(&s.config.name),
+            json_string(&s.mode.to_string()),
+            s.n_chips,
+            json_string(&s.topology.label()),
+            json_string(s.placement.label()),
+            s.link_bw_pct,
+            json_string(s.span.label()),
+            r.n_blocks,
+            json_string(&r.residency.to_string()),
+            r.stats.makespan,
+            r.runtime_ms(),
+            b.compute,
+            b.dma_l3_l2,
+            b.dma_l2_l1,
+            b.c2c,
+            b.idle,
+            r.stats.total_l3_l2_bytes(),
+            r.stats.total_l2_l1_bytes(),
+            r.stats.total_c2c_bytes(),
+            r.energy_mj(),
+            r.edp(),
+            per_chip.join(","),
+        )
+    }
+}
+
+impl SweepResults {
+    /// Serializes every row as CSV (header + one line per row, trailing
+    /// newline). Byte-identical across runs of the same grid.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.to_csv_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes every row as a JSON array (one object per row).
+    /// Byte-identical across runs of the same grid.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&row.to_json_object());
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out.push('\n');
+        out
+    }
+
+    /// Renders the rows as an aligned text table (what `mtp sweep`
+    /// prints).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            [
+                "model",
+                "mode",
+                "chips",
+                "topo",
+                "place",
+                "bw%",
+                "regime",
+                "runtime(cyc)",
+                "ms",
+                "energy(mJ)",
+                "EDP",
+            ]
+            .map(String::from)
+            .to_vec(),
+        );
+        for row in &self.rows {
+            let s = &row.scenario;
+            let r = &row.report;
+            t.row(vec![
+                s.config.name.clone(),
+                s.mode.to_string(),
+                s.n_chips.to_string(),
+                s.topology.label(),
+                s.placement.label().to_owned(),
+                s.link_bw_pct.to_string(),
+                r.residency.to_string(),
+                fmt_cycles(r.stats.makespan),
+                format!("{:.3}", r.runtime_ms()),
+                format!("{:.3}", r.energy_mj()),
+                format!("{:.4}", r.edp()),
+            ]);
+        }
+        t.render()
+    }
+
+    /// One-line run summary (scenario counts, cache hits, timing).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} scenario(s): {} simulated, {} from cache, {} skipped; {:.1} ms",
+            self.rows.len() + self.skipped.len(),
+            self.unique_simulated,
+            self.cache_hits,
+            self.skipped.len(),
+            self.elapsed.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// The parallel, caching sweep runner.
+///
+/// The engine owns a scenario-key cache that persists across `run` calls,
+/// so re-running an overlapping grid only simulates the new points.
+/// Within one run, duplicate scenarios are simulated once; unique points
+/// are distributed over `threads` scoped worker threads.
+#[derive(Debug)]
+pub struct SweepEngine {
+    threads: usize,
+    cache: Mutex<HashMap<String, SystemReport>>,
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        SweepEngine::new()
+    }
+}
+
+impl SweepEngine {
+    /// An engine with one worker per available CPU.
+    #[must_use]
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+        SweepEngine::with_threads(threads)
+    }
+
+    /// An engine that simulates strictly one scenario at a time (the
+    /// baseline `mtp sweep --compare-serial` measures against).
+    #[must_use]
+    pub fn serial() -> Self {
+        SweepEngine::with_threads(1)
+    }
+
+    /// An engine with an explicit worker count (minimum 1).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        SweepEngine { threads: threads.max(1), cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// Worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of reports currently cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread poisoned the cache lock (a worker
+    /// panicked mid-insert), which indicates a simulator bug.
+    #[must_use]
+    pub fn cached_len(&self) -> usize {
+        self.cache.lock().expect("sweep cache poisoned").len()
+    }
+
+    /// Runs every scenario of the grid. Never fails as a whole: invalid
+    /// grid points come back in [`SweepResults::skipped`] with the
+    /// underlying error message.
+    #[must_use]
+    pub fn run(&self, grid: &SweepGrid) -> SweepResults {
+        self.run_scenarios(&grid.scenarios())
+    }
+
+    /// Runs an explicit scenario list (deduplicated via the cache) and
+    /// returns rows in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics, which indicates a simulator bug
+    /// (simulation errors are reported as skips, not panics).
+    #[must_use]
+    pub fn run_scenarios(&self, scenarios: &[Scenario]) -> SweepResults {
+        let started = std::time::Instant::now();
+
+        // Phase 1: under the lock, collect the unique not-yet-cached
+        // points to simulate (first occurrence of each key wins).
+        let mut to_run: Vec<(String, Scenario)> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("sweep cache poisoned");
+            let mut claimed: HashSet<String> = HashSet::new();
+            for s in scenarios {
+                let key = s.key();
+                if !cache.contains_key(&key) && claimed.insert(key.clone()) {
+                    to_run.push((key, s.clone()));
+                }
+            }
+        }
+
+        // Phase 2: simulate unique points in parallel. Workers claim
+        // indices from an atomic counter and write into pre-assigned
+        // slots, so the outcome is independent of scheduling order.
+        let slots: Vec<Mutex<Option<Result<SystemReport, String>>>> =
+            to_run.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(to_run.len());
+        if workers > 0 {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((_, scenario)) = to_run.get(i) else { break };
+                        let outcome = scenario.run().map_err(|e| e.to_string());
+                        *slots[i].lock().expect("sweep slot poisoned") = Some(outcome);
+                    });
+                }
+            });
+        }
+
+        // Phase 3: fold results into the cache, then assemble rows in
+        // input order. A row counts as "simulated" only for the first
+        // occurrence of a key this run produced; every other successful
+        // row is a cache hit (a prior run's report or a within-run
+        // duplicate). Failed points are skipped wherever they occur, so
+        // `unique_simulated + cache_hits == rows.len()` always holds.
+        let mut failures: HashMap<String, String> = HashMap::new();
+        let mut fresh: HashSet<String> = HashSet::new();
+        {
+            let mut cache = self.cache.lock().expect("sweep cache poisoned");
+            for ((key, _), slot) in to_run.iter().zip(&slots) {
+                match slot.lock().expect("sweep slot poisoned").take() {
+                    Some(Ok(report)) => {
+                        cache.insert(key.clone(), report);
+                        fresh.insert(key.clone());
+                    }
+                    Some(Err(reason)) => {
+                        failures.insert(key.clone(), reason);
+                    }
+                    None => unreachable!("worker exited without filling its slot"),
+                }
+            }
+        }
+
+        let cache = self.cache.lock().expect("sweep cache poisoned");
+        let mut rows = Vec::new();
+        let mut skipped = Vec::new();
+        let mut cache_hits = 0usize;
+        for s in scenarios {
+            let key = s.key();
+            if let Some(report) = cache.get(&key) {
+                if !fresh.remove(&key) {
+                    cache_hits += 1;
+                }
+                rows.push(SweepRow { scenario: s.clone(), report: report.clone() });
+            } else {
+                let reason =
+                    failures.get(&key).cloned().unwrap_or_else(|| "unknown failure".to_owned());
+                skipped.push(SkippedScenario { scenario: s.clone(), reason });
+            }
+        }
+        SweepResults {
+            rows,
+            skipped,
+            cache_hits,
+            unique_simulated: to_run.len() - failures.len(),
+            elapsed: started.elapsed(),
+        }
+    }
+
+    /// Runs (or recalls) a single scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the scenario's partitioning/topology/simulation error.
+    pub fn run_one(&self, scenario: &Scenario) -> Result<SystemReport, CoreError> {
+        let key = scenario.key();
+        if let Some(hit) = self.cache.lock().expect("sweep cache poisoned").get(&key) {
+            return Ok(hit.clone());
+        }
+        let report = scenario.run()?;
+        self.cache.lock().expect("sweep cache poisoned").insert(key, report.clone());
+        Ok(report)
+    }
+
+    /// Runs a scenario list where every point is expected to be valid;
+    /// returns the reports in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] naming the first skipped
+    /// scenario if any point fails.
+    pub fn reports(&self, scenarios: &[Scenario]) -> Result<Vec<SystemReport>, CoreError> {
+        let results = self.run_scenarios(scenarios);
+        if let Some(s) = results.skipped.first() {
+            return Err(CoreError::InvalidConfig(format!(
+                "scenario `{}` failed: {}",
+                s.scenario.key(),
+                s.reason
+            )));
+        }
+        Ok(results.rows.into_iter().map(|r| r.report).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid::single(
+            TransformerConfig::tiny_llama_42m(),
+            InferenceMode::Autoregressive,
+            vec![1, 2, 4, 8],
+        )
+    }
+
+    #[test]
+    fn grid_enumerates_cross_product_in_order() {
+        let grid = small_grid()
+            .with_topologies(vec![TopologySpec::PaperDefault, TopologySpec::Flat])
+            .with_link_bw_pcts(vec![100, 50]);
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios.len(), 4 * 2 * 2);
+        assert_eq!(grid.len(), scenarios.len());
+        // Innermost axis varies fastest.
+        assert_eq!(scenarios[0].link_bw_pct, 100);
+        assert_eq!(scenarios[1].link_bw_pct, 50);
+        assert_eq!(scenarios[0].topology, TopologySpec::PaperDefault);
+        assert_eq!(scenarios[2].topology, TopologySpec::Flat);
+        assert_eq!(scenarios[0].n_chips, 1);
+        assert_eq!(scenarios[4].n_chips, 2);
+    }
+
+    #[test]
+    fn engine_caches_and_dedups() {
+        let engine = SweepEngine::new();
+        let scenario =
+            Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive, 2);
+        let twice = [scenario.clone(), scenario.clone()];
+        let results = engine.run_scenarios(&twice);
+        assert_eq!(results.rows.len(), 2);
+        assert_eq!(results.unique_simulated, 1);
+        assert_eq!(results.cache_hits, 1);
+        assert_eq!(results.rows[0].report.stats, results.rows[1].report.stats);
+        // A second run is answered entirely from the cache.
+        let again = engine.run_scenarios(&twice);
+        assert_eq!(again.unique_simulated, 0);
+        assert_eq!(again.cache_hits, 2);
+        assert_eq!(again.rows[0].report.stats, results.rows[0].report.stats);
+    }
+
+    #[test]
+    fn invalid_points_are_skipped_with_reason() {
+        let engine = SweepEngine::new();
+        // MobileBERT has 4 heads: 8 chips cannot partition it.
+        let grid =
+            SweepGrid::single(TransformerConfig::mobile_bert(), InferenceMode::Prompt, vec![4, 8]);
+        let results = engine.run(&grid);
+        assert_eq!(results.rows.len(), 1);
+        assert_eq!(results.skipped.len(), 1);
+        assert_eq!(results.skipped[0].scenario.n_chips, 8);
+        assert!(results.skipped[0].reason.contains("heads"), "{}", results.skipped[0].reason);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let grid = small_grid();
+        let parallel = SweepEngine::with_threads(4).run(&grid);
+        let serial = SweepEngine::serial().run(&grid);
+        assert_eq!(parallel.to_csv(), serial.to_csv());
+        assert_eq!(parallel.to_json(), serial.to_json());
+    }
+
+    #[test]
+    fn csv_and_json_shape() {
+        let results = SweepEngine::new().run(&small_grid());
+        let csv = results.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 21);
+        for line in lines {
+            assert_eq!(line.split(',').count(), 21, "row: {line}");
+        }
+        let json = results.to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert_eq!(json.matches("\"model\"").count(), 4);
+        assert!(json.contains("\"per_chip\""));
+    }
+
+    #[test]
+    fn forced_streaming_is_slower_than_auto() {
+        let engine = SweepEngine::new();
+        let auto =
+            Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive, 8);
+        let streamed = auto.clone().with_placement(PlacementPolicy::ForceStreamed);
+        let a = engine.run_one(&auto).unwrap();
+        let s = engine.run_one(&streamed).unwrap();
+        assert!(a.stats.makespan < s.stats.makespan);
+    }
+
+    #[test]
+    fn slower_link_increases_multi_chip_makespan() {
+        // Prompt mode moves S x E activations through the all-reduce, so
+        // link bandwidth is on the critical path there (in autoregressive
+        // mode a mild slowdown hides behind compute overlap).
+        let engine = SweepEngine::new();
+        let cfg = TransformerConfig::tiny_llama_42m().with_seq_len(16);
+        let full = Scenario::new(cfg, InferenceMode::Prompt, 8);
+        let half = full.clone().with_link_bw_pct(50);
+        let f = engine.run_one(&full).unwrap();
+        let h = engine.run_one(&half).unwrap();
+        assert!(h.stats.makespan > f.stats.makespan);
+        assert!(h.breakdown().c2c > f.breakdown().c2c);
+    }
+
+    #[test]
+    fn preset_parsing_round_trips() {
+        for name in ["tinyllama", "tinyllama-64h", "tinyllama-gqa2", "mobilebert"] {
+            assert_eq!(ModelPreset::parse(name).unwrap().cli_name(), name);
+        }
+        assert!(ModelPreset::parse("gpt4").is_err());
+        assert!(ModelPreset::parse("tinyllama-gqa3").is_err());
+        assert_eq!(TopologySpec::parse("hier4").unwrap(), TopologySpec::PaperDefault);
+        assert_eq!(
+            TopologySpec::parse("hier8").unwrap(),
+            TopologySpec::Hierarchical { group_size: 8 }
+        );
+        assert!(TopologySpec::parse("ring").is_err());
+        assert!(TopologySpec::parse("hier1").is_err());
+        assert_eq!(PlacementPolicy::parse("streamed").unwrap(), PlacementPolicy::ForceStreamed);
+        assert!(PlacementPolicy::parse("pinned").is_err());
+        assert_eq!(Span::parse("model").unwrap(), Span::Model);
+        assert!(Span::parse("layer").is_err());
+    }
+
+    #[test]
+    fn paper_default_grid_is_at_least_48_valid_scenarios() {
+        let grid = SweepGrid::paper_default();
+        let results = SweepEngine::new().run(&grid);
+        assert!(results.rows.len() >= 48, "only {} valid scenarios", results.rows.len());
+        // Every skip names a divisibility problem, never a simulator bug.
+        for s in &results.skipped {
+            assert!(s.reason.contains("share"), "unexpected skip: {}", s.reason);
+        }
+    }
+
+    #[test]
+    fn failed_duplicates_do_not_count_as_cache_hits() {
+        // Both enumerations of an invalid point share a key; neither may
+        // inflate the cache-hit counter, and the subcounts must add up.
+        let engine = SweepEngine::new();
+        let bad = Scenario::new(TransformerConfig::mobile_bert(), InferenceMode::Prompt, 8);
+        let results = engine.run_scenarios(&[bad.clone(), bad]);
+        assert_eq!(results.rows.len(), 0);
+        assert_eq!(results.skipped.len(), 2);
+        assert_eq!(results.cache_hits, 0);
+        assert_eq!(results.unique_simulated, 0);
+    }
+
+    #[test]
+    fn key_distinguishes_architecture_beyond_name_and_shape() {
+        // Same name and dimensions, different attention kind: the cache
+        // must not serve one the other's report.
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let mut bidi = cfg.clone();
+        bidi.attention = mtp_model::AttentionKind::Bidirectional;
+        let a = Scenario::new(cfg, InferenceMode::Prompt, 4);
+        let b = Scenario::new(bidi, InferenceMode::Prompt, 4);
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn scenario_keys_distinguish_every_axis() {
+        let base =
+            Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive, 4);
+        let variants = [
+            base.clone().with_topology(TopologySpec::Flat),
+            base.clone().with_placement(PlacementPolicy::ForceStreamed),
+            base.clone().with_link_bw_pct(50),
+            base.clone().with_span(Span::Model),
+            Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Prompt, 4),
+            Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive, 8),
+            Scenario::new(TransformerConfig::tiny_llama_gqa(4), InferenceMode::Autoregressive, 4),
+        ];
+        let mut keys = vec![base.key()];
+        for v in &variants {
+            assert!(!keys.contains(&v.key()), "key collision: {}", v.key());
+            keys.push(v.key());
+        }
+    }
+}

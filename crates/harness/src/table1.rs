@@ -5,11 +5,12 @@
 //! numbers for the three strategies we actually implement — the paper's
 //! scheme and the two baseline families it argues against.
 
+use crate::sweep::{Scenario, Span, SweepEngine};
 use crate::table::TextTable;
 use mtp_core::baseline::{
     self, ours_properties, pipeline_properties, replicated_properties, StrategyProperties,
 };
-use mtp_core::{CoreError, DistributedSystem, SystemReport};
+use mtp_core::{CoreError, SystemReport};
 use mtp_model::{InferenceMode, TransformerConfig};
 use mtp_sim::ChipSpec;
 
@@ -62,7 +63,9 @@ pub fn prior_work_rows() -> Vec<StrategyProperties> {
 }
 
 /// Runs the measured comparison: ours vs pipeline vs replicated, full
-/// TinyLlama model pass on `n_chips`.
+/// TinyLlama model pass on `n_chips`. The "ours" row is produced by the
+/// sweep engine (a model-span [`Scenario`]), so Table I shares the same
+/// code path as every figure; the baselines have their own simulators.
 ///
 /// # Errors
 ///
@@ -73,7 +76,8 @@ pub fn run(n_chips: usize, mode: InferenceMode) -> Result<Vec<ComparisonRow>, Co
         InferenceMode::Prompt => TransformerConfig::tiny_llama_42m().with_seq_len(16),
     };
     let chip = ChipSpec::siracusa();
-    let ours = DistributedSystem::paper_default(cfg.clone(), n_chips)?.simulate_model(mode)?;
+    let ours = SweepEngine::new()
+        .run_one(&Scenario::new(cfg.clone(), mode, n_chips).with_span(Span::Model))?;
     let pipeline = baseline::pipeline::simulate_model(&cfg, n_chips, &chip, mode)?;
     let replicated = baseline::replicated::simulate_model(&cfg, n_chips, &chip, mode)?;
     Ok(vec![

@@ -15,7 +15,7 @@
 //! quantity the paper reports depends only on shapes and byte counts — see
 //! `DESIGN.md`), but all functional execution is real arithmetic, so the
 //! partitioned execution in `mtp-core` can be checked numerically against
-//! [`reference`] outputs.
+//! [`mod@reference`] outputs.
 //!
 //! # Examples
 //!
@@ -29,7 +29,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod config;
 mod infer;

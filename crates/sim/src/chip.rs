@@ -45,7 +45,7 @@ pub struct ChipSpec {
 impl ChipSpec {
     /// The Siracusa-calibrated chip specification.
     ///
-    /// Calibration notes (see `DESIGN.md` §3 and `EXPERIMENTS.md`):
+    /// Calibration notes (see `DESIGN.md` §3):
     /// - I/O DMA: 2 bytes/cycle sustained (1 GB/s HyperRAM-class) with a
     ///   4000-cycle per-transfer setup — bulk prefetches run near peak,
     ///   while fine-grained synchronous streaming of 4 KiB weight tiles is

@@ -42,6 +42,18 @@ impl ChipStats {
         }
     }
 
+    /// This chip's runtime breakdown (compute / DMA / link / idle).
+    #[must_use]
+    pub fn breakdown(&self) -> Breakdown {
+        Breakdown {
+            compute: self.compute_cycles,
+            dma_l3_l2: self.dma_l3_l2_exposed_cycles,
+            dma_l2_l1: self.dma_l2_l1_exposed_cycles,
+            c2c: self.c2c_exposed_cycles,
+            idle: self.idle_cycles(),
+        }
+    }
+
     /// Idle cycles: finish time minus all accounted exposed categories.
     #[must_use]
     pub fn idle_cycles(&self) -> u64 {
@@ -75,16 +87,6 @@ impl Breakdown {
     #[must_use]
     pub fn total(&self) -> u64 {
         self.compute + self.dma_l3_l2 + self.dma_l2_l1 + self.c2c + self.idle
-    }
-
-    fn from_chip(stats: &ChipStats) -> Self {
-        Breakdown {
-            compute: stats.compute_cycles,
-            dma_l3_l2: stats.dma_l3_l2_exposed_cycles,
-            dma_l2_l1: stats.dma_l2_l1_exposed_cycles,
-            c2c: stats.c2c_exposed_cycles,
-            idle: stats.idle_cycles(),
-        }
     }
 }
 
@@ -130,7 +132,7 @@ impl RunStats {
     /// bars show).
     #[must_use]
     pub fn critical_breakdown(&self) -> Breakdown {
-        self.per_chip.get(self.critical_chip()).map(Breakdown::from_chip).unwrap_or_default()
+        self.per_chip.get(self.critical_chip()).map(ChipStats::breakdown).unwrap_or_default()
     }
 
     /// Total bytes moved between L3 and L2 across all chips

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! mtp simulate --model tinyllama --chips 8 --mode ar [--blocks N] [--trace]
+//! mtp sweep        # declarative scenario grid, parallel + cached
 //! mtp figures      # regenerate every paper figure/table
 //! mtp headline     # paper-vs-measured headline numbers
 //! mtp ablation     # design-choice ablations
@@ -9,6 +10,9 @@
 //! ```
 
 use mtp::core::{schedule::Scheduler, DistributedSystem};
+use mtp::harness::sweep::{
+    ModelPreset, PlacementPolicy, Span, SweepEngine, SweepGrid, TopologySpec,
+};
 use mtp::harness::{ablation, advisor, fig4, fig5, fig6, headline, table1};
 use mtp::model::{InferenceMode, TransformerConfig};
 use mtp::sim::{ChipSpec, Machine};
@@ -20,6 +24,10 @@ mtp — distributed Transformer inference on low-power MCU networks
 USAGE:
     mtp simulate [--model NAME] [--chips N] [--mode ar|prompt] [--blocks N]
                  [--trace] [--chrome-trace FILE]
+    mtp sweep    [--models A,B] [--modes ar,prompt] [--chips 1,2,4,8]
+                 [--topologies hier4,flat] [--placements auto,streamed]
+                 [--link-bw 100,50] [--span block|model] [--threads N]
+                 [--csv FILE] [--json FILE] [--serial] [--compare-serial]
     mtp advise   [--model NAME] [--mode ar|prompt] [--latency-ms X] [--energy-mj X]
                  [--max-chips N]
     mtp figures
@@ -32,12 +40,20 @@ MODELS:
     tinyllama-64h   the scalability-study variant (64 heads)
     tinyllama-gqaK  grouped-query variant with K kv heads (K in 1,2,4,8)
     mobilebert      MobileBERT encoder (S=268, prompt mode only)
+
+SWEEP:
+    With no flags, `mtp sweep` runs the default paper grid: all three
+    workloads in both modes x chips 1-64 x {hier4, flat} topologies
+    (>= 48 valid scenarios; invalid chip counts are skipped with a
+    reason). Grid axes multiply, duplicates are answered from the
+    scenario cache, and unique points run on one worker thread per CPU.
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("simulate") => simulate(&args[1..]),
+        Some("sweep") => sweep_cmd(&args[1..]),
         Some("advise") => advise(&args[1..]),
         Some("figures") => figures(),
         Some("headline") => headline_cmd(),
@@ -69,41 +85,24 @@ fn has_flag(args: &[String], name: &str) -> bool {
 }
 
 fn parse_model(name: &str, mode: InferenceMode) -> Result<TransformerConfig, String> {
+    Ok(ModelPreset::parse(name)?.config(mode))
+}
+
+fn parse_mode(name: &str) -> Result<InferenceMode, String> {
     match name {
-        "tinyllama" => Ok(match mode {
-            InferenceMode::Autoregressive => TransformerConfig::tiny_llama_42m(),
-            InferenceMode::Prompt => TransformerConfig::tiny_llama_42m().with_seq_len(16),
-        }),
-        "tinyllama-64h" => Ok(match mode {
-            InferenceMode::Autoregressive => TransformerConfig::tiny_llama_scaled_64h(),
-            InferenceMode::Prompt => TransformerConfig::tiny_llama_scaled_64h().with_seq_len(16),
-        }),
-        "mobilebert" => Ok(TransformerConfig::mobile_bert()),
-        other => {
-            if let Some(k) = other.strip_prefix("tinyllama-gqa") {
-                let kv: usize = k.parse().map_err(|_| format!("bad kv-head count in `{other}`"))?;
-                if kv == 0 || 8 % kv != 0 {
-                    return Err(format!("kv heads must divide 8, got {kv}"));
-                }
-                let cfg = TransformerConfig::tiny_llama_gqa(kv);
-                return Ok(match mode {
-                    InferenceMode::Autoregressive => cfg,
-                    InferenceMode::Prompt => cfg.with_seq_len(16),
-                });
-            }
-            Err(format!(
-                "unknown model `{other}` (tinyllama|tinyllama-64h|tinyllama-gqaK|mobilebert)"
-            ))
-        }
+        "ar" | "autoregressive" => Ok(InferenceMode::Autoregressive),
+        "prompt" => Ok(InferenceMode::Prompt),
+        other => Err(format!("unknown mode `{other}` (ar|prompt)")),
     }
 }
 
+/// Splits a comma-separated flag value (`--chips 1,2,4`) into items.
+fn list_flag<'a>(args: &'a [String], name: &str) -> Option<Vec<&'a str>> {
+    flag_value(args, name).map(|v| v.split(',').filter(|s| !s.is_empty()).collect())
+}
+
 fn simulate(args: &[String]) -> CliResult {
-    let mode = match flag_value(args, "--mode").unwrap_or("ar") {
-        "ar" | "autoregressive" => InferenceMode::Autoregressive,
-        "prompt" => InferenceMode::Prompt,
-        other => return Err(format!("unknown mode `{other}` (ar|prompt)").into()),
-    };
+    let mode = parse_mode(flag_value(args, "--mode").unwrap_or("ar"))?;
     let model = flag_value(args, "--model").unwrap_or("tinyllama");
     let cfg = parse_model(model, mode)?;
     let chips: usize = flag_value(args, "--chips").unwrap_or("8").parse()?;
@@ -145,12 +144,112 @@ fn simulate(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn advise(args: &[String]) -> CliResult {
-    let mode = match flag_value(args, "--mode").unwrap_or("ar") {
-        "ar" | "autoregressive" => InferenceMode::Autoregressive,
-        "prompt" => InferenceMode::Prompt,
-        other => return Err(format!("unknown mode `{other}` (ar|prompt)").into()),
+/// Builds the sweep grid from CLI flags: explicit `--models`/`--modes`
+/// cross-multiply; with neither given, the default paper grid's
+/// workload pairs are used (MobileBERT paired with prompt mode only).
+fn build_sweep_grid(args: &[String]) -> Result<SweepGrid, String> {
+    let models = list_flag(args, "--models");
+    let modes = list_flag(args, "--modes");
+    let mut grid = SweepGrid::paper_default();
+    if models.is_some() || modes.is_some() {
+        let presets: Vec<ModelPreset> = models
+            .unwrap_or_else(|| vec!["tinyllama", "tinyllama-64h", "mobilebert"])
+            .into_iter()
+            .map(ModelPreset::parse)
+            .collect::<Result<_, _>>()?;
+        let modes: Vec<InferenceMode> = modes
+            .unwrap_or_else(|| vec!["ar", "prompt"])
+            .into_iter()
+            .map(parse_mode)
+            .collect::<Result<_, _>>()?;
+        grid.workloads =
+            presets.iter().flat_map(|&p| modes.iter().map(move |&m| (p.config(m), m))).collect();
+    }
+    if let Some(chips) = list_flag(args, "--chips") {
+        grid.chip_counts = chips
+            .into_iter()
+            .map(|c| c.parse::<usize>().map_err(|_| format!("bad chip count `{c}`")))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(topologies) = list_flag(args, "--topologies") {
+        grid.topologies =
+            topologies.into_iter().map(TopologySpec::parse).collect::<Result<_, _>>()?;
+    }
+    if let Some(placements) = list_flag(args, "--placements") {
+        grid.placements =
+            placements.into_iter().map(PlacementPolicy::parse).collect::<Result<_, _>>()?;
+    }
+    if let Some(bws) = list_flag(args, "--link-bw") {
+        grid.link_bw_pcts = bws
+            .into_iter()
+            .map(|b| match b.parse::<u32>() {
+                Ok(pct) if pct > 0 => Ok(pct),
+                _ => Err(format!("bad link bandwidth percentage `{b}`")),
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(span) = flag_value(args, "--span") {
+        grid = grid.with_span(Span::parse(span)?);
+    }
+    if grid.is_empty() {
+        return Err("the grid is empty (every axis needs at least one value)".to_owned());
+    }
+    Ok(grid)
+}
+
+fn sweep_cmd(args: &[String]) -> CliResult {
+    let grid = build_sweep_grid(args)?;
+    let engine = if has_flag(args, "--serial") {
+        SweepEngine::serial()
+    } else if let Some(threads) = flag_value(args, "--threads") {
+        SweepEngine::with_threads(threads.parse()?)
+    } else {
+        SweepEngine::new()
     };
+
+    let results = engine.run(&grid);
+    print!("{}", results.render());
+    if !results.skipped.is_empty() {
+        println!("\nskipped scenarios:");
+        for s in &results.skipped {
+            println!(
+                "  {} {} x{} {}: {}",
+                s.scenario.config.name,
+                s.scenario.mode,
+                s.scenario.n_chips,
+                s.scenario.topology.label(),
+                s.reason
+            );
+        }
+    }
+    println!("\n{} ({} worker thread(s))", results.summary(), engine.threads());
+
+    if has_flag(args, "--compare-serial") {
+        // Cold engines on both sides so the cache cannot flatter either.
+        let serial = SweepEngine::serial().run(&grid);
+        let parallel = SweepEngine::new().run(&grid);
+        let speedup = serial.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "serial {:.1} ms vs parallel {:.1} ms on {} thread(s): {speedup:.2}x",
+            serial.elapsed.as_secs_f64() * 1e3,
+            parallel.elapsed.as_secs_f64() * 1e3,
+            SweepEngine::new().threads(),
+        );
+    }
+
+    if let Some(path) = flag_value(args, "--csv") {
+        std::fs::write(path, results.to_csv())?;
+        println!("CSV written to {path}");
+    }
+    if let Some(path) = flag_value(args, "--json") {
+        std::fs::write(path, results.to_json())?;
+        println!("JSON written to {path}");
+    }
+    Ok(())
+}
+
+fn advise(args: &[String]) -> CliResult {
+    let mode = parse_mode(flag_value(args, "--mode").unwrap_or("ar"))?;
     let model = flag_value(args, "--model").unwrap_or("tinyllama");
     let cfg = parse_model(model, mode)?;
     let constraints = advisor::Constraints {

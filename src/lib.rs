@@ -37,11 +37,12 @@
 //! # Ok::<(), mtp::core::CoreError>(())
 //! ```
 //!
-//! See `examples/` for runnable scenarios and `EXPERIMENTS.md` for the
-//! paper-vs-measured record of every figure.
+//! See `examples/` for runnable scenarios, `DESIGN.md` for the
+//! GVSoC-substitution and calibration story, and `mtp headline` for the
+//! paper-vs-measured record of every abstract-level claim.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use mtp_core as core;
 pub use mtp_energy as energy;

@@ -1,0 +1,190 @@
+//! Integration suite for the scenario-sweep engine (see DESIGN.md §7):
+//!
+//! 1. **Determinism** — two cold runs of the same grid produce
+//!    byte-identical CSV and JSON.
+//! 2. **Cache correctness** — a cached re-run answers every scenario from
+//!    the cache and matches the cold run byte-for-byte; serial and
+//!    parallel engines agree.
+//! 3. **Functional equivalence** — the sweep-engine code path reproduces
+//!    the pre-refactor harness numbers exactly: every fig4/fig5/fig6
+//!    point, the Table I "ours" row, and the headline numbers equal
+//!    direct `DistributedSystem` simulation of the same configuration.
+//! 4. **Grid scale** — the default `mtp sweep` grid yields at least 48
+//!    valid scenarios end to end.
+
+use mtp::core::DistributedSystem;
+use mtp::harness::sweep::{
+    PlacementPolicy, Scenario, Span, SweepEngine, SweepGrid, TopologySpec, CSV_HEADER,
+};
+use mtp::harness::{fig4, fig5, fig6, headline, table1};
+use mtp::model::{InferenceMode, TransformerConfig};
+
+fn mixed_grid() -> SweepGrid {
+    SweepGrid::new(
+        vec![
+            (TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive),
+            (TransformerConfig::tiny_llama_42m().with_seq_len(16), InferenceMode::Prompt),
+            (TransformerConfig::mobile_bert(), InferenceMode::Prompt),
+        ],
+        vec![1, 2, 4, 8],
+    )
+    .with_topologies(vec![TopologySpec::PaperDefault, TopologySpec::Flat])
+    .with_link_bw_pcts(vec![100, 50])
+}
+
+#[test]
+fn two_cold_runs_are_byte_identical() {
+    let grid = mixed_grid();
+    let a = SweepEngine::new().run(&grid);
+    let b = SweepEngine::new().run(&grid);
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.render(), b.render());
+}
+
+#[test]
+fn cached_rerun_matches_cold_run() {
+    let grid = mixed_grid();
+    let engine = SweepEngine::new();
+    let cold = engine.run(&grid);
+    assert_eq!(cold.cache_hits + cold.unique_simulated, cold.rows.len());
+    let warm = engine.run(&grid);
+    assert_eq!(warm.unique_simulated, 0, "everything must come from the cache");
+    assert_eq!(warm.cache_hits, warm.rows.len());
+    assert_eq!(cold.to_csv(), warm.to_csv());
+    assert_eq!(cold.to_json(), warm.to_json());
+}
+
+#[test]
+fn serial_and_parallel_engines_agree() {
+    let grid = mixed_grid();
+    let serial = SweepEngine::serial().run(&grid);
+    let parallel = SweepEngine::with_threads(8).run(&grid);
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.to_json(), parallel.to_json());
+}
+
+/// The pre-refactor fig4/fig5/fig6 harness simulated each point as
+/// `DistributedSystem::paper_default(cfg, n).simulate_block(mode)`. The
+/// sweep engine must reproduce those numbers exactly.
+#[test]
+fn fig4_rows_equal_pre_refactor_simulation() {
+    let cases = [
+        (TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive, fig4::fig4a()),
+        (
+            TransformerConfig::tiny_llama_42m().with_seq_len(16),
+            InferenceMode::Prompt,
+            fig4::fig4b(),
+        ),
+        (TransformerConfig::mobile_bert(), InferenceMode::Prompt, fig4::fig4c()),
+    ];
+    for (cfg, mode, points) in cases {
+        for p in points.unwrap() {
+            let direct = DistributedSystem::paper_default(cfg.clone(), p.n_chips)
+                .unwrap()
+                .simulate_block(mode)
+                .unwrap();
+            assert_eq!(p.report.stats, direct.stats, "{} x{}", cfg.name, p.n_chips);
+            assert_eq!(p.report.residency, direct.residency);
+            assert!((p.report.energy_mj() - direct.energy_mj()).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn fig5_and_fig6_rows_equal_pre_refactor_simulation() {
+    let panel = fig5::fig5a().unwrap();
+    let scaled_cfg = TransformerConfig::tiny_llama_scaled_64h();
+    for p in &panel.scaled {
+        let direct = DistributedSystem::paper_default(scaled_cfg.clone(), p.n_chips)
+            .unwrap()
+            .simulate_block(InferenceMode::Autoregressive)
+            .unwrap();
+        assert_eq!(p.report.stats, direct.stats);
+    }
+    let fig = fig6::run().unwrap();
+    let prompt_cfg = TransformerConfig::tiny_llama_scaled_64h().with_seq_len(16);
+    for p in &fig.prompt {
+        let direct = DistributedSystem::paper_default(prompt_cfg.clone(), p.n_chips)
+            .unwrap()
+            .simulate_block(InferenceMode::Prompt)
+            .unwrap();
+        assert_eq!(p.report.stats, direct.stats);
+    }
+}
+
+#[test]
+fn table1_ours_row_equals_pre_refactor_model_pass() {
+    let rows = table1::run(4, InferenceMode::Autoregressive).unwrap();
+    let ours = rows[0].measured.as_ref().unwrap();
+    let direct = DistributedSystem::paper_default(TransformerConfig::tiny_llama_42m(), 4)
+        .unwrap()
+        .simulate_model(InferenceMode::Autoregressive)
+        .unwrap();
+    assert_eq!(ours.stats, direct.stats);
+    assert_eq!(ours.n_blocks, direct.n_blocks);
+}
+
+#[test]
+fn headline_numbers_equal_pre_refactor_simulation() {
+    let h = headline::run().unwrap();
+    let cfg = TransformerConfig::tiny_llama_42m();
+    let ar = InferenceMode::Autoregressive;
+    let ar1 = DistributedSystem::paper_default(cfg.clone(), 1).unwrap().simulate_block(ar).unwrap();
+    let ar8 = DistributedSystem::paper_default(cfg, 8).unwrap().simulate_block(ar).unwrap();
+    assert!((h.tinyllama_ar_speedup_8 - ar8.speedup_over(&ar1)).abs() < 1e-12);
+    assert!((h.tinyllama_ar_latency_ms - ar8.runtime_ms()).abs() < 1e-12);
+    assert!((h.tinyllama_ar_energy_mj - ar8.energy_mj()).abs() < 1e-12);
+}
+
+#[test]
+fn default_cli_grid_runs_at_least_48_scenarios() {
+    let grid = SweepGrid::paper_default();
+    let results = SweepEngine::new().run(&grid);
+    assert!(results.rows.len() >= 48, "only {} valid scenarios", results.rows.len());
+    let csv = results.to_csv();
+    assert_eq!(csv.lines().next().unwrap(), CSV_HEADER);
+    assert_eq!(csv.lines().count(), results.rows.len() + 1);
+    // Every skip is an explained divisibility violation.
+    for s in &results.skipped {
+        assert!(s.reason.contains("share"), "unexpected skip reason: {}", s.reason);
+    }
+}
+
+#[test]
+fn model_span_scenarios_simulate_all_layers() {
+    let engine = SweepEngine::new();
+    let cfg = TransformerConfig::tiny_llama_42m();
+    let block =
+        engine.run_one(&Scenario::new(cfg.clone(), InferenceMode::Autoregressive, 8)).unwrap();
+    let model = engine
+        .run_one(
+            &Scenario::new(cfg.clone(), InferenceMode::Autoregressive, 8).with_span(Span::Model),
+        )
+        .unwrap();
+    assert_eq!(block.n_blocks, 1);
+    assert_eq!(model.n_blocks, cfg.n_layers);
+    assert!(model.stats.makespan > block.stats.makespan);
+}
+
+#[test]
+fn placement_axis_reproduces_buffering_ablation() {
+    // The forced-streaming scenario equals the pre-refactor ablation's
+    // hand-built shrunken-L2 system.
+    let engine = SweepEngine::new();
+    let cfg = TransformerConfig::tiny_llama_42m();
+    let forced = engine
+        .run_one(
+            &Scenario::new(cfg.clone(), InferenceMode::Autoregressive, 8)
+                .with_placement(PlacementPolicy::ForceStreamed),
+        )
+        .unwrap();
+    let mut chip = mtp::sim::ChipSpec::siracusa();
+    chip.l2_usable_fraction = 0.2;
+    let direct = DistributedSystem::with_chip(cfg, 8, chip)
+        .unwrap()
+        .simulate_block(InferenceMode::Autoregressive)
+        .unwrap();
+    assert_eq!(forced.stats, direct.stats);
+    assert_eq!(forced.residency, direct.residency);
+}
