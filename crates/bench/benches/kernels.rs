@@ -9,11 +9,21 @@ use mtp_sim::{ChipSpec, Machine};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate");
 
-    // Functional kernels (golden-model arithmetic).
+    // Functional kernels (golden-model arithmetic). The matmul-bound
+    // entries exercise the blocked kernels; `gemm_into` additionally
+    // reuses one scratch buffer across iterations (the steady-state
+    // decode-loop discipline).
     let x = reference::synthetic_input(64, 512, 1);
     let w = reference::synthetic_input(512, 512, 2);
     group.bench_function("functional/gemm_64x512x512", |b| {
         b.iter(|| x.try_matmul(&w).expect("matmul"))
+    });
+    group.bench_function("functional/gemm_t_64x512x512", |b| {
+        b.iter(|| x.try_matmul_t(&w).expect("matmul_t"))
+    });
+    let mut scratch = mtp_tensor::Tensor::default();
+    group.bench_function("functional/gemm_into_64x512x512", |b| {
+        b.iter(|| x.matmul_into(&w, &mut scratch).expect("matmul_into"))
     });
     group.bench_function("functional/softmax_64x512", |b| b.iter(|| mtp_kernels::softmax_rows(&x)));
 

@@ -13,9 +13,28 @@
 
 use crate::{slice_block, CoreError, PartitionSpec, Result, SlicedBlockWeights};
 use mtp_link::Topology;
-use mtp_model::reference::{self, AttnMask};
+use mtp_model::reference::{self, AttnMask, AttnScratch};
 use mtp_model::{AttentionKind, KvCache, ModelWeights, TransformerConfig};
 use mtp_tensor::Tensor;
+
+/// Reusable buffers for the distributed forward pass: per-chip
+/// projections, staged KV-cache views, attention output, the FFN
+/// intermediate, per-chip partial sums, and the post-reduce accumulator.
+/// After the first call every [`FunctionalSystem::block_forward`] runs
+/// allocation-free except for the returned output tensor.
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    keys: Tensor,
+    values: Tensor,
+    attn: Tensor,
+    ffn_h: Tensor,
+    sum: Tensor,
+    partials: Vec<Tensor>,
+    attn_scratch: AttnScratch,
+}
 
 /// A value-level simulation of the distributed system.
 #[derive(Debug, Clone)]
@@ -27,6 +46,7 @@ pub struct FunctionalSystem {
     sliced: Vec<Vec<SlicedBlockWeights>>,
     /// `caches[layer][chip]`, each of width `H_kv·P/N`
     caches: Vec<Vec<KvCache>>,
+    scratch: StepScratch,
 }
 
 impl FunctionalSystem {
@@ -39,6 +59,7 @@ impl FunctionalSystem {
     pub fn new(cfg: TransformerConfig, weights: &ModelWeights, n_chips: usize) -> Result<Self> {
         let spec = PartitionSpec::new(&cfg, n_chips)?;
         let topology = Topology::paper_default(n_chips)?;
+        Self::validate_reduce_tree(&topology, n_chips)?;
         let sliced =
             weights.blocks().iter().map(|b| slice_block(b, &spec)).collect::<Result<Vec<_>>>()?;
         let caches = (0..cfg.n_layers)
@@ -46,7 +67,14 @@ impl FunctionalSystem {
                 (0..n_chips).map(|_| KvCache::new(spec.kv_slice_width(), cfg.seq_len)).collect()
             })
             .collect();
-        Ok(FunctionalSystem { cfg, spec, topology, sliced, caches })
+        Ok(FunctionalSystem {
+            cfg,
+            spec,
+            topology,
+            sliced,
+            caches,
+            scratch: StepScratch::default(),
+        })
     }
 
     /// The partition specification.
@@ -76,25 +104,54 @@ impl FunctionalSystem {
         }
     }
 
-    /// Hierarchical all-reduce of per-chip partial `S x E` outputs in tree
-    /// order, returning the root's total. Mirrors exactly the message
-    /// sequence the timing schedule emits.
-    fn all_reduce(&self, partials: Vec<Tensor>) -> Result<Tensor> {
-        let mut acc: Vec<Option<Tensor>> = partials.into_iter().map(Some).collect();
-        for step in self.topology.reduce_steps() {
-            let contribution = acc[step.from]
-                .take()
-                .ok_or_else(|| CoreError::InvalidConfig("reduce step reused a source".into()))?;
-            match &mut acc[step.to] {
-                Some(t) => t.accumulate(&contribution)?,
-                None => {
-                    return Err(CoreError::InvalidConfig("reduce step into drained chip".into()))
-                }
+    /// Validates the reduction schedule once at construction: every step
+    /// stays in range, never self-reduces, never reads a chip that was
+    /// already drained into another chip, and never accumulates into a
+    /// drained chip. This is the invariant that lets
+    /// [`Self::all_reduce_in_place`] run uncheckedly lean on every step
+    /// of every block (the pre-rewrite code re-validated per call).
+    fn validate_reduce_tree(topology: &Topology, n_chips: usize) -> Result<()> {
+        let mut drained = vec![false; n_chips];
+        for step in topology.reduce_steps() {
+            if step.from == step.to || step.from >= n_chips || step.to >= n_chips {
+                return Err(CoreError::InvalidConfig("malformed reduce step".into()));
+            }
+            if drained[step.from] {
+                return Err(CoreError::InvalidConfig("reduce step reused a source".into()));
+            }
+            if drained[step.to] {
+                return Err(CoreError::InvalidConfig("reduce step into drained chip".into()));
+            }
+            drained[step.from] = true;
+        }
+        if drained.get(topology.root()).copied().unwrap_or(true) {
+            return Err(CoreError::InvalidConfig("root has no reduction result".into()));
+        }
+        Ok(())
+    }
+
+    /// Hierarchical all-reduce of per-chip partials in tree order,
+    /// accumulating **in place** and returning the index of the root's
+    /// buffer. The addition sequence is identical to the message sequence
+    /// the timing schedule emits; the tree's well-formedness was proven
+    /// at construction by [`Self::validate_reduce_tree`], so this
+    /// steady-state path touches no allocator and performs no per-call
+    /// validation beyond bounds safety.
+    fn all_reduce_in_place(topology: &Topology, partials: &mut [Tensor]) -> Result<usize> {
+        for step in topology.reduce_steps() {
+            let (from, to) = (step.from, step.to);
+            if from == to || from >= partials.len() || to >= partials.len() {
+                return Err(CoreError::InvalidConfig("malformed reduce step".into()));
+            }
+            if from < to {
+                let (left, right) = partials.split_at_mut(to);
+                right[0].accumulate(&left[from])?;
+            } else {
+                let (left, right) = partials.split_at_mut(from);
+                left[to].accumulate(&right[0])?;
             }
         }
-        acc[self.topology.root()]
-            .take()
-            .ok_or_else(|| CoreError::InvalidConfig("root has no reduction result".into()))
+        Ok(topology.root())
     }
 
     /// One distributed Transformer block (paper Sec. IV).
@@ -112,64 +169,87 @@ impl FunctionalSystem {
         let head_dim = self.spec.head_dim();
         let rope = self.cfg.attention == AttentionKind::CausalRope;
         let pos0 = if use_cache { self.caches[layer][0].len() } else { 0 };
+        if self.scratch.partials.len() != n {
+            self.scratch.partials = vec![Tensor::default(); n];
+        }
 
         // --- MHSA: every chip computes its own heads on the broadcast x.
-        let mut partials = Vec::with_capacity(n);
+        // All per-chip intermediates live in the step scratch; after the
+        // first pass this loop performs no allocation.
         for chip in 0..n {
+            let s = &mut self.scratch;
             let w = &self.sliced[layer][chip];
-            let mut q = x.try_matmul(&w.wq)?;
-            let mut k = x.try_matmul(&w.wk)?;
-            let v = x.try_matmul(&w.wv)?;
+            x.matmul_into(&w.wq, &mut s.q)?;
+            x.matmul_into(&w.wk, &mut s.k)?;
+            x.matmul_into(&w.wv, &mut s.v)?;
             if rope {
-                q = reference::apply_rope_heads(&q, head_dim, pos0)?;
-                k = reference::apply_rope_heads(&k, head_dim, pos0)?;
+                mtp_kernels::rope_heads_inplace(&mut s.q, head_dim, pos0);
+                mtp_kernels::rope_heads_inplace(&mut s.k, head_dim, pos0);
             }
-            let attn = if use_cache {
+            if use_cache {
                 let cache = &mut self.caches[layer][chip];
-                cache.append(k.row(0), v.row(0));
+                cache.append(s.k.row(0), s.v.row(0));
                 let mask = AttnMask::Causal { q_offset: cache.len() - 1 };
-                reference::attention_heads(&q, &cache.keys(), &cache.values(), head_dim, mask)?
+                cache.keys_into(&mut s.keys);
+                cache.values_into(&mut s.values);
+                reference::attention_heads_into(
+                    &s.q,
+                    &s.keys,
+                    &s.values,
+                    head_dim,
+                    mask,
+                    &mut s.attn_scratch,
+                    &mut s.attn,
+                );
             } else {
                 let mask = match self.cfg.attention {
                     AttentionKind::Bidirectional => AttnMask::None,
                     AttentionKind::CausalRope => AttnMask::Causal { q_offset: 0 },
                 };
-                reference::attention_heads(&q, &k, &v, head_dim, mask)?
-            };
-            partials.push(attn.try_matmul(&w.wo)?);
+                reference::attention_heads_into(
+                    &s.q,
+                    &s.k,
+                    &s.v,
+                    head_dim,
+                    mask,
+                    &mut s.attn_scratch,
+                    &mut s.attn,
+                );
+            }
+            s.attn.matmul_into(&w.wo, &mut s.partials[chip])?;
         }
 
         // --- Sync 1: hierarchical all-reduce + skip + norm on root,
         // then broadcast (value-wise: everyone sees y).
-        let total = self.all_reduce(partials)?;
+        let root = Self::all_reduce_in_place(&self.topology, &mut self.scratch.partials)?;
         let w0 = &self.sliced[layer][0];
-        let y = reference::normalize(
-            &x.try_add(&total)?,
+        x.add_into(&self.scratch.partials[root], &mut self.scratch.sum)?;
+        reference::normalize_inplace(
+            &mut self.scratch.sum,
             self.cfg.norm,
             &w0.norm1_gamma,
             &w0.norm1_beta,
         );
 
-        // --- FFN: every chip computes its F/N slice of the intermediate.
-        let mut partials = Vec::with_capacity(n);
+        // --- FFN: every chip computes its F/N slice of the intermediate
+        // from the broadcast y (held in `scratch.sum`).
         for chip in 0..n {
+            let s = &mut self.scratch;
             let w = &self.sliced[layer][chip];
-            let h = y.try_matmul(&w.w1)?;
-            let a = match self.cfg.activation {
-                mtp_model::Activation::Gelu => mtp_kernels::gelu(&h),
-                mtp_model::Activation::Silu => mtp_kernels::silu(&h),
-            };
-            partials.push(a.try_matmul(&w.w2)?);
+            s.sum.matmul_into(&w.w1, &mut s.ffn_h)?;
+            match self.cfg.activation {
+                mtp_model::Activation::Gelu => mtp_kernels::gelu_inplace(&mut s.ffn_h),
+                mtp_model::Activation::Silu => mtp_kernels::silu_inplace(&mut s.ffn_h),
+            }
+            s.ffn_h.matmul_into(&w.w2, &mut s.partials[chip])?;
         }
 
-        // --- Sync 2: all-reduce + skip + norm + broadcast.
-        let total = self.all_reduce(partials)?;
-        Ok(reference::normalize(
-            &y.try_add(&total)?,
-            self.cfg.norm,
-            &w0.norm2_gamma,
-            &w0.norm2_beta,
-        ))
+        // --- Sync 2: all-reduce + skip + norm + broadcast. The returned
+        // output is the one tensor this pass allocates.
+        let root = Self::all_reduce_in_place(&self.topology, &mut self.scratch.partials)?;
+        let mut out = self.scratch.sum.try_add(&self.scratch.partials[root])?;
+        reference::normalize_inplace(&mut out, self.cfg.norm, &w0.norm2_gamma, &w0.norm2_beta);
+        Ok(out)
     }
 
     /// Autoregressive step through all layers (one `[1 x E]` row).
@@ -296,13 +376,13 @@ mod tests {
         };
         let weights = ModelWeights::seeded(&cfg, 31);
         let sys = FunctionalSystem::new(cfg, &weights, 8).unwrap();
-        let parts: Vec<Tensor> = (0..8).map(|i| synthetic_input(2, 4, i as u64)).collect();
+        let mut parts: Vec<Tensor> = (0..8).map(|i| synthetic_input(2, 4, i as u64)).collect();
         let mut plain = Tensor::zeros(parts[0].shape());
         for p in &parts {
             plain.accumulate(p).unwrap();
         }
-        let tree = sys.all_reduce(parts).unwrap();
-        assert!(tree.approx_eq(&plain, 1e-5).unwrap());
+        let root = FunctionalSystem::all_reduce_in_place(&sys.topology, &mut parts).unwrap();
+        assert!(parts[root].approx_eq(&plain, 1e-5).unwrap());
     }
 
     #[test]

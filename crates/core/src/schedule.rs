@@ -58,7 +58,6 @@ pub struct Scheduler {
     chip: ChipSpec,
     msg_next: u64,
     sync_next: u32,
-    tag_next: u32,
 }
 
 impl Scheduler {
@@ -80,7 +79,6 @@ impl Scheduler {
             chip: *chip,
             msg_next: 0,
             sync_next: 0,
-            tag_next: 0,
         })
     }
 
@@ -110,18 +108,6 @@ impl Scheduler {
         &self.topology
     }
 
-    fn fresh_msg(&mut self) -> MsgId {
-        let id = MsgId(self.msg_next);
-        self.msg_next += 1;
-        id
-    }
-
-    fn fresh_tag(&mut self) -> DmaTag {
-        let t = DmaTag(self.tag_next);
-        self.tag_next += 1;
-        t
-    }
-
     /// Emits synchronous L3→L2 streaming of `bytes` in plan-sized tiles
     /// (the latency-exposed path of the streamed regime).
     fn emit_stream(&self, prog: &mut Program, bytes: u64) {
@@ -136,8 +122,11 @@ impl Scheduler {
 
     /// Emits a linear kernel with its L2→L1 operand staging: a small
     /// synchronous head start plus an asynchronous remainder that overlaps
-    /// the kernel (cluster-DMA double buffering).
-    fn emit_linear(&mut self, prog: &mut Program, kernel: Kernel) {
+    /// the kernel (cluster-DMA double buffering). `tags` is the block's
+    /// chip-local DMA-tag counter — tags only need to be unique among a
+    /// chip's in-flight transfers, which lets the SPMD phase bodies be
+    /// identical on every chip.
+    fn emit_linear(&self, prog: &mut Program, tags: &mut u32, kernel: Kernel) {
         let dt = self.cfg.dtype.size_bytes();
         let bytes = kernel.l2_l1_traffic_bytes(dt);
         let first = bytes.min(L1_STAGE_BYTES);
@@ -146,7 +135,8 @@ impl Scheduler {
         }
         let rest = bytes - first;
         let tag = if rest > 0 {
-            let tag = self.fresh_tag();
+            let tag = DmaTag(*tags);
+            *tags += 1;
             prog.push(Instr::DmaAsync { path: MemPath::L2ToL1, bytes: rest, tag });
             Some(tag)
         } else {
@@ -160,11 +150,17 @@ impl Scheduler {
 
     /// Streams a weight slice from L3 first when the plan says so, then
     /// runs the linear kernel.
-    fn emit_weighted_linear(&mut self, prog: &mut Program, kernel: Kernel, weight_bytes: u64) {
+    fn emit_weighted_linear(
+        &self,
+        prog: &mut Program,
+        tags: &mut u32,
+        kernel: Kernel,
+        weight_bytes: u64,
+    ) {
         if self.plan.residency == WeightResidency::Streamed {
             self.emit_stream(prog, weight_bytes);
         }
-        self.emit_linear(prog, kernel);
+        self.emit_linear(prog, tags, kernel);
     }
 
     fn norm_kernel(&self, rows: usize) -> Kernel {
@@ -177,6 +173,12 @@ impl Scheduler {
 
     /// Emits one collective phase: hierarchical reduce of requantized
     /// partials, skip-add + norm + requant on the root, broadcast.
+    ///
+    /// Message ids for the whole phase are reserved as one contiguous
+    /// range up front (reduce steps first, broadcast steps after — the
+    /// same order `fresh_msg` would hand them out), which lets the loops
+    /// borrow the topology's step slices directly instead of cloning
+    /// them per collective.
     fn emit_all_reduce(&mut self, progs: &mut [Program], sq: usize) {
         let e = self.cfg.embed_dim;
         let n_elems = sq * e;
@@ -187,12 +189,18 @@ impl Scheduler {
         for p in progs.iter_mut() {
             p.push(Instr::Sync(sync_id));
         }
-        let steps: Vec<_> = self.topology.reduce_steps().to_vec();
-        for step in steps {
-            let msg = self.fresh_msg();
-            progs[step.from].push(Instr::Send { to: ChipId(step.to), msg, bytes: reduce_bytes });
-            progs[step.to].push(Instr::Recv { from: ChipId(step.from), msg });
+        let reduce_count = self.topology.reduce_steps().len() as u64;
+        let mut msg = self.msg_next;
+        self.msg_next += reduce_count + self.topology.broadcast_steps().len() as u64;
+        for step in self.topology.reduce_steps() {
+            progs[step.from].push(Instr::Send {
+                to: ChipId(step.to),
+                msg: MsgId(msg),
+                bytes: reduce_bytes,
+            });
+            progs[step.to].push(Instr::Recv { from: ChipId(step.from), msg: MsgId(msg) });
             progs[step.to].push(Instr::Compute(Kernel::Add { n: n_elems }));
+            msg += 1;
         }
         let root = self.topology.root();
         // Skip connection folds into the reduction (all chips hold the
@@ -201,17 +209,33 @@ impl Scheduler {
         progs[root].push(Instr::Compute(self.norm_kernel(sq)));
         progs[root].push(Instr::Compute(Kernel::Requant { n: n_elems }));
         for step in self.topology.broadcast_steps() {
-            let msg = self.fresh_msg();
-            progs[step.from].push(Instr::Send { to: ChipId(step.to), msg, bytes: bc_bytes });
-            progs[step.to].push(Instr::Recv { from: ChipId(step.from), msg });
+            progs[step.from].push(Instr::Send {
+                to: ChipId(step.to),
+                msg: MsgId(msg),
+                bytes: bc_bytes,
+            });
+            progs[step.to].push(Instr::Recv { from: ChipId(step.from), msg: MsgId(msg) });
+            msg += 1;
         }
+    }
+
+    /// Estimated per-chip instruction count of one block, used to size
+    /// program buffers up front (a small overestimate is fine; it only
+    /// rounds the allocation up).
+    fn block_instrs_estimate(&self) -> usize {
+        let streamed = if self.plan.residency == WeightResidency::Streamed {
+            (self.plan.slice_bytes_per_block / self.plan.stream_tile_bytes.max(1)) as usize + 8
+        } else {
+            0
+        };
+        40 + 3 * self.spec.heads_per_chip() + streamed
     }
 
     /// Per-chip programs for one Transformer block in the given mode.
     #[must_use]
     pub fn block_programs(&mut self, mode: InferenceMode) -> Vec<Program> {
         let n = self.spec.n_chips();
-        let mut progs = vec![Program::new(); n];
+        let estimate = self.block_instrs_estimate();
         let dt = self.cfg.dtype.size_bytes();
         let e = self.cfg.embed_dim;
         let w = self.spec.qkv_slice_width();
@@ -225,79 +249,101 @@ impl Scheduler {
         let skv =
             if decoder && mode == InferenceMode::Autoregressive { self.cfg.seq_len } else { sq };
 
+        // DMA tags are chip-scoped, and the SPMD phases are identical on
+        // every chip (weights are sliced evenly), so each phase body is
+        // built once and replicated; only the collective phases are
+        // emitted per chip. Tags restart per block — every transfer is
+        // awaited within its block, so ids never collide in flight.
+        let mut tags = 0u32;
+
         // Next-block weight prefetch (double-buffered regime): issued
         // first, awaited at block end.
-        let prefetch: Vec<Option<DmaTag>> = (0..n)
-            .map(|_| {
-                if self.plan.residency == WeightResidency::DoubleBuffered {
-                    Some(self.fresh_tag())
-                } else {
-                    None
-                }
-            })
-            .collect();
-        for (c, tag) in prefetch.iter().enumerate() {
-            if let Some(tag) = *tag {
-                progs[c].push(Instr::DmaAsync {
+        let prefetch = (self.plan.residency == WeightResidency::DoubleBuffered).then(|| {
+            let t = DmaTag(tags);
+            tags += 1;
+            t
+        });
+
+        // --- MHSA phase body: query projection on the chip's heads, K/V
+        // projections on its (possibly grouped) K/V heads.
+        let kvw = self.spec.kv_slice_width();
+        let kv_hc = self.spec.kv_heads_per_chip();
+        let mut mhsa = Program::new();
+        mhsa.reserve(estimate);
+        self.emit_weighted_linear(
+            &mut mhsa,
+            &mut tags,
+            Kernel::linear(sq, e, w),
+            (e * w * dt) as u64,
+        );
+        for _ in 0..2 {
+            self.emit_weighted_linear(
+                &mut mhsa,
+                &mut tags,
+                Kernel::linear(sq, e, kvw),
+                (e * kvw * dt) as u64,
+            );
+        }
+        if decoder {
+            // RoPE on Q (all local heads) and K (local K/V heads).
+            mhsa.push(Instr::Compute(Kernel::Rope { seq: sq * hc, dim: hd }));
+            mhsa.push(Instr::Compute(Kernel::Rope { seq: sq * kv_hc, dim: hd }));
+            // KV-cache write-back of the new rows.
+            mhsa.push(Instr::Dma { path: MemPath::L1ToL2, bytes: (2 * sq * kvw * dt) as u64 });
+            // Stage the cached context for attention.
+            mhsa.push(Instr::Dma { path: MemPath::L2ToL1, bytes: (2 * skv * kvw * dt) as u64 });
+        }
+        // Per-head attention: scores, softmax, probs @ V.
+        for _ in 0..hc {
+            mhsa.push(Instr::Compute(Kernel::linear(sq, hd, skv)));
+            mhsa.push(Instr::Compute(Kernel::Softmax { rows: sq, cols: skv }));
+            mhsa.push(Instr::Compute(Kernel::linear(sq, skv, hd)));
+        }
+        // Partial output projection.
+        self.emit_weighted_linear(
+            &mut mhsa,
+            &mut tags,
+            Kernel::linear(sq, w, e),
+            (w * e * dt) as u64,
+        );
+
+        // --- FFN phase body.
+        let mut ffn = Program::new();
+        self.emit_weighted_linear(
+            &mut ffn,
+            &mut tags,
+            Kernel::linear(sq, e, fc),
+            (e * fc * dt) as u64,
+        );
+        ffn.push(Instr::Compute(Kernel::Gelu { n: sq * fc }));
+        self.emit_weighted_linear(
+            &mut ffn,
+            &mut tags,
+            Kernel::linear(sq, fc, e),
+            (fc * e * dt) as u64,
+        );
+
+        // --- Assemble per chip: prefetch + MHSA, sync 1, FFN, sync 2.
+        let mut progs = vec![Program::new(); n];
+        for p in &mut progs {
+            p.reserve(estimate);
+            if let Some(tag) = prefetch {
+                p.push(Instr::DmaAsync {
                     path: MemPath::L3ToL2,
                     bytes: self.plan.slice_bytes_per_block,
                     tag,
                 });
             }
+            p.extend(mhsa.instrs().iter().copied());
         }
-
-        // --- MHSA: query projection on this chip's heads, K/V projections
-        // on its (possibly grouped) K/V heads.
-        let kvw = self.spec.kv_slice_width();
-        let kv_hc = self.spec.kv_heads_per_chip();
-        for slot in &mut progs {
-            let mut prog = std::mem::take(slot);
-            self.emit_weighted_linear(&mut prog, Kernel::linear(sq, e, w), (e * w * dt) as u64);
-            for _ in 0..2 {
-                self.emit_weighted_linear(
-                    &mut prog,
-                    Kernel::linear(sq, e, kvw),
-                    (e * kvw * dt) as u64,
-                );
-            }
-            if decoder {
-                // RoPE on Q (all local heads) and K (local K/V heads).
-                prog.push(Instr::Compute(Kernel::Rope { seq: sq * hc, dim: hd }));
-                prog.push(Instr::Compute(Kernel::Rope { seq: sq * kv_hc, dim: hd }));
-                // KV-cache write-back of the new rows.
-                prog.push(Instr::Dma { path: MemPath::L1ToL2, bytes: (2 * sq * kvw * dt) as u64 });
-                // Stage the cached context for attention.
-                prog.push(Instr::Dma { path: MemPath::L2ToL1, bytes: (2 * skv * kvw * dt) as u64 });
-            }
-            // Per-head attention: scores, softmax, probs @ V.
-            for _ in 0..hc {
-                prog.push(Instr::Compute(Kernel::linear(sq, hd, skv)));
-                prog.push(Instr::Compute(Kernel::Softmax { rows: sq, cols: skv }));
-                prog.push(Instr::Compute(Kernel::linear(sq, skv, hd)));
-            }
-            // Partial output projection.
-            self.emit_weighted_linear(&mut prog, Kernel::linear(sq, w, e), (w * e * dt) as u64);
-            *slot = prog;
-        }
-
-        // --- Sync 1.
         self.emit_all_reduce(&mut progs, sq);
-
-        // --- FFN slice.
-        for slot in &mut progs {
-            let mut prog = std::mem::take(slot);
-            self.emit_weighted_linear(&mut prog, Kernel::linear(sq, e, fc), (e * fc * dt) as u64);
-            prog.push(Instr::Compute(Kernel::Gelu { n: sq * fc }));
-            self.emit_weighted_linear(&mut prog, Kernel::linear(sq, fc, e), (fc * e * dt) as u64);
-            *slot = prog;
+        for p in &mut progs {
+            p.extend(ffn.instrs().iter().copied());
         }
-
-        // --- Sync 2.
         self.emit_all_reduce(&mut progs, sq);
-
-        for (c, tag) in prefetch.iter().enumerate() {
-            if let Some(tag) = *tag {
-                progs[c].push(Instr::DmaWait(tag));
+        if let Some(tag) = prefetch {
+            for p in &mut progs {
+                p.push(Instr::DmaWait(tag));
             }
         }
         progs
@@ -306,6 +352,15 @@ impl Scheduler {
     /// Programs for `n_blocks` consecutive blocks (steady-state layers
     /// chained back to back).
     ///
+    /// Every steady-state block lowers to the *same* instruction stream
+    /// except for its message and sync identifiers, which the per-block
+    /// counters advance by a fixed stride (DMA tags are chip-scoped and
+    /// restart per block). So the schedule is built once as a template and
+    /// instantiated `n_blocks` times with shifted ids — bit-identical to
+    /// deriving each block from scratch (locked by
+    /// `model_programs_match_per_block_derivation`), at a fraction of the
+    /// cost for model-span simulations.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] when `n_blocks` is zero.
@@ -313,14 +368,36 @@ impl Scheduler {
         if n_blocks == 0 {
             return Err(CoreError::InvalidConfig("n_blocks must be at least 1".into()));
         }
-        let n = self.spec.n_chips();
-        let mut progs = vec![Program::new(); n];
-        for _ in 0..n_blocks {
-            let block = self.block_programs(mode);
-            for (p, b) in progs.iter_mut().zip(block) {
-                p.extend(b.instrs().iter().copied());
+        let (msg0, sync0) = (self.msg_next, self.sync_next);
+        let template = self.block_programs(mode);
+        if n_blocks == 1 {
+            return Ok(template);
+        }
+        // Per-block id strides: how far one block advanced each counter.
+        let msg_stride = self.msg_next - msg0;
+        let sync_stride = self.sync_next - sync0;
+        let mut progs = template.clone();
+        for p in &mut progs {
+            p.reserve(p.len() * (n_blocks - 1));
+        }
+        for block in 1..n_blocks as u64 {
+            let (dm, ds) = (block * msg_stride, block as u32 * sync_stride);
+            for (prog, tmpl) in progs.iter_mut().zip(&template) {
+                prog.extend(tmpl.instrs().iter().map(|&instr| match instr {
+                    Instr::Send { to, msg, bytes } => {
+                        Instr::Send { to, msg: MsgId(msg.0 + dm), bytes }
+                    }
+                    Instr::Recv { from, msg } => Instr::Recv { from, msg: MsgId(msg.0 + dm) },
+                    Instr::Sync(id) => Instr::Sync(id + ds),
+                    other => other,
+                }));
             }
         }
+        // Advance the counters past the instantiated blocks so chained
+        // calls keep allocating fresh ids, exactly as per-block derivation
+        // would have.
+        self.msg_next = msg0 + msg_stride * n_blocks as u64;
+        self.sync_next = sync0 + sync_stride * n_blocks as u32;
         Ok(progs)
     }
 
@@ -450,6 +527,35 @@ mod tests {
         let four = s.model_programs(InferenceMode::Autoregressive, 4).unwrap();
         assert_eq!(four[0].len(), 4 * one);
         assert!(s.model_programs(InferenceMode::Autoregressive, 0).is_err());
+    }
+
+    #[test]
+    fn model_programs_match_per_block_derivation() {
+        // The template-instantiation fast path must emit exactly the
+        // instruction streams that deriving every block from scratch
+        // would, for every residency regime and mode.
+        let cases = [
+            (TransformerConfig::tiny_llama_42m(), 8, InferenceMode::Autoregressive),
+            (TransformerConfig::tiny_llama_42m(), 1, InferenceMode::Autoregressive),
+            (TransformerConfig::tiny_llama_42m().with_seq_len(16), 4, InferenceMode::Prompt),
+            (TransformerConfig::mobile_bert(), 4, InferenceMode::Prompt),
+        ];
+        for (cfg, n, mode) in cases {
+            let mut fast = sched(&cfg, n);
+            let templated = fast.model_programs(mode, 3).unwrap();
+            let mut slow = sched(&cfg, n);
+            let mut derived = vec![Program::new(); n];
+            for _ in 0..3 {
+                for (p, b) in derived.iter_mut().zip(slow.block_programs(mode)) {
+                    p.extend(b.instrs().iter().copied());
+                }
+            }
+            assert_eq!(templated, derived, "{} x{n} {mode}", cfg.name);
+            // Counters must land in the same place so chained scheduling
+            // keeps allocating fresh ids.
+            assert_eq!(fast.msg_next, slow.msg_next);
+            assert_eq!(fast.sync_next, slow.sync_next);
+        }
     }
 
     #[test]

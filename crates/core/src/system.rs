@@ -115,15 +115,9 @@ impl DistributedSystem {
         stats: RunStats,
         mode: InferenceMode,
         n_blocks: usize,
-    ) -> Result<SystemReport> {
-        Ok(crate::report::from_stats(
-            &self.chip,
-            self.n_chips,
-            mode,
-            n_blocks,
-            self.memory_plan()?.residency,
-            stats,
-        ))
+        residency: crate::WeightResidency,
+    ) -> SystemReport {
+        crate::report::from_stats(&self.chip, self.n_chips, mode, n_blocks, residency, stats)
     }
 
     /// Simulates one steady-state Transformer block (what the paper's
@@ -144,10 +138,11 @@ impl DistributedSystem {
     /// at least 1.
     pub fn simulate_blocks(&self, mode: InferenceMode, n_blocks: usize) -> Result<SystemReport> {
         let mut scheduler = self.scheduler()?;
+        let residency = scheduler.plan().residency;
         let programs = scheduler.model_programs(mode, n_blocks)?;
         let machine = Machine::homogeneous(self.chip, self.n_chips);
         let stats = machine.run(&programs)?;
-        self.report(stats, mode, n_blocks)
+        Ok(self.report(stats, mode, n_blocks, residency))
     }
 
     /// Simulates a full forward pass over all `n_layers` blocks of the

@@ -1,0 +1,194 @@
+//! The repo's wall-clock benchmark runner (`mtp bench`).
+//!
+//! Criterion micro-benchmarks (in `crates/bench`) are great for local
+//! kernel work but too slow and too verbose for a committed trajectory.
+//! This module runs a fixed, versioned set of **hot-path benchmarks** —
+//! the blocked tensor kernels, the event-driven simulator, and the
+//! cold-cache scenario sweep — and serializes the results as one small
+//! JSON document. Each PR that touches a hot path appends its numbers to
+//! the repo as `BENCH_<pr>.json` (before/after), so the performance
+//! trajectory is reviewable like any other artefact. See DESIGN.md §8
+//! for the methodology (best-of-N wall clock, in-process, cold scenario
+//! caches).
+//!
+//! The `--quick` profile cuts repetitions to keep CI smoke runs in the
+//! low seconds; it measures the same benchmarks with the same method, so
+//! quick numbers are comparable to each other (but noisier than full
+//! ones).
+
+use crate::sweep::{SweepEngine, SweepGrid};
+use mtp_core::schedule::Scheduler;
+use mtp_model::{reference, InferenceMode, TransformerConfig};
+use mtp_sim::{ChipSpec, Machine};
+use mtp_tensor::Tensor;
+use std::time::Instant;
+
+/// Benchmark schema identifier emitted into the JSON document.
+pub const SCHEMA: &str = "mtp-bench-v1";
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Stable benchmark name (`kernel/...`, `sim/...`, `sweep/...`).
+    pub name: String,
+    /// Best (minimum) wall-clock time of one iteration, in nanoseconds.
+    pub min_ns: u64,
+    /// Iterations measured.
+    pub reps: usize,
+}
+
+/// A complete `mtp bench` run.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `"full"` or `"quick"`.
+    pub profile: &'static str,
+    /// Results in execution order.
+    pub results: Vec<BenchResult>,
+}
+
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_nanos() as u64;
+        best = best.min(dt);
+    }
+    best
+}
+
+/// Runs the benchmark suite. `quick` trades precision for runtime (CI
+/// smoke profile).
+#[must_use]
+pub fn run(quick: bool) -> BenchReport {
+    let profile = if quick { "quick" } else { "full" };
+    let (k_reps, s_reps, g_reps) = if quick { (5, 20, 2) } else { (20, 200, 8) };
+    let mut results = Vec::new();
+    let mut push = |name: &str, min_ns: u64, reps: usize| {
+        results.push(BenchResult { name: name.to_owned(), min_ns, reps });
+    };
+
+    // --- Tensor kernels: the golden model's matmul-bound hot paths.
+    let x = reference::synthetic_input(64, 512, 1);
+    let w = reference::synthetic_input(512, 512, 2);
+    push(
+        "kernel/matmul_64x512x512",
+        best_of(k_reps, || {
+            std::hint::black_box(x.try_matmul(&w).expect("matmul"));
+        }),
+        k_reps,
+    );
+    push(
+        "kernel/matmul_t_64x512x512",
+        best_of(k_reps, || {
+            std::hint::black_box(x.try_matmul_t(&w).expect("matmul_t"));
+        }),
+        k_reps,
+    );
+    let mut scratch = Tensor::default();
+    push(
+        "kernel/matmul_into_64x512x512",
+        best_of(k_reps, || {
+            x.matmul_into(&w, &mut scratch).expect("matmul_into");
+            std::hint::black_box(&scratch);
+        }),
+        k_reps,
+    );
+
+    // --- Simulator: the paper's 8-chip autoregressive block, aggregates
+    // only (MakespanOnly sink).
+    let chip = ChipSpec::siracusa();
+    let cfg = TransformerConfig::tiny_llama_42m();
+    let mut scheduler = Scheduler::new(&cfg, 8, &chip).expect("scheduler");
+    let programs = scheduler.model_programs(InferenceMode::Autoregressive, 1).expect("programs");
+    let machine = Machine::homogeneous(chip, 8);
+    push(
+        "sim/8chip_ar_block",
+        best_of(s_reps, || {
+            std::hint::black_box(machine.run(&programs).expect("run"));
+        }),
+        s_reps,
+    );
+
+    // --- Sweep: the default `mtp sweep` grid, cold scenario cache every
+    // iteration (a fresh engine), serial so the number is comparable
+    // across machines with different core counts.
+    let grid = SweepGrid::paper_default();
+    push(
+        "sweep/default_grid_cold_serial",
+        best_of(g_reps, || {
+            let engine = SweepEngine::serial();
+            std::hint::black_box(engine.run(&grid).rows.len());
+        }),
+        g_reps,
+    );
+
+    BenchReport { profile, results }
+}
+
+impl BenchReport {
+    /// Renders an aligned text summary (what `mtp bench` prints).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("mtp bench ({} profile)\n", self.profile);
+        for r in &self.results {
+            out.push_str(&format!(
+                "  {:<34} min {:>12.3?}   ({} reps)\n",
+                r.name,
+                std::time::Duration::from_nanos(r.min_ns),
+                r.reps
+            ));
+        }
+        out
+    }
+
+    /// Serializes the report as the committed `BENCH_*.json` "after"
+    /// fragment: `{"schema", "profile", "benches": [{name, min_ns,
+    /// reps}]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"profile\": \"{}\",\n  \"benches\": [\n",
+            self.profile
+        );
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"min_ns\": {}, \"reps\": {}}}{}\n",
+                r.name,
+                r.min_ns,
+                r.reps,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_profile_runs_every_bench() {
+        let report = run(true);
+        assert_eq!(report.profile, "quick");
+        assert_eq!(report.results.len(), 5);
+        for r in &report.results {
+            assert!(r.min_ns > 0, "{} measured nothing", r.name);
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let report = BenchReport {
+            profile: "quick",
+            results: vec![BenchResult { name: "kernel/x".into(), min_ns: 42, reps: 3 }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"mtp-bench-v1\""));
+        assert!(json.contains("\"name\": \"kernel/x\", \"min_ns\": 42, \"reps\": 3"));
+        assert!(json.ends_with("}\n"));
+        assert!(report.render().contains("kernel/x"));
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod ablation;
 pub mod advisor;
+pub mod bench;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

@@ -37,13 +37,13 @@ use mtp_model::{InferenceMode, TransformerConfig};
 use mtp_sim::ChipSpec;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// The named model presets of the paper plus the in-repo extensions —
 /// the `--models` vocabulary of `mtp sweep` and the model axis of
 /// [`SweepGrid::paper_default`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelPreset {
     /// TinyLlama-42M (S = 128 autoregressive / S = 16 prompt).
     TinyLlama,
@@ -113,7 +113,7 @@ impl ModelPreset {
 }
 
 /// The reduction-topology axis of a scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TopologySpec {
     /// The paper's hierarchical groups of four
     /// ([`Topology::paper_default`]).
@@ -176,7 +176,7 @@ impl TopologySpec {
 }
 
 /// The weight-placement axis of a scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlacementPolicy {
     /// Let the memory plan pick the best residency regime that fits
     /// (streamed / double-buffered / resident) — the paper's policy.
@@ -212,7 +212,7 @@ impl PlacementPolicy {
 }
 
 /// How much of the workload a scenario simulates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Span {
     /// One steady-state Transformer block (what the paper's figures show).
     Block,
@@ -246,7 +246,7 @@ impl Span {
 }
 
 /// One fully-specified experiment point of the sweep grid.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Scenario {
     /// Model architecture (including sequence length and dtype — the
     /// quantization axis is `config.dtype`).
@@ -312,9 +312,12 @@ impl Scenario {
         self
     }
 
-    /// The cache/deduplication key: two scenarios with equal keys simulate
-    /// identically. Every architectural dimension participates, so
-    /// distinct configurations cannot collide even when names match.
+    /// Human-readable scenario label, used in skip reports and error
+    /// messages. (The engine's cache no longer keys on this string: the
+    /// [`Scenario`] value itself is the hashed key — every architectural
+    /// dimension derives `Hash`/`Eq`, so distinct configurations cannot
+    /// collide even when names match, and no per-lookup formatting
+    /// happens on the sweep hot path.)
     #[must_use]
     pub fn key(&self) -> String {
         let c = &self.config;
@@ -515,12 +518,17 @@ impl SweepGrid {
 }
 
 /// One successfully simulated grid point.
+///
+/// The report is shared with the engine's cache through an [`Arc`], so
+/// assembling result rows — including duplicate grid points and cached
+/// re-runs — never deep-copies a [`SystemReport`] (whose per-chip stats
+/// grow with the chip count).
 #[derive(Debug, Clone)]
 pub struct SweepRow {
     /// The scenario that produced the report.
     pub scenario: Scenario,
-    /// The simulation result.
-    pub report: SystemReport,
+    /// The simulation result (shared with the engine cache).
+    pub report: Arc<SystemReport>,
 }
 
 /// A grid point that could not run (with the reason — typically a
@@ -761,7 +769,7 @@ impl SweepResults {
 #[derive(Debug)]
 pub struct SweepEngine {
     threads: usize,
-    cache: Mutex<HashMap<String, SystemReport>>,
+    cache: Mutex<HashMap<Scenario, Arc<SystemReport>>>,
 }
 
 impl Default for SweepEngine {
@@ -828,15 +836,16 @@ impl SweepEngine {
         let started = std::time::Instant::now();
 
         // Phase 1: under the lock, collect the unique not-yet-cached
-        // points to simulate (first occurrence of each key wins).
-        let mut to_run: Vec<(String, Scenario)> = Vec::new();
+        // points to simulate (first occurrence of each scenario wins;
+        // the scenario value itself is the hashed key, so this phase
+        // allocates nothing per point).
+        let mut to_run: Vec<&Scenario> = Vec::new();
         {
             let cache = self.cache.lock().expect("sweep cache poisoned");
-            let mut claimed: HashSet<String> = HashSet::new();
+            let mut claimed: HashSet<&Scenario> = HashSet::new();
             for s in scenarios {
-                let key = s.key();
-                if !cache.contains_key(&key) && claimed.insert(key.clone()) {
-                    to_run.push((key, s.clone()));
+                if !cache.contains_key(s) && claimed.insert(s) {
+                    to_run.push(s);
                 }
             }
         }
@@ -853,7 +862,7 @@ impl SweepEngine {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((_, scenario)) = to_run.get(i) else { break };
+                        let Some(scenario) = to_run.get(i) else { break };
                         let outcome = scenario.run().map_err(|e| e.to_string());
                         *slots[i].lock().expect("sweep slot poisoned") = Some(outcome);
                     });
@@ -863,22 +872,23 @@ impl SweepEngine {
 
         // Phase 3: fold results into the cache, then assemble rows in
         // input order. A row counts as "simulated" only for the first
-        // occurrence of a key this run produced; every other successful
-        // row is a cache hit (a prior run's report or a within-run
-        // duplicate). Failed points are skipped wherever they occur, so
-        // `unique_simulated + cache_hits == rows.len()` always holds.
-        let mut failures: HashMap<String, String> = HashMap::new();
-        let mut fresh: HashSet<String> = HashSet::new();
+        // occurrence of a scenario this run produced; every other
+        // successful row is a cache hit (a prior run's report or a
+        // within-run duplicate). Failed points are skipped wherever they
+        // occur, so `unique_simulated + cache_hits == rows.len()` always
+        // holds.
+        let mut failures: HashMap<&Scenario, String> = HashMap::new();
+        let mut fresh: HashSet<&Scenario> = HashSet::new();
         {
             let mut cache = self.cache.lock().expect("sweep cache poisoned");
-            for ((key, _), slot) in to_run.iter().zip(&slots) {
+            for (&scenario, slot) in to_run.iter().zip(&slots) {
                 match slot.lock().expect("sweep slot poisoned").take() {
                     Some(Ok(report)) => {
-                        cache.insert(key.clone(), report);
-                        fresh.insert(key.clone());
+                        cache.insert(scenario.clone(), Arc::new(report));
+                        fresh.insert(scenario);
                     }
                     Some(Err(reason)) => {
-                        failures.insert(key.clone(), reason);
+                        failures.insert(scenario, reason);
                     }
                     None => unreachable!("worker exited without filling its slot"),
                 }
@@ -890,15 +900,14 @@ impl SweepEngine {
         let mut skipped = Vec::new();
         let mut cache_hits = 0usize;
         for s in scenarios {
-            let key = s.key();
-            if let Some(report) = cache.get(&key) {
-                if !fresh.remove(&key) {
+            if let Some(report) = cache.get(s) {
+                if !fresh.remove(s) {
                     cache_hits += 1;
                 }
-                rows.push(SweepRow { scenario: s.clone(), report: report.clone() });
+                rows.push(SweepRow { scenario: s.clone(), report: Arc::clone(report) });
             } else {
                 let reason =
-                    failures.get(&key).cloned().unwrap_or_else(|| "unknown failure".to_owned());
+                    failures.get(s).cloned().unwrap_or_else(|| "unknown failure".to_owned());
                 skipped.push(SkippedScenario { scenario: s.clone(), reason });
             }
         }
@@ -917,12 +926,14 @@ impl SweepEngine {
     ///
     /// Propagates the scenario's partitioning/topology/simulation error.
     pub fn run_one(&self, scenario: &Scenario) -> Result<SystemReport, CoreError> {
-        let key = scenario.key();
-        if let Some(hit) = self.cache.lock().expect("sweep cache poisoned").get(&key) {
-            return Ok(hit.clone());
+        if let Some(hit) = self.cache.lock().expect("sweep cache poisoned").get(scenario) {
+            return Ok(SystemReport::clone(hit));
         }
         let report = scenario.run()?;
-        self.cache.lock().expect("sweep cache poisoned").insert(key, report.clone());
+        self.cache
+            .lock()
+            .expect("sweep cache poisoned")
+            .insert(scenario.clone(), Arc::new(report.clone()));
         Ok(report)
     }
 
@@ -942,7 +953,7 @@ impl SweepEngine {
                 s.reason
             )));
         }
-        Ok(results.rows.into_iter().map(|r| r.report).collect())
+        Ok(results.rows.into_iter().map(|r| Arc::unwrap_or_clone(r.report)).collect())
     }
 }
 

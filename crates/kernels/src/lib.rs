@@ -34,7 +34,10 @@ pub mod ops;
 
 pub use cost::{ClusterCostModel, CostParams};
 pub use linear::{gemm, gemm_bias, gemv};
-pub use ops::{gelu, layer_norm, rms_norm, rope_inplace, silu, softmax_rows};
+pub use ops::{
+    gelu, gelu_inplace, layer_norm, layer_norm_inplace, rms_norm, rms_norm_inplace,
+    rope_heads_inplace, rope_inplace, silu, silu_inplace, softmax_rows, softmax_rows_inplace,
+};
 
 use serde::{Deserialize, Serialize};
 

@@ -17,9 +17,16 @@ use mtp_tensor::Tensor;
 #[must_use]
 pub fn softmax_rows(t: &Tensor) -> Tensor {
     let mut out = t.clone();
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// In-place [`softmax_rows`]: the scratch-friendly variant the zero-alloc
+/// attention path uses (identical arithmetic, no output allocation).
+pub fn softmax_rows_inplace(t: &mut Tensor) {
     let cols = t.shape().cols();
     for r in 0..t.shape().rows() {
-        let row = &mut out.as_mut_slice()[r * cols..(r + 1) * cols];
+        let row = &mut t.as_mut_slice()[r * cols..(r + 1) * cols];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
         for v in row.iter_mut() {
@@ -32,7 +39,6 @@ pub fn softmax_rows(t: &Tensor) -> Tensor {
             }
         }
     }
-    out
 }
 
 /// Row-wise LayerNorm with learned `gamma`/`beta` (both of length `cols`).
@@ -42,12 +48,22 @@ pub fn softmax_rows(t: &Tensor) -> Tensor {
 /// Panics when `gamma` or `beta` length differs from the row width.
 #[must_use]
 pub fn layer_norm(t: &Tensor, gamma: &[f32], beta: &[f32], eps: f32) -> Tensor {
+    let mut out = t.clone();
+    layer_norm_inplace(&mut out, gamma, beta, eps);
+    out
+}
+
+/// In-place [`layer_norm`] (identical arithmetic, no output allocation).
+///
+/// # Panics
+///
+/// Panics when `gamma` or `beta` length differs from the row width.
+pub fn layer_norm_inplace(t: &mut Tensor, gamma: &[f32], beta: &[f32], eps: f32) {
     let cols = t.shape().cols();
     assert_eq!(gamma.len(), cols, "gamma length must equal row width");
     assert_eq!(beta.len(), cols, "beta length must equal row width");
-    let mut out = t.clone();
     for r in 0..t.shape().rows() {
-        let row = &mut out.as_mut_slice()[r * cols..(r + 1) * cols];
+        let row = &mut t.as_mut_slice()[r * cols..(r + 1) * cols];
         let mean = row.iter().sum::<f32>() / cols as f32;
         let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
         let inv = 1.0 / (var + eps).sqrt();
@@ -55,7 +71,6 @@ pub fn layer_norm(t: &Tensor, gamma: &[f32], beta: &[f32], eps: f32) -> Tensor {
             *v = (*v - mean) * inv * g + b;
         }
     }
-    out
 }
 
 /// Row-wise RMSNorm (Llama-style) with learned `gamma` of length `cols`.
@@ -65,41 +80,60 @@ pub fn layer_norm(t: &Tensor, gamma: &[f32], beta: &[f32], eps: f32) -> Tensor {
 /// Panics when `gamma` length differs from the row width.
 #[must_use]
 pub fn rms_norm(t: &Tensor, gamma: &[f32], eps: f32) -> Tensor {
+    let mut out = t.clone();
+    rms_norm_inplace(&mut out, gamma, eps);
+    out
+}
+
+/// In-place [`rms_norm`] (identical arithmetic, no output allocation).
+///
+/// # Panics
+///
+/// Panics when `gamma` length differs from the row width.
+pub fn rms_norm_inplace(t: &mut Tensor, gamma: &[f32], eps: f32) {
     let cols = t.shape().cols();
     assert_eq!(gamma.len(), cols, "gamma length must equal row width");
-    let mut out = t.clone();
     for r in 0..t.shape().rows() {
-        let row = &mut out.as_mut_slice()[r * cols..(r + 1) * cols];
+        let row = &mut t.as_mut_slice()[r * cols..(r + 1) * cols];
         let ms = row.iter().map(|v| v * v).sum::<f32>() / cols as f32;
         let inv = 1.0 / (ms + eps).sqrt();
         for (v, &g) in row.iter_mut().zip(gamma) {
             *v = *v * inv * g;
         }
     }
-    out
 }
 
 /// Element-wise GELU (tanh approximation, as deployed on MCUs).
 #[must_use]
 pub fn gelu(t: &Tensor) -> Tensor {
     let mut out = t.clone();
-    for v in out.as_mut_slice() {
+    gelu_inplace(&mut out);
+    out
+}
+
+/// In-place [`gelu`] (identical arithmetic, no output allocation).
+pub fn gelu_inplace(t: &mut Tensor) {
+    for v in t.as_mut_slice() {
         let x = *v;
         let inner = 0.797_884_6 * (x + 0.044_715 * x * x * x);
         *v = 0.5 * x * (1.0 + inner.tanh());
     }
-    out
 }
 
 /// Element-wise SiLU (`x * sigmoid(x)`), used by Llama-family FFNs.
 #[must_use]
 pub fn silu(t: &Tensor) -> Tensor {
     let mut out = t.clone();
-    for v in out.as_mut_slice() {
+    silu_inplace(&mut out);
+    out
+}
+
+/// In-place [`silu`] (identical arithmetic, no output allocation).
+pub fn silu_inplace(t: &mut Tensor) {
+    for v in t.as_mut_slice() {
         let x = *v;
         *v = x / (1.0 + (-x).exp());
     }
-    out
 }
 
 /// Applies rotary positional embedding in place to a `[seq x dim]` matrix
@@ -113,18 +147,39 @@ pub fn silu(t: &Tensor) -> Tensor {
 /// Panics when `dim` is odd.
 pub fn rope_inplace(t: &mut Tensor, pos0: usize) {
     let dim = t.shape().cols();
-    assert!(dim.is_multiple_of(2), "rope requires an even head dimension");
+    rope_heads_inplace(t, dim, pos0);
+}
+
+/// Applies rotary embeddings head-by-head, in place, to a
+/// `[seq x (h*head_dim)]` slab whose rows start at absolute position
+/// `pos0` — the zero-alloc path the distributed executor uses instead of
+/// splitting the slab into per-head copies. [`rope_inplace`] is the
+/// single-head (`head_dim == cols`) case.
+///
+/// # Panics
+///
+/// Panics when `head_dim` is odd or does not divide the column count.
+pub fn rope_heads_inplace(t: &mut Tensor, head_dim: usize, pos0: usize) {
+    let width = t.shape().cols();
+    assert!(head_dim.is_multiple_of(2), "rope requires an even head dimension");
+    assert!(
+        head_dim > 0 && width.is_multiple_of(head_dim),
+        "slab width must be a whole number of heads"
+    );
     let rows = t.shape().rows();
+    let data = t.as_mut_slice();
     for r in 0..rows {
         let pos = (pos0 + r) as f32;
-        let row = &mut t.as_mut_slice()[r * dim..(r + 1) * dim];
-        for i in 0..dim / 2 {
-            let freq = 1.0f32 / 10_000f32.powf(2.0 * i as f32 / dim as f32);
-            let angle = pos * freq;
-            let (sin, cos) = angle.sin_cos();
-            let (a, b) = (row[2 * i], row[2 * i + 1]);
-            row[2 * i] = a * cos - b * sin;
-            row[2 * i + 1] = a * sin + b * cos;
+        for head_start in (0..width).step_by(head_dim) {
+            let row = &mut data[r * width + head_start..r * width + head_start + head_dim];
+            for i in 0..head_dim / 2 {
+                let freq = 1.0f32 / 10_000f32.powf(2.0 * i as f32 / head_dim as f32);
+                let angle = pos * freq;
+                let (sin, cos) = angle.sin_cos();
+                let (a, b) = (row[2 * i], row[2 * i + 1]);
+                row[2 * i] = a * cos - b * sin;
+                row[2 * i + 1] = a * sin + b * cos;
+            }
         }
     }
 }

@@ -4,7 +4,7 @@ use mtp_tensor::Dtype;
 use serde::{Deserialize, Serialize};
 
 /// Row-wise normalization flavour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum NormKind {
     /// LayerNorm (BERT-family).
     LayerNorm,
@@ -13,7 +13,7 @@ pub enum NormKind {
 }
 
 /// FFN activation function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Activation {
     /// Gaussian Error Linear Unit (the paper's FC description).
     Gelu,
@@ -22,7 +22,7 @@ pub enum Activation {
 }
 
 /// Attention variant: bidirectional encoder or causal decoder.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AttentionKind {
     /// Bidirectional (encoder-only models such as MobileBERT).
     Bidirectional,
@@ -53,7 +53,7 @@ impl std::fmt::Display for InferenceMode {
 /// Dimension names follow the paper: sequence length `S`, embedding
 /// dimension `E`, per-head projection dimension `P`, head count `H`,
 /// FFN intermediate dimension `F`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TransformerConfig {
     /// Human-readable model name.
     pub name: String,

@@ -53,11 +53,23 @@ impl Embedding {
     ///
     /// Returns [`TensorError::AxisOutOfRange`] for out-of-vocabulary ids.
     pub fn embed(&self, token: TokenId) -> Result<Tensor> {
+        let mut out = Tensor::default();
+        self.embed_into(token, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Embedding::embed`] into a reusable row buffer (no allocation in
+    /// steady state — the per-token generation loop's lookup path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] for out-of-vocabulary ids.
+    pub fn embed_into(&self, token: TokenId, out: &mut Tensor) -> Result<()> {
         let row = token as usize;
         if row >= self.vocab() {
             return Err(TensorError::AxisOutOfRange { axis: row, rank: self.vocab() });
         }
-        Tensor::from_vec(Shape::mat(1, self.width()), self.table.row(row).to_vec())
+        out.assign_from_slice(Shape::mat(1, self.width()), self.table.row(row))
     }
 
     /// Embeds a token sequence as an `[S x E]` matrix.
@@ -85,6 +97,16 @@ impl Embedding {
         hidden.try_matmul_t(&self.table)
     }
 
+    /// [`Embedding::logits`] into a reusable buffer (no allocation in
+    /// steady state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches.
+    pub fn logits_into(&self, hidden: &Tensor, out: &mut Tensor) -> Result<()> {
+        hidden.matmul_t_into(&self.table, out)
+    }
+
     /// Greedy (argmax) next token for one hidden row.
     ///
     /// # Errors
@@ -92,15 +114,20 @@ impl Embedding {
     /// Propagates shape mismatches.
     pub fn greedy_next(&self, hidden: &Tensor) -> Result<TokenId> {
         let logits = self.logits(hidden)?;
-        let row = logits.row(0);
-        let mut best = 0usize;
-        for (i, &v) in row.iter().enumerate() {
-            if v > row[best] {
-                best = i;
-            }
-        }
-        Ok(best as TokenId)
+        Ok(argmax_row(&logits))
     }
+}
+
+/// Row-0 argmax of a logits tensor (first maximal index wins).
+fn argmax_row(logits: &Tensor) -> TokenId {
+    let row = logits.row(0);
+    let mut best = 0usize;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best as TokenId
 }
 
 /// Greedy generation driver over any step function (`[1 x E]` in,
@@ -109,7 +136,9 @@ impl Embedding {
 ///
 /// Works identically over the golden [`crate::Decoder::step`] and the
 /// distributed executor's step — which is exactly how the end-to-end
-/// equivalence test compares them.
+/// equivalence test compares them. The embedding row and logits buffers
+/// are reused across tokens, so the driver itself allocates nothing per
+/// token in steady state (the model's `step` owns its output).
 ///
 /// # Errors
 ///
@@ -121,16 +150,19 @@ pub fn generate_greedy<E>(
     mut step: impl FnMut(&Tensor) -> std::result::Result<Tensor, E>,
 ) -> std::result::Result<Vec<TokenId>, GenerateError<E>> {
     let mut out = Vec::with_capacity(n_tokens);
+    let mut x = Tensor::default();
+    let mut logits = Tensor::default();
     let mut hidden = None;
     for &t in prompt {
-        let x = embedding.embed(t).map_err(GenerateError::Embedding)?;
+        embedding.embed_into(t, &mut x).map_err(GenerateError::Embedding)?;
         hidden = Some(step(&x).map_err(GenerateError::Model)?);
     }
     let mut hidden = hidden.ok_or(GenerateError::EmptyPrompt)?;
     for _ in 0..n_tokens {
-        let next = embedding.greedy_next(&hidden).map_err(GenerateError::Embedding)?;
+        embedding.logits_into(&hidden, &mut logits).map_err(GenerateError::Embedding)?;
+        let next = argmax_row(&logits);
         out.push(next);
-        let x = embedding.embed(next).map_err(GenerateError::Embedding)?;
+        embedding.embed_into(next, &mut x).map_err(GenerateError::Embedding)?;
         hidden = step(&x).map_err(GenerateError::Model)?;
     }
     Ok(out)

@@ -81,6 +81,21 @@ impl KvCache {
             .expect("len*width consistency is a KvCache invariant")
     }
 
+    /// Writes the cached keys into `out` as a `[len x width]` tensor,
+    /// reusing `out`'s allocation (the zero-alloc decode loop's variant
+    /// of [`KvCache::keys`]).
+    pub fn keys_into(&self, out: &mut Tensor) {
+        out.assign_from_slice(Shape::mat(self.len, self.width), &self.keys)
+            .expect("len*width consistency is a KvCache invariant");
+    }
+
+    /// Writes the cached values into `out` as a `[len x width]` tensor,
+    /// reusing `out`'s allocation.
+    pub fn values_into(&self, out: &mut Tensor) {
+        out.assign_from_slice(Shape::mat(self.len, self.width), &self.values)
+            .expect("len*width consistency is a KvCache invariant");
+    }
+
     /// Bytes this cache occupies at `elem_bytes` per element (keys plus
     /// values over `capacity` positions, as allocated on-chip).
     #[must_use]

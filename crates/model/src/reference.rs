@@ -38,12 +38,13 @@ pub enum AttnMask {
 ///
 /// # Errors
 ///
-/// Propagates shape mismatches from the underlying tensor ops.
+/// Never fails (the `Result` is kept for call-site compatibility).
 ///
 /// # Panics
 ///
-/// Panics when a column count is not a multiple of `head_dim`, or when the
-/// K/V head count does not divide the query head count.
+/// Panics when a column count is not a multiple of `head_dim`, when the
+/// K/V head count does not divide the query head count, or when `k` and
+/// `v` shapes disagree.
 pub fn attention_heads(
     q: &Tensor,
     k: &Tensor,
@@ -51,8 +52,46 @@ pub fn attention_heads(
     head_dim: usize,
     mask: AttnMask,
 ) -> Result<Tensor> {
+    let mut scratch = AttnScratch::default();
+    let mut out = Tensor::default();
+    attention_heads_into(q, k, v, head_dim, mask, &mut scratch, &mut out);
+    Ok(out)
+}
+
+/// Reusable buffers for [`attention_heads_into`]: one `[S_q x S_kv]`
+/// score matrix, recycled across heads, layers, and decode steps.
+#[derive(Debug, Clone, Default)]
+pub struct AttnScratch {
+    scores: Tensor,
+}
+
+/// [`attention_heads`] into a caller-owned output, allocation-free in
+/// steady state: head slabs are addressed in place (strided) instead of
+/// being split into per-head copies, the score matrix lives in `scratch`,
+/// and `out` is resized in place.
+///
+/// Every accumulation runs in the same ascending-`k` [`mtp_tensor::madd`]
+/// order as the blocked matmul kernels, so the result is bit-identical to
+/// the split/concat formulation this replaced.
+///
+/// # Panics
+///
+/// Panics when a column count is not a multiple of `head_dim`, when the
+/// K/V head count does not divide the query head count, or when `k` and
+/// `v` shapes disagree.
+pub fn attention_heads_into(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    head_dim: usize,
+    mask: AttnMask,
+    scratch: &mut AttnScratch,
+    out: &mut Tensor,
+) {
+    use mtp_tensor::madd;
     let width = q.shape().cols();
     let kv_width = k.shape().cols();
+    assert_eq!(k.shape(), v.shape(), "k and v must share one [S_kv x width] shape");
     assert!(width.is_multiple_of(head_dim), "q columns must be a whole number of heads");
     assert!(kv_width.is_multiple_of(head_dim), "k/v columns must be a whole number of heads");
     let n_heads = width / head_dim;
@@ -62,49 +101,85 @@ pub fn attention_heads(
         "k/v heads must divide query heads"
     );
     let group = n_heads / n_kv_heads;
-    let qs = q.split_cols(n_heads)?;
-    let ks = k.split_cols(n_kv_heads)?;
-    let vs = v.split_cols(n_kv_heads)?;
+    let (sq, skv) = (q.shape().rows(), k.shape().rows());
     let scale = 1.0 / (head_dim as f32).sqrt();
-    let mut outs = Vec::with_capacity(n_heads);
-    for (h, qh) in qs.iter().enumerate() {
-        let (kh, vh) = (&ks[h / group], &vs[h / group]);
-        let mut scores = qh.try_matmul_t(kh)?.scaled(scale);
-        if let AttnMask::Causal { q_offset } = mask {
-            let (rows, cols) = (scores.shape().rows(), scores.shape().cols());
-            for i in 0..rows {
-                for j in (q_offset + i + 1)..cols {
-                    scores.set(i, j, f32::NEG_INFINITY);
+    // `out` accumulates (so it must start zeroed); the score matrix is
+    // fully overwritten every head, so its resize skips the memset.
+    out.resize_to(Shape::mat(sq, width));
+    scratch.scores.resize_for_overwrite(Shape::mat(sq, skv));
+    for h in 0..n_heads {
+        let q_off = h * head_dim;
+        let kv_off = (h / group) * head_dim;
+        // scores = scale * (q_h @ k_h^T), head columns addressed in place.
+        {
+            let (qd, kd) = (q.as_slice(), k.as_slice());
+            let sd = scratch.scores.as_mut_slice();
+            for i in 0..sq {
+                let q_row = &qd[i * width + q_off..][..head_dim];
+                for j in 0..skv {
+                    let k_row = &kd[j * kv_width + kv_off..][..head_dim];
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in q_row.iter().zip(k_row) {
+                        acc = madd(acc, a, b);
+                    }
+                    sd[i * skv + j] = acc * scale;
                 }
             }
         }
-        let probs = kernels::softmax_rows(&scores);
-        outs.push(probs.try_matmul(vh)?);
+        if let AttnMask::Causal { q_offset } = mask {
+            for i in 0..sq {
+                for j in (q_offset + i + 1)..skv {
+                    scratch.scores.set(i, j, f32::NEG_INFINITY);
+                }
+            }
+        }
+        kernels::softmax_rows_inplace(&mut scratch.scores);
+        // out_h = probs @ v_h, accumulated in ascending key order.
+        {
+            let (pd, vd) = (scratch.scores.as_slice(), v.as_slice());
+            let od = out.as_mut_slice();
+            for i in 0..sq {
+                let o_row = &mut od[i * width + q_off..][..head_dim];
+                for p in 0..skv {
+                    let prob = pd[i * skv + p];
+                    let v_row = &vd[p * kv_width + kv_off..][..head_dim];
+                    for (o, &vv) in o_row.iter_mut().zip(v_row) {
+                        *o = madd(*o, prob, vv);
+                    }
+                }
+            }
+        }
     }
-    Tensor::concat_cols(&outs)
 }
 
 /// Applies rotary embeddings head-by-head to a `[S x (h*P)]` slab whose
-/// rows start at absolute position `pos0`.
+/// rows start at absolute position `pos0`. The steady-state paths mutate
+/// their slabs directly with [`kernels::rope_heads_inplace`]; this
+/// copying wrapper remains for callers that need the input preserved.
 ///
 /// # Errors
 ///
-/// Propagates shape errors from the column split.
+/// Never fails (the `Result` is kept for call-site compatibility);
+/// malformed head widths panic as in [`kernels::rope_heads_inplace`].
 pub fn apply_rope_heads(t: &Tensor, head_dim: usize, pos0: usize) -> Result<Tensor> {
-    let n_heads = t.shape().cols() / head_dim;
-    let mut parts = t.split_cols(n_heads)?;
-    for p in &mut parts {
-        kernels::rope_inplace(p, pos0);
-    }
-    Tensor::concat_cols(&parts)
+    let mut out = t.clone();
+    kernels::rope_heads_inplace(&mut out, head_dim, pos0);
+    Ok(out)
 }
 
 /// Row-wise normalization of `t` according to the model's [`NormKind`].
 #[must_use]
 pub fn normalize(t: &Tensor, kind: NormKind, gamma: &[f32], beta: &[f32]) -> Tensor {
+    let mut out = t.clone();
+    normalize_inplace(&mut out, kind, gamma, beta);
+    out
+}
+
+/// In-place [`normalize`] (identical arithmetic, no output allocation).
+pub fn normalize_inplace(t: &mut Tensor, kind: NormKind, gamma: &[f32], beta: &[f32]) {
     match kind {
-        NormKind::LayerNorm => kernels::layer_norm(t, gamma, beta, 1e-5),
-        NormKind::RmsNorm => kernels::rms_norm(t, gamma, 1e-6),
+        NormKind::LayerNorm => kernels::layer_norm_inplace(t, gamma, beta, 1e-5),
+        NormKind::RmsNorm => kernels::rms_norm_inplace(t, gamma, 1e-6),
     }
 }
 
@@ -145,8 +220,8 @@ pub fn mhsa(
     let v = x.try_matmul(&w.wv)?;
     let pos0 = cache.as_deref().map_or(0, KvCache::len);
     if rope {
-        q = apply_rope_heads(&q, head_dim, pos0)?;
-        k = apply_rope_heads(&k, head_dim, pos0)?;
+        kernels::rope_heads_inplace(&mut q, head_dim, pos0);
+        kernels::rope_heads_inplace(&mut k, head_dim, pos0);
     }
     let attn = match cache {
         Some(cache) => {

@@ -6,14 +6,159 @@
 //! and the receiver's RX port first-come-first-served, receives block until
 //! the matching message has fully arrived, and asynchronous DMA transfers
 //! overlap compute until the matching [`Instr::DmaWait`].
+//!
+//! The executor is generic over a [`TraceSink`]; the aggregate-only entry
+//! point ([`Machine::run`]) instantiates it with [`MakespanOnly`], which
+//! compiles event recording — including event-label formatting — down to
+//! nothing. Hot-path state uses a dense per-chip layout plus
+//! multiply-hashed message maps; the per-chip in-flight DMA set is a small
+//! vector drained in deterministic completion order.
 
 use crate::{
-    gantt::{Trace, TraceEvent, TraceKind},
+    gantt::TraceKind,
+    sink::{MakespanOnly, TraceCollector, TraceSink},
     trace::ChipStats,
-    ChipId, ChipSpec, DmaTag, Instr, MemPath, MsgId, Program, Result, RunStats, SimError,
+    ChipId, ChipSpec, DmaTag, Instr, MemPath, MsgId, Program, Result, RunStats, SimError, Trace,
 };
+use mtp_kernels::{ClusterCostModel, Kernel};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiply-rotate hasher (FxHash-style) for the small integer keys the
+/// executor indexes by. The default SipHash is DoS-resistant but costs a
+/// significant fraction of per-instruction time in the event loop; message
+/// ids come from the schedule builder, not from untrusted input.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Message state: sends seen and receivers parked, keyed by [`MsgId`].
+///
+/// Schedule builders allocate message ids sequentially, so the common
+/// case is a dense id range — stored as flat vectors indexed by id and
+/// grown on demand (no hashing and no program pre-scan on the send/recv
+/// path). Ids beyond a sanity cap (4x the total instruction count, which
+/// only hand-written programs with arbitrary id spaces exceed) go to
+/// hashed overflow storage instead, so a wild id cannot balloon the
+/// dense vectors.
+struct MsgTable {
+    /// id -> (sender, delivery time); `None` until sent. Dense ids only.
+    messages: Vec<Option<(ChipId, u64)>>,
+    /// id -> parked chip (`usize::MAX` when nobody waits). Dense ids only.
+    waiting: Vec<usize>,
+    /// First id handled by the overflow maps instead of the vectors.
+    dense_cap: u64,
+    /// Sparse-id sends.
+    over_messages: FxHashMap<MsgId, (ChipId, u64)>,
+    /// Sparse-id parks.
+    over_waiting: FxHashMap<MsgId, usize>,
+}
+
+impl MsgTable {
+    /// An empty table whose dense range is sized to the programs' total
+    /// instruction count (an upper bound on distinct message ids any
+    /// schedule builder emits).
+    fn for_programs(programs: &[Program]) -> Self {
+        let total: usize = programs.iter().map(Program::len).sum();
+        MsgTable {
+            messages: Vec::new(),
+            waiting: Vec::new(),
+            dense_cap: 4 * total as u64 + 64,
+            over_messages: FxHashMap::default(),
+            over_waiting: FxHashMap::default(),
+        }
+    }
+
+    /// Grows the dense vectors to cover `idx` (amortized doubling).
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.messages.len() {
+            self.messages.resize(idx + 1, None);
+            self.waiting.resize(idx + 1, usize::MAX);
+        }
+    }
+
+    /// Records a send; returns `false` when the id was already used.
+    fn insert(&mut self, msg: MsgId, sender: ChipId, delivery: u64) -> bool {
+        if msg.0 < self.dense_cap {
+            self.ensure(msg.0 as usize);
+            let slot = &mut self.messages[msg.0 as usize];
+            if slot.is_some() {
+                return false;
+            }
+            *slot = Some((sender, delivery));
+            true
+        } else {
+            self.over_messages.insert(msg, (sender, delivery)).is_none()
+        }
+    }
+
+    fn get(&self, msg: MsgId) -> Option<(ChipId, u64)> {
+        if msg.0 < self.dense_cap {
+            self.messages.get(msg.0 as usize).copied().flatten()
+        } else {
+            self.over_messages.get(&msg).copied()
+        }
+    }
+
+    /// Parks `chip` on `msg` until the matching send arrives.
+    fn park(&mut self, msg: MsgId, chip: usize) {
+        if msg.0 < self.dense_cap {
+            self.ensure(msg.0 as usize);
+            self.waiting[msg.0 as usize] = chip;
+        } else {
+            self.over_waiting.insert(msg, chip);
+        }
+    }
+
+    /// Removes and returns the chip parked on `msg`, if any.
+    fn take_waiter(&mut self, msg: MsgId) -> Option<usize> {
+        if msg.0 < self.dense_cap {
+            let slot = self.waiting.get_mut(msg.0 as usize)?;
+            let chip = std::mem::replace(slot, usize::MAX);
+            (chip != usize::MAX).then_some(chip)
+        } else {
+            self.over_waiting.remove(&msg)
+        }
+    }
+}
 
 /// A multi-chip machine: a set of chips plus the (implicit, fully-connected
 /// logical) chip-to-chip link fabric.
@@ -58,7 +203,8 @@ impl Machine {
         self.chips.is_empty()
     }
 
-    /// Executes one program per chip to completion.
+    /// Executes one program per chip to completion, reporting aggregates
+    /// only (the [`MakespanOnly`] sink: no trace event is materialized).
     ///
     /// # Errors
     ///
@@ -70,13 +216,7 @@ impl Machine {
     ///   [`SimError::SenderMismatch`], [`SimError::UnknownDmaTag`] on
     ///   malformed programs.
     pub fn run(&self, programs: &[Program]) -> Result<RunStats> {
-        if programs.len() != self.chips.len() {
-            return Err(SimError::ProgramCountMismatch {
-                chips: self.chips.len(),
-                programs: programs.len(),
-            });
-        }
-        Executor::new(self, programs, false).run().map(|(stats, _)| stats)
+        self.run_with_sink(programs, MakespanOnly).map(|(stats, _)| stats)
     }
 
     /// Like [`Machine::run`], but also records a per-chip [`Trace`] of
@@ -86,14 +226,32 @@ impl Machine {
     ///
     /// Same conditions as [`Machine::run`].
     pub fn run_traced(&self, programs: &[Program]) -> Result<(RunStats, Trace)> {
+        let events_upper_bound: usize = programs.iter().map(Program::len).sum();
+        let sink = TraceCollector::with_capacity(events_upper_bound);
+        let (stats, sink) = self.run_with_sink(programs, sink)?;
+        Ok((stats, sink.into_trace()))
+    }
+
+    /// Executes the programs, delivering busy intervals to an arbitrary
+    /// [`TraceSink`]. This is the generic entry point [`Machine::run`] and
+    /// [`Machine::run_traced`] specialize; custom sinks (sampling,
+    /// streaming to disk, live dashboards) plug in here.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Machine::run`].
+    pub fn run_with_sink<S: TraceSink>(
+        &self,
+        programs: &[Program],
+        sink: S,
+    ) -> Result<(RunStats, S)> {
         if programs.len() != self.chips.len() {
             return Err(SimError::ProgramCountMismatch {
                 chips: self.chips.len(),
                 programs: programs.len(),
             });
         }
-        let (stats, trace) = Executor::new(self, programs, true).run()?;
-        Ok((stats, trace.unwrap_or_default()))
+        Executor::new(self, programs, sink).run()
     }
 }
 
@@ -105,7 +263,11 @@ struct ChipState {
     tx_free: u64,
     io_dma_free: u64,
     cluster_dma_free: u64,
-    dma_tags: HashMap<DmaTag, (u64, MemPath)>,
+    /// In-flight async DMA transfers: `(tag, completion time, path)`.
+    /// Small (the schedule keeps at most a few transfers in flight), so a
+    /// linear-scanned vector beats a hash map and — unlike one — has a
+    /// deterministic drain order.
+    dma_tags: Vec<(DmaTag, u64, MemPath)>,
     stats: ChipStats,
     done: bool,
 }
@@ -118,62 +280,114 @@ impl ChipState {
             tx_free: 0,
             io_dma_free: 0,
             cluster_dma_free: 0,
-            dma_tags: HashMap::new(),
+            dma_tags: Vec::new(),
             stats: ChipStats::default(),
             done: false,
         }
     }
+
+    /// Retires every in-flight async DMA at program end in deterministic
+    /// completion order (ties broken by tag), so exposed-stall attribution
+    /// per memory path never depends on container iteration order.
+    fn drain_pending_dma(&mut self) {
+        self.dma_tags.sort_unstable_by_key(|&(tag, done, _)| (done, tag.0));
+        for i in 0..self.dma_tags.len() {
+            let (_, done, path) = self.dma_tags[i];
+            if done > self.t {
+                self.stats.add_dma(path, 0, done - self.t);
+                self.t = done;
+            }
+        }
+        self.dma_tags.clear();
+    }
 }
 
-struct Executor<'a> {
+struct Executor<'a, S: TraceSink> {
     machine: &'a Machine,
     programs: &'a [Program],
     state: Vec<ChipState>,
     rx_free: Vec<u64>,
-    /// msg -> (sender, delivery time)
-    messages: HashMap<MsgId, (ChipId, u64)>,
-    /// msg -> chip parked on it
-    waiting: HashMap<MsgId, usize>,
+    msgs: MsgTable,
     ready: BinaryHeap<Reverse<(u64, usize)>>,
     sync_ids: Vec<u32>,
-    trace: Option<Trace>,
+    /// Chip -> index of its cost-model equivalence class (homogeneous
+    /// machines have exactly one class).
+    cost_class: Vec<u32>,
+    /// Direct-mapped kernel-cost memo per (cost class, kernel): schedules
+    /// repeat the same few kernel shapes across chips and blocks, so the
+    /// cost model's float evaluation (several long-latency divides) runs
+    /// once per distinct shape. Collisions simply recompute.
+    cycle_memo: Box<[Option<(u32, Kernel, u64)>; CYCLE_MEMO_SLOTS]>,
+    sink: S,
 }
 
-impl<'a> Executor<'a> {
-    fn new(machine: &'a Machine, programs: &'a [Program], traced: bool) -> Self {
+/// Size of the executor's direct-mapped kernel-cost memo (power of two;
+/// real schedules use a few dozen distinct kernel shapes).
+const CYCLE_MEMO_SLOTS: usize = 128;
+
+/// A cheap structural fingerprint of a kernel (variant + dimensions),
+/// used to index the cost memo. Quality only affects the collision rate.
+#[inline]
+fn kernel_fingerprint(kernel: &Kernel, class: u32) -> usize {
+    let (d, a, b, c) = match *kernel {
+        Kernel::Gemm { m, k, n } => (1usize, m, k, n),
+        Kernel::Gemv { k, n } => (2, 1, k, n),
+        Kernel::Softmax { rows, cols } => (3, rows, cols, 0),
+        Kernel::LayerNorm { rows, cols } => (4, rows, cols, 0),
+        Kernel::RmsNorm { rows, cols } => (5, rows, cols, 0),
+        Kernel::Gelu { n } => (6, n, 0, 0),
+        Kernel::Silu { n } => (7, n, 0, 0),
+        Kernel::Rope { seq, dim } => (8, seq, dim, 0),
+        Kernel::Add { n } => (9, n, 0, 0),
+        Kernel::Requant { n } => (10, n, 0, 0),
+    };
+    let mix = (d ^ (class as usize) << 4)
+        .wrapping_mul(0x9e37_79b9)
+        .wrapping_add(a.wrapping_mul(0x85eb_ca6b))
+        .wrapping_add(b.wrapping_mul(0xc2b2_ae35))
+        .wrapping_add(c.wrapping_mul(0x27d4_eb2f));
+    (mix ^ (mix >> 15)) & (CYCLE_MEMO_SLOTS - 1)
+}
+
+impl<'a, S: TraceSink> Executor<'a, S> {
+    fn new(machine: &'a Machine, programs: &'a [Program], sink: S) -> Self {
         let n = machine.len();
-        let mut ready = BinaryHeap::with_capacity(n);
+        let mut ready = BinaryHeap::with_capacity(n + 1);
         for i in 0..n {
             ready.push(Reverse((0, i)));
         }
+        let mut classes: Vec<ClusterCostModel> = Vec::new();
+        let cost_class = machine
+            .chips()
+            .iter()
+            .map(|c| match classes.iter().position(|m| *m == c.cost_model) {
+                Some(i) => i as u32,
+                None => {
+                    classes.push(c.cost_model);
+                    (classes.len() - 1) as u32
+                }
+            })
+            .collect();
         Executor {
             machine,
             programs,
             state: (0..n).map(|_| ChipState::new()).collect(),
             rx_free: vec![0; n],
-            messages: HashMap::new(),
-            waiting: HashMap::new(),
+            msgs: MsgTable::for_programs(programs),
             ready,
             sync_ids: Vec::new(),
-            trace: traced.then(Trace::default),
+            cost_class,
+            cycle_memo: Box::new([None; CYCLE_MEMO_SLOTS]),
+            sink,
         }
     }
 
-    fn record(&mut self, chip: usize, start: u64, end: u64, kind: TraceKind) {
-        if start == end {
-            return;
-        }
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent { chip, start, end, kind });
-        }
-    }
-
-    fn run(mut self) -> Result<(RunStats, Option<Trace>)> {
-        while let Some(Reverse((_, chip))) = self.ready.pop() {
+    fn run(mut self) -> Result<(RunStats, S)> {
+        while let Some(Reverse((t_pop, chip))) = self.ready.pop() {
             if self.state[chip].done {
                 continue;
             }
-            self.step(chip)?;
+            self.run_chip(chip, t_pop)?;
         }
         if let Some(blocked) = self.deadlocked() {
             return Err(SimError::Deadlock { blocked });
@@ -185,7 +399,7 @@ impl<'a> Executor<'a> {
         }
         self.sync_ids.sort_unstable();
         self.sync_ids.dedup();
-        Ok((RunStats::new(per_chip, self.sync_ids.len()), self.trace))
+        Ok((RunStats::new(per_chip, self.sync_ids.len()), self.sink))
     }
 
     fn deadlocked(&self) -> Option<Vec<ChipId>> {
@@ -203,33 +417,55 @@ impl<'a> Executor<'a> {
         }
     }
 
-    /// Executes exactly one instruction of `chip`, or parks/finishes it.
-    fn step(&mut self, chip: usize) -> Result<()> {
+    /// Runs `chip` from its current pc until it parks on a missing
+    /// message, must yield before a [`Instr::Send`], or finishes.
+    ///
+    /// Chip-local instructions (compute, DMA, sync marks) only touch the
+    /// chip's own state, so they execute back to back without going
+    /// through the ready heap. Only sends interact across chips — TX/RX
+    /// port arbitration is first-come-first-served by chip-local time —
+    /// so a send executes only while the chip holds the globally minimal
+    /// clock `t_pop`; once local work has advanced past it, the chip
+    /// re-queues and the send runs when its turn comes. This preserves
+    /// the strict interleaved scheme's send order (and therefore its
+    /// exact timing) while skipping two heap operations per local
+    /// instruction.
+    fn run_chip(&mut self, chip: usize, t_pop: u64) -> Result<()> {
+        // Borrow the spec through the machine reference (not `self`) so
+        // the hot loop never copies the full ChipSpec per instruction.
+        let machine = self.machine;
+        let spec = &machine.chips[chip];
         let program = &self.programs[chip];
-        let pc = self.state[chip].pc;
-        let Some(&instr) = program.instrs().get(pc) else {
-            self.state[chip].done = true;
-            return Ok(());
-        };
-        let spec = self.machine.chips[chip];
-        match instr {
-            Instr::Compute(kernel) => {
-                let cycles = spec.cost_model.cycles(&kernel);
-                let start = self.state[chip].t;
-                {
+        let instrs = program.instrs();
+        loop {
+            let Some(&instr) = instrs.get(self.state[chip].pc) else {
+                let st = &mut self.state[chip];
+                // Account for async DMA still in flight at program end.
+                st.drain_pending_dma();
+                st.done = true;
+                return Ok(());
+            };
+            match instr {
+                Instr::Compute(kernel) => {
+                    let class = self.cost_class[chip];
+                    let slot = &mut self.cycle_memo[kernel_fingerprint(&kernel, class)];
+                    let cycles = match slot {
+                        Some((c, k, cycles)) if *c == class && *k == kernel => *cycles,
+                        _ => {
+                            let cycles = spec.cost_model.cycles(&kernel);
+                            *slot = Some((class, kernel, cycles));
+                            cycles
+                        }
+                    };
                     let st = &mut self.state[chip];
+                    let start = st.t;
                     st.stats.compute_cycles += cycles;
                     st.t += cycles;
+                    self.sink.record(chip, start, start + cycles, || TraceKind::Compute {
+                        kernel: kernel.to_string(),
+                    });
                 }
-                self.record(
-                    chip,
-                    start,
-                    start + cycles,
-                    TraceKind::Compute { kernel: kernel.to_string() },
-                );
-            }
-            Instr::Dma { path, bytes } => {
-                let (issue, done) = {
+                Instr::Dma { path, bytes } => {
                     let st = &mut self.state[chip];
                     let (engine_free, dma) = if path.is_off_chip() {
                         (&mut st.io_dma_free, &spec.io_dma)
@@ -243,123 +479,113 @@ impl<'a> Executor<'a> {
                     st.stats.add_dma(path, bytes, exposed);
                     let issue = st.t;
                     st.t = done;
-                    (issue, done)
-                };
-                self.record(chip, issue, done, TraceKind::Dma { path, bytes });
-            }
-            Instr::DmaAsync { path, bytes, tag } => {
-                let st = &mut self.state[chip];
-                let (engine_free, dma) = if path.is_off_chip() {
-                    (&mut st.io_dma_free, &spec.io_dma)
-                } else {
-                    (&mut st.cluster_dma_free, &spec.cluster_dma)
-                };
-                let start = st.t.max(*engine_free);
-                let done = start + dma.transfer_cycles(bytes);
-                *engine_free = done;
-                st.dma_tags.insert(tag, (done, path));
-                // Bytes are counted at issue; only the stall at DmaWait is
-                // exposed time.
-                st.stats.add_dma(path, bytes, 0);
-            }
-            Instr::DmaWait(tag) => {
-                let stall = {
+                    self.sink.record(chip, issue, done, || TraceKind::Dma { path, bytes });
+                }
+                Instr::DmaAsync { path, bytes, tag } => {
                     let st = &mut self.state[chip];
-                    let Some((done, path)) = st.dma_tags.remove(&tag) else {
+                    let (engine_free, dma) = if path.is_off_chip() {
+                        (&mut st.io_dma_free, &spec.io_dma)
+                    } else {
+                        (&mut st.cluster_dma_free, &spec.cluster_dma)
+                    };
+                    let start = st.t.max(*engine_free);
+                    let done = start + dma.transfer_cycles(bytes);
+                    *engine_free = done;
+                    match st.dma_tags.iter_mut().find(|(t, _, _)| *t == tag) {
+                        Some(slot) => *slot = (tag, done, path),
+                        None => st.dma_tags.push((tag, done, path)),
+                    }
+                    // Bytes are counted at issue; only the stall at
+                    // DmaWait is exposed time.
+                    st.stats.add_dma(path, bytes, 0);
+                }
+                Instr::DmaWait(tag) => {
+                    let st = &mut self.state[chip];
+                    let Some(pos) = st.dma_tags.iter().position(|(t, _, _)| *t == tag) else {
                         return Err(SimError::UnknownDmaTag { chip: ChipId(chip), tag });
                     };
+                    let (_, done, path) = st.dma_tags.remove(pos);
                     if done > st.t {
                         let start = st.t;
                         st.stats.add_dma(path, 0, done - st.t);
                         st.t = done;
-                        Some((start, done, path))
-                    } else {
-                        None
+                        self.sink.record(chip, start, done, || TraceKind::Dma { path, bytes: 0 });
                     }
-                };
-                if let Some((start, done, path)) = stall {
-                    self.record(chip, start, done, TraceKind::Dma { path, bytes: 0 });
                 }
-            }
-            Instr::Send { to, msg, bytes } => {
-                if to.0 >= self.machine.len() {
-                    return Err(SimError::InvalidChip { chip: to, chips: self.machine.len() });
+                Instr::Send { to, msg, bytes } => {
+                    if self.state[chip].t > t_pop {
+                        // The local clock ran ahead of the pop priority:
+                        // another chip may now hold an earlier send to the
+                        // same port. Re-queue and retry in global order.
+                        self.ready.push(Reverse((self.state[chip].t, chip)));
+                        return Ok(());
+                    }
+                    if to.0 >= machine.len() {
+                        return Err(SimError::InvalidChip { chip: to, chips: machine.len() });
+                    }
+                    let t = self.state[chip].t;
+                    let start = t.max(self.state[chip].tx_free).max(self.rx_free[to.0]);
+                    let done = start + spec.link.transfer_cycles(bytes);
+                    if !self.msgs.insert(msg, ChipId(chip), done) {
+                        return Err(SimError::DuplicateMessage { msg });
+                    }
+                    self.rx_free[to.0] = done;
+                    {
+                        let st = &mut self.state[chip];
+                        st.tx_free = done;
+                        st.stats.c2c_bytes_sent += bytes;
+                        st.stats.c2c_exposed_cycles += done - t;
+                        st.t = done;
+                    }
+                    self.sink.record(chip, t, done, || TraceKind::Send { to: to.0, bytes });
+                    if let Some(waiter) = self.msgs.take_waiter(msg) {
+                        let wt = self.state[waiter].t;
+                        self.ready.push(Reverse((wt, waiter)));
+                    }
+                    // Yield after every send, even a zero-cycle one: a
+                    // woken (or same-time) lower-index chip must get the
+                    // next port slot exactly as under the strict
+                    // per-instruction heap's (time, chip) tie-break.
+                    self.state[chip].pc += 1;
+                    self.ready.push(Reverse((self.state[chip].t, chip)));
+                    return Ok(());
                 }
-                if self.messages.contains_key(&msg) {
-                    return Err(SimError::DuplicateMessage { msg });
-                }
-                let t = self.state[chip].t;
-                let start = t.max(self.state[chip].tx_free).max(self.rx_free[to.0]);
-                let done = start + spec.link.transfer_cycles(bytes);
-                self.state[chip].tx_free = done;
-                self.rx_free[to.0] = done;
-                {
-                    let st = &mut self.state[chip];
-                    st.stats.c2c_bytes_sent += bytes;
-                    st.stats.c2c_exposed_cycles += done - t;
-                    st.t = done;
-                }
-                self.record(chip, t, done, TraceKind::Send { to: to.0, bytes });
-                self.messages.insert(msg, (ChipId(chip), done));
-                if let Some(waiter) = self.waiting.remove(&msg) {
-                    let wt = self.state[waiter].t;
-                    self.ready.push(Reverse((wt, waiter)));
-                }
-            }
-            Instr::Recv { from, msg } => {
-                match self.messages.get(&msg) {
-                    Some(&(sender, delivery)) => {
-                        if sender != from {
-                            return Err(SimError::SenderMismatch {
-                                msg,
-                                expected: from,
-                                actual: sender,
-                            });
-                        }
-                        let stall = {
+                Instr::Recv { from, msg } => {
+                    match self.msgs.get(msg) {
+                        Some((sender, delivery)) => {
+                            if sender != from {
+                                return Err(SimError::SenderMismatch {
+                                    msg,
+                                    expected: from,
+                                    actual: sender,
+                                });
+                            }
                             let st = &mut self.state[chip];
                             if delivery > st.t {
                                 let start = st.t;
                                 st.stats.c2c_exposed_cycles += delivery - st.t;
                                 st.t = delivery;
-                                Some((start, delivery))
-                            } else {
-                                None
+                                self.sink.record(chip, start, delivery, || TraceKind::RecvWait {
+                                    from: from.0,
+                                });
                             }
-                        };
-                        if let Some((start, end)) = stall {
-                            self.record(chip, start, end, TraceKind::RecvWait { from: from.0 });
+                        }
+                        None => {
+                            // Park; the matching send will wake us. pc is
+                            // not advanced, so the Recv re-executes on
+                            // wake-up.
+                            self.msgs.park(msg, chip);
+                            return Ok(());
                         }
                     }
-                    None => {
-                        // Park; the matching send will wake us. pc is not
-                        // advanced, so the Recv re-executes on wake-up.
-                        self.waiting.insert(msg, chip);
-                        return Ok(());
-                    }
+                }
+                Instr::Sync(id) => {
+                    self.sync_ids.push(id);
+                    self.state[chip].stats.sync_marks += 1;
                 }
             }
-            Instr::Sync(id) => {
-                self.sync_ids.push(id);
-                self.state[chip].stats.sync_marks += 1;
-            }
+            self.state[chip].pc += 1;
         }
-        let st = &mut self.state[chip];
-        st.pc += 1;
-        if st.pc >= program.len() {
-            // Account for async DMA still in flight at program end.
-            let pending: Vec<(u64, MemPath)> = st.dma_tags.drain().map(|(_, v)| v).collect();
-            for (done, path) in pending {
-                if done > st.t {
-                    st.stats.add_dma(path, 0, done - st.t);
-                    st.t = done;
-                }
-            }
-            st.done = true;
-        } else {
-            self.ready.push(Reverse((st.t, chip)));
-        }
-        Ok(())
     }
 }
 
@@ -540,6 +766,33 @@ mod tests {
         }]);
         let stats = m.run(&[p]).unwrap();
         assert_eq!(stats.makespan, spec.io_dma.transfer_cycles(bytes));
+    }
+
+    #[test]
+    fn end_of_program_drain_is_issue_order_independent() {
+        // Two async DMAs on *different* engines are still in flight when
+        // the program ends. Their completion times do not depend on issue
+        // order (each engine is idle), so the per-path stall attribution —
+        // which walks pending transfers in completion order — must be
+        // identical for both issue orders. The old HashMap-backed drain
+        // walked map iteration order instead, which made the per-path
+        // split (though not the makespan) depend on hash state.
+        let m = machine(1);
+        let io = Instr::DmaAsync { path: MemPath::L3ToL2, bytes: 1 << 20, tag: DmaTag(0) };
+        let cluster = Instr::DmaAsync { path: MemPath::L2ToL1, bytes: 1 << 14, tag: DmaTag(1) };
+        let a = m.run(&[Program::from_instrs([io, cluster])]).unwrap();
+        let b = m.run(&[Program::from_instrs([cluster, io])]).unwrap();
+        assert_eq!(a.per_chip, b.per_chip, "drain attribution must not depend on issue order");
+        // Attribution by completion order: the cluster DMA finishes first
+        // and is charged its full stall; the IO DMA is charged only the
+        // remainder — never the other way around.
+        let spec = ChipSpec::siracusa();
+        let io_done = spec.io_dma.transfer_cycles(1 << 20);
+        let cl_done = spec.cluster_dma.transfer_cycles(1 << 14);
+        assert!(cl_done < io_done, "test premise: cluster DMA completes first");
+        assert_eq!(a.per_chip[0].dma_l2_l1_exposed_cycles, cl_done);
+        assert_eq!(a.per_chip[0].dma_l3_l2_exposed_cycles, io_done - cl_done);
+        assert_eq!(a.makespan, io_done);
     }
 
     #[test]

@@ -69,6 +69,12 @@ impl Trace {
         self.events.push(event);
     }
 
+    /// Pre-reserves room for `additional` events (the executor knows an
+    /// upper bound: one event per instruction).
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        self.events.reserve(additional);
+    }
+
     /// All events, in the order the executor retired them.
     #[must_use]
     pub fn events(&self) -> &[TraceEvent] {

@@ -43,6 +43,7 @@ mod exec;
 mod gantt;
 mod memory;
 mod program;
+mod sink;
 mod trace;
 
 pub use chip::{ChipSpec, LinkPortSpec};
@@ -52,4 +53,5 @@ pub use exec::Machine;
 pub use gantt::{Trace, TraceEvent, TraceKind};
 pub use memory::{MemPath, MemorySpec};
 pub use program::{ChipId, DmaTag, Instr, MsgId, Program};
+pub use sink::{MakespanOnly, TraceCollector, TraceSink};
 pub use trace::{Breakdown, ChipStats, RunStats};

@@ -124,6 +124,12 @@ impl Program {
         self.instrs.push(instr);
     }
 
+    /// Pre-reserves room for `additional` further instructions (schedule
+    /// builders know the total up front when instantiating templates).
+    pub fn reserve(&mut self, additional: usize) {
+        self.instrs.reserve(additional);
+    }
+
     /// The instructions in program order.
     #[must_use]
     pub fn instrs(&self) -> &[Instr] {

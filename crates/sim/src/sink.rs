@@ -1,0 +1,105 @@
+//! Trace sinks: where the executor sends busy-interval events.
+//!
+//! The executor is generic over a [`TraceSink`], so the cost of tracing is
+//! decided at compile time. [`MakespanOnly`] is a zero-sized no-op sink:
+//! with it, no [`TraceEvent`] is materialized and — crucially — no event
+//! *label* (kernel display string) is ever formatted, which keeps the
+//! aggregate-only hot path (sweeps, ablations, figure regeneration)
+//! allocation-free. [`TraceCollector`] records every interval into a
+//! [`Trace`] for rendering or Chrome-trace export.
+//!
+//! Timing is identical under every sink: sinks observe the executor, they
+//! never influence it (locked by `traced_run_matches_untraced_timing` and
+//! the `makespan_only_matches_full_trace` property suite).
+
+use crate::gantt::{Trace, TraceEvent, TraceKind};
+
+/// Receiver of per-chip busy intervals emitted by the executor.
+///
+/// `kind` is passed as a closure so sinks that discard events
+/// ([`MakespanOnly`]) never pay for constructing the event label.
+pub trait TraceSink {
+    /// Whether this sink materializes events. The executor may use this to
+    /// skip work that only matters when events are kept.
+    const RECORDS: bool;
+
+    /// Records one busy interval `[start, end)` of `chip`. Implementations
+    /// that keep events call `kind` to build the activity description;
+    /// zero-length intervals should be ignored.
+    fn record(&mut self, chip: usize, start: u64, end: u64, kind: impl FnOnce() -> TraceKind);
+}
+
+/// The aggregate-only sink: drops every event unexamined.
+///
+/// This is what [`crate::Machine::run`] uses — callers that only consume
+/// [`crate::RunStats`] (makespan, per-chip breakdowns, byte counters) pay
+/// nothing for the existence of tracing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MakespanOnly;
+
+impl TraceSink for MakespanOnly {
+    const RECORDS: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _chip: usize, _start: u64, _end: u64, _kind: impl FnOnce() -> TraceKind) {}
+}
+
+/// The full-fidelity sink backing [`crate::Machine::run_traced`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceCollector {
+    trace: Trace,
+}
+
+impl TraceCollector {
+    /// A collector with room for `events` events pre-reserved.
+    #[must_use]
+    pub fn with_capacity(events: usize) -> Self {
+        let mut trace = Trace::default();
+        trace.reserve(events);
+        TraceCollector { trace }
+    }
+
+    /// Consumes the collector, yielding the recorded [`Trace`].
+    #[must_use]
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+impl TraceSink for TraceCollector {
+    const RECORDS: bool = true;
+
+    fn record(&mut self, chip: usize, start: u64, end: u64, kind: impl FnOnce() -> TraceKind) {
+        if start == end {
+            return;
+        }
+        self.trace.push(TraceEvent { chip, start, end, kind: kind() });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kind() -> TraceKind {
+        TraceKind::RecvWait { from: 0 }
+    }
+
+    #[test]
+    fn makespan_only_never_calls_the_label_closure() {
+        let mut sink = MakespanOnly;
+        sink.record(0, 0, 10, || panic!("label must not be built"));
+        const { assert!(!MakespanOnly::RECORDS) }
+    }
+
+    #[test]
+    fn collector_keeps_nonempty_intervals_only() {
+        let mut sink = TraceCollector::with_capacity(4);
+        sink.record(0, 5, 5, kind); // zero-length: dropped
+        sink.record(1, 5, 9, kind);
+        let trace = sink.into_trace();
+        assert_eq!(trace.events().len(), 1);
+        assert_eq!(trace.events()[0].chip, 1);
+        assert_eq!(trace.events()[0].duration(), 4);
+    }
+}

@@ -24,6 +24,7 @@
 #![deny(missing_docs)]
 
 mod error;
+pub mod naive;
 mod quant;
 mod shape;
 mod tensor;
@@ -31,7 +32,7 @@ mod tensor;
 pub use error::{Result, TensorError};
 pub use quant::{dequantize, quantize_symmetric, QTensor, Quantization};
 pub use shape::Shape;
-pub use tensor::Tensor;
+pub use tensor::{madd, Tensor};
 
 /// Numeric precision used to store a tensor when it is placed in MCU memory.
 ///

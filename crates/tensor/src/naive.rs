@@ -1,0 +1,99 @@
+//! Retained naive matmul reference implementations.
+//!
+//! These are the pre-optimization triple loops, kept as the *oracle* for
+//! the blocked kernels in [`crate::Tensor`]: the property suite
+//! (`tests/simulator_properties.rs` → `kernel_lockstep` at the workspace
+//! root) asserts that [`Tensor::try_matmul`], [`Tensor::try_matmul_t`],
+//! and their `_into` scratch variants are **bit-identical** to these
+//! references across arbitrary shapes. The blocked kernels preserve the
+//! exact per-output floating-point addition order (ascending `k`), which
+//! is what makes bit-equality — not just tolerance-equality — hold.
+//!
+//! Do not "optimize" this module: its entire value is staying obviously
+//! correct and obviously sequential. The one concession is the shared
+//! `madd` multiply-accumulate helper, which both these references and the
+//! blocked kernels use so fused-multiply-add availability (a compile-time
+//! target feature) never breaks optimized-vs-naive bit-equality.
+
+use crate::tensor::madd;
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Naive `a @ b`: the textbook i-k-j triple loop, accumulating each output
+/// element in ascending-`k` order.
+///
+/// # Errors
+///
+/// Returns [`TensorError::MatmulMismatch`] when `a.cols() != b.rows()`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = (a.shape().rows(), a.shape().cols());
+    let (k2, n) = (b.shape().rows(), b.shape().cols());
+    if k != k2 {
+        return Err(TensorError::MatmulMismatch { left: a.shape(), right: b.shape() });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    for i in 0..m {
+        for p in 0..k {
+            let x = av[i * k + p];
+            for j in 0..n {
+                out[i * n + j] = madd(out[i * n + j], x, bv[p * n + j]);
+            }
+        }
+    }
+    Tensor::from_vec(Shape::mat(m, n), out)
+}
+
+/// Naive `a @ b^T`: one sequential dot product per output element, in
+/// ascending-`k` order.
+///
+/// # Errors
+///
+/// Returns [`TensorError::MatmulMismatch`] when `a.cols() != b.cols()`.
+pub fn matmul_t(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = (a.shape().rows(), a.shape().cols());
+    let (n, k2) = (b.shape().rows(), b.shape().cols());
+    if k != k2 {
+        return Err(TensorError::MatmulMismatch { left: a.shape(), right: b.shape() });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc = madd(acc, av[i * k + p], bv[j * k + p]);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(Shape::mat(m, n), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_matmul_known_values() {
+        let a = Tensor::from_vec(Shape::mat(2, 2), vec![1., 2., 3., 4.]).unwrap();
+        let b = Tensor::from_vec(Shape::mat(2, 2), vec![5., 6., 7., 8.]).unwrap();
+        assert_eq!(matmul(&a, &b).unwrap().as_slice(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn naive_matmul_t_matches_explicit_transpose() {
+        let a = Tensor::from_fn(Shape::mat(3, 5), |(r, c)| (r * 5 + c) as f32 * 0.3 - 1.0);
+        let b = Tensor::from_fn(Shape::mat(4, 5), |(r, c)| (r + c) as f32 * 0.1);
+        let via_t = matmul_t(&a, &b).unwrap();
+        let explicit = matmul(&a, &b.transposed()).unwrap();
+        assert!(via_t.approx_eq(&explicit, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn naive_mismatch_errors() {
+        let a = Tensor::zeros(Shape::mat(2, 3));
+        let b = Tensor::zeros(Shape::mat(2, 2));
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_t(&a, &b).is_err());
+    }
+}

@@ -50,14 +50,13 @@ impl Tensor {
                 data.push(f((r, c)));
             }
         }
-        // Rank-3 shapes are filled as (d0, d1*d2) matrices.
-        if shape.rank() == 3 {
-            let extra = shape.len() / (rows * cols);
-            let base = data.clone();
-            for _ in 1..extra {
-                data.extend_from_slice(&base);
-            }
-            data.truncate(shape.len());
+        // Rank-3 shapes are filled as (d0, d1*d2) matrices and the base
+        // tile repeats periodically: one sized copy pass, no intermediate
+        // clone/truncate.
+        let base_len = rows * cols;
+        for idx in base_len..shape.len() {
+            let v = data[idx - base_len];
+            data.push(v);
         }
         Tensor { shape, data }
     }
@@ -157,6 +156,13 @@ impl Tensor {
 
     /// Matrix product `self @ rhs`.
     ///
+    /// Computed by a blocked, branch-free kernel (4-wide unrolled over the
+    /// reduction dimension) that preserves the naive ascending-`k`
+    /// accumulation order per output element, so results are bit-identical
+    /// to [`crate::naive::matmul`] (property-tested at the workspace
+    /// root). For steady-state loops, [`Tensor::matmul_into`] reuses a
+    /// caller-owned output buffer.
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::MatmulMismatch`] when `self.cols() != rhs.rows()`.
@@ -167,23 +173,35 @@ impl Tensor {
             return Err(TensorError::MatmulMismatch { left: self.shape, right: rhs.shape });
         }
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        matmul_kernel(&self.data, &rhs.data, &mut out, m, k, n);
         Ok(Tensor { shape: Shape::mat(m, n), data: out })
     }
 
+    /// [`Tensor::try_matmul`] into a reusable output buffer: `out`'s
+    /// allocation is kept whenever it is large enough, so steady-state
+    /// callers (the per-token decode loop, the distributed functional
+    /// executor) run allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulMismatch`] when `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) -> Result<()> {
+        let (m, k) = (self.shape.rows(), self.shape.cols());
+        let (k2, n) = (rhs.shape.rows(), rhs.shape.cols());
+        if k != k2 {
+            return Err(TensorError::MatmulMismatch { left: self.shape, right: rhs.shape });
+        }
+        out.resize_for_overwrite(Shape::mat(m, n));
+        matmul_kernel(&self.data, &rhs.data, &mut out.data, m, k, n);
+        Ok(())
+    }
+
     /// Matrix product with the transpose of `rhs`: `self @ rhs^T`.
+    ///
+    /// Computed by a blocked kernel (4 output columns per pass, one
+    /// independent sequential accumulator chain each), bit-identical to
+    /// [`crate::naive::matmul_t`]. For steady-state loops,
+    /// [`Tensor::matmul_t_into`] reuses a caller-owned output buffer.
     ///
     /// # Errors
     ///
@@ -195,18 +213,25 @@ impl Tensor {
             return Err(TensorError::MatmulMismatch { left: self.shape, right: rhs.shape });
         }
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &rhs.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out[i * n + j] = acc;
-            }
-        }
+        matmul_t_kernel(&self.data, &rhs.data, &mut out, m, k, n);
         Ok(Tensor { shape: Shape::mat(m, n), data: out })
+    }
+
+    /// [`Tensor::try_matmul_t`] into a reusable output buffer (see
+    /// [`Tensor::matmul_into`] for the scratch-buffer discipline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulMismatch`] when `self.cols() != rhs.cols()`.
+    pub fn matmul_t_into(&self, rhs: &Tensor, out: &mut Tensor) -> Result<()> {
+        let (m, k) = (self.shape.rows(), self.shape.cols());
+        let (n, k2) = (rhs.shape.rows(), rhs.shape.cols());
+        if k != k2 {
+            return Err(TensorError::MatmulMismatch { left: self.shape, right: rhs.shape });
+        }
+        out.resize_for_overwrite(Shape::mat(m, n));
+        matmul_t_kernel(&self.data, &rhs.data, &mut out.data, m, k, n);
+        Ok(())
     }
 
     /// Transposed copy of a matrix.
@@ -222,6 +247,58 @@ impl Tensor {
         Tensor { shape: Shape::mat(n, m), data: out }
     }
 
+    /// Reshapes this tensor to `shape` and zero-fills it, reusing its
+    /// allocation (growing only when the new element count exceeds the
+    /// current capacity). This is the setup step of the `_into`
+    /// scratch-buffer kernels and of hand-rolled scratch loops.
+    pub fn resize_to(&mut self, shape: impl Into<Shape>) {
+        self.shape = shape.into();
+        self.data.clear();
+        self.data.resize(self.shape.len(), 0.0);
+    }
+
+    /// Like [`Tensor::resize_to`] but skips the zero-fill when the
+    /// element count is unchanged — for kernels that overwrite every
+    /// output element anyway (the `_into` matmul family, the attention
+    /// score scratch), where a preparatory memset on the steady-state
+    /// path would be pure waste. Element values after the call are
+    /// unspecified; callers **must** write every element before reading.
+    pub fn resize_for_overwrite(&mut self, shape: impl Into<Shape>) {
+        let shape = shape.into();
+        self.shape = shape;
+        if self.data.len() != shape.len() {
+            self.data.clear();
+            self.data.resize(shape.len(), 0.0);
+        }
+    }
+
+    /// Makes this tensor an exact copy of `src`, reusing the existing
+    /// allocation when large enough.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape = src.shape;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Assigns `shape` and row-major `data` to this tensor, reusing the
+    /// existing allocation when large enough (the scratch-variant
+    /// companion of [`Tensor::from_vec`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` differs
+    /// from the element count implied by `shape`.
+    pub fn assign_from_slice(&mut self, shape: impl Into<Shape>, data: &[f32]) -> Result<()> {
+        let shape = shape.into();
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.len(), actual: data.len() });
+        }
+        self.shape = shape;
+        self.data.clear();
+        self.data.extend_from_slice(data);
+        Ok(())
+    }
+
     /// Element-wise sum.
     ///
     /// # Errors
@@ -233,6 +310,24 @@ impl Tensor {
         }
         let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
         Ok(Tensor { shape: self.shape, data })
+    }
+
+    /// Element-wise sum into a reusable output buffer: `out = self + rhs`
+    /// without allocating in steady state (the scratch-variant companion
+    /// of [`Tensor::try_add`], mirroring [`Tensor::matmul_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add_into(&self, rhs: &Tensor, out: &mut Tensor) -> Result<()> {
+        if self.shape != rhs.shape {
+            return Err(TensorError::ShapeMismatch { left: self.shape, right: rhs.shape });
+        }
+        out.resize_for_overwrite(self.shape);
+        for ((o, a), b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = a + b;
+        }
+        Ok(())
     }
 
     /// In-place element-wise accumulation `self += rhs`.
@@ -365,6 +460,154 @@ impl Tensor {
     }
 }
 
+impl Default for Tensor {
+    /// An empty `0 x 0` tensor — the idiomatic initial state for scratch
+    /// buffers that [`Tensor::resize_to`] will size on first use.
+    fn default() -> Self {
+        Tensor::zeros(Shape::mat(0, 0))
+    }
+}
+
+/// One multiply-accumulate step, `acc + a*b`.
+///
+/// On targets compiled with hardware FMA support this fuses into a single
+/// rounding (faster and slightly more accurate); elsewhere it is a plain
+/// multiply-then-add. The blocked kernels, the retained naive references
+/// in [`crate::naive`], and every downstream hand-rolled accumulation
+/// loop (e.g. the strided attention path in `mtp-model`) go through this
+/// helper, so optimized-vs-naive **bit-identity** holds under either
+/// compilation mode. (A bare `f32::mul_add` without the feature gate
+/// would fall back to a slow library call on non-FMA targets.)
+#[inline(always)]
+pub fn madd(acc: f32, a: f32, b: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, acc)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        acc + a * b
+    }
+}
+
+/// Blocked `[m x k] @ [k x n]` kernel: branch-free (no per-element zero
+/// test), register-blocked over four output rows with a 4-wide unrolled
+/// reduction (2 k-steps x the madd pair), so each `b` row is loaded once
+/// per four output rows and each output row is loaded/stored once per two
+/// reduction steps.
+///
+/// Each output element still accumulates its terms in ascending-`k` order,
+/// which keeps the result bit-identical to [`crate::naive::matmul`].
+fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    out[..m * n].fill(0.0);
+    let mut i = 0;
+    while i + 4 <= m {
+        let (o0, rest) = out[i * n..].split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, rest) = rest.split_at_mut(n);
+        let o3 = &mut rest[..n];
+        let a0r = &a[i * k..][..k];
+        let a1r = &a[(i + 1) * k..][..k];
+        let a2r = &a[(i + 2) * k..][..k];
+        let a3r = &a[(i + 3) * k..][..k];
+        let mut p = 0;
+        while p + 2 <= k {
+            let bp0 = &b[p * n..][..n];
+            let bp1 = &b[(p + 1) * n..][..n];
+            let (a00, a01) = (a0r[p], a0r[p + 1]);
+            let (a10, a11) = (a1r[p], a1r[p + 1]);
+            let (a20, a21) = (a2r[p], a2r[p + 1]);
+            let (a30, a31) = (a3r[p], a3r[p + 1]);
+            for j in 0..n {
+                let (b0, b1) = (bp0[j], bp1[j]);
+                o0[j] = madd(madd(o0[j], a00, b0), a01, b1);
+                o1[j] = madd(madd(o1[j], a10, b0), a11, b1);
+                o2[j] = madd(madd(o2[j], a20, b0), a21, b1);
+                o3[j] = madd(madd(o3[j], a30, b0), a31, b1);
+            }
+            p += 2;
+        }
+        while p < k {
+            let bp = &b[p * n..][..n];
+            let (x0, x1, x2, x3) = (a0r[p], a1r[p], a2r[p], a3r[p]);
+            for j in 0..n {
+                let bv = bp[j];
+                o0[j] = madd(o0[j], x0, bv);
+                o1[j] = madd(o1[j], x1, bv);
+                o2[j] = madd(o2[j], x2, bv);
+                o3[j] = madd(o3[j], x3, bv);
+            }
+            p += 1;
+        }
+        i += 4;
+    }
+    while i < m {
+        let o_row = &mut out[i * n..][..n];
+        for p in 0..k {
+            let x = a[i * k + p];
+            let bp = &b[p * n..][..n];
+            for (o, &bv) in o_row.iter_mut().zip(bp) {
+                *o = madd(*o, x, bv);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Blocked `[m x k] @ [n x k]^T` kernel: eight output columns per pass,
+/// each with its own sequential accumulator chain. The eight chains are
+/// independent (enough instruction-level parallelism to cover the
+/// multiply-accumulate latency, which a single-chain dot product cannot)
+/// while each chain adds in ascending-`k` order — bit-identical to
+/// [`crate::naive::matmul_t`].
+fn matmul_t_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..][..k];
+        let o_row = &mut out[i * n..][..n];
+        let mut j = 0;
+        while j + 8 <= n {
+            let b0 = &b[j * k..][..k];
+            let b1 = &b[(j + 1) * k..][..k];
+            let b2 = &b[(j + 2) * k..][..k];
+            let b3 = &b[(j + 3) * k..][..k];
+            let b4 = &b[(j + 4) * k..][..k];
+            let b5 = &b[(j + 5) * k..][..k];
+            let b6 = &b[(j + 6) * k..][..k];
+            let b7 = &b[(j + 7) * k..][..k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            let (mut s4, mut s5, mut s6, mut s7) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (p, &av) in a_row.iter().enumerate() {
+                s0 = madd(s0, av, b0[p]);
+                s1 = madd(s1, av, b1[p]);
+                s2 = madd(s2, av, b2[p]);
+                s3 = madd(s3, av, b3[p]);
+                s4 = madd(s4, av, b4[p]);
+                s5 = madd(s5, av, b5[p]);
+                s6 = madd(s6, av, b6[p]);
+                s7 = madd(s7, av, b7[p]);
+            }
+            o_row[j] = s0;
+            o_row[j + 1] = s1;
+            o_row[j + 2] = s2;
+            o_row[j + 3] = s3;
+            o_row[j + 4] = s4;
+            o_row[j + 5] = s5;
+            o_row[j + 6] = s6;
+            o_row[j + 7] = s7;
+            j += 8;
+        }
+        while j < n {
+            let b_row = &b[j * k..][..k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc = madd(acc, av, bv);
+            }
+            o_row[j] = acc;
+            j += 1;
+        }
+    }
+}
+
 impl std::ops::Index<(usize, usize)> for Tensor {
     type Output = f32;
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
@@ -401,6 +644,67 @@ mod tests {
         let via_t = a.try_matmul_t(&b).unwrap();
         let explicit = a.matmul(&b.transposed());
         assert_eq!(via_t, explicit);
+    }
+
+    #[test]
+    fn blocked_kernels_bit_match_naive_reference() {
+        // Deterministic "awkward" shapes exercising unroll tails (k and n
+        // not multiples of 4). The workspace-root proptest suite does the
+        // arbitrary-shape version of this.
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (2, 9, 4), (4, 4, 6), (5, 13, 3)] {
+            let a = Tensor::from_fn(Shape::mat(m, k), |(r, c)| ((r * k + c) as f32).sin());
+            let b = Tensor::from_fn(Shape::mat(k, n), |(r, c)| ((r * n + c) as f32).cos());
+            let bt = Tensor::from_fn(Shape::mat(n, k), |(r, c)| ((r + c * 2) as f32).sin());
+            assert_eq!(
+                a.try_matmul(&b).unwrap().as_slice(),
+                crate::naive::matmul(&a, &b).unwrap().as_slice(),
+                "matmul {m}x{k}x{n}"
+            );
+            assert_eq!(
+                a.try_matmul_t(&bt).unwrap().as_slice(),
+                crate::naive::matmul_t(&a, &bt).unwrap().as_slice(),
+                "matmul_t {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn into_variants_match_and_reuse_scratch() {
+        let a = Tensor::from_fn(Shape::mat(6, 8), |(r, c)| (r * 8 + c) as f32 * 0.1);
+        let b = Tensor::from_fn(Shape::mat(8, 5), |(r, c)| (r + c) as f32 * 0.2);
+        let bt = Tensor::from_fn(Shape::mat(5, 8), |(r, c)| (r * 2 + c) as f32 * 0.3);
+        // Scratch deliberately starts with the wrong shape and stale data.
+        let mut out = Tensor::from_fn(Shape::mat(9, 9), |_| 42.0);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.try_matmul(&b).unwrap());
+        a.matmul_t_into(&bt, &mut out).unwrap();
+        assert_eq!(out, a.try_matmul_t(&bt).unwrap());
+        let c = Tensor::from_fn(Shape::mat(6, 8), |_| 1.0);
+        a.add_into(&c, &mut out).unwrap();
+        assert_eq!(out, a.try_add(&c).unwrap());
+        // Shape mismatches still error.
+        assert!(a.matmul_into(&bt, &mut out).is_err());
+        assert!(a.matmul_t_into(&b, &mut out).is_err());
+        assert!(a.add_into(&b, &mut out).is_err());
+    }
+
+    #[test]
+    fn copy_from_reuses_allocation() {
+        let src = Tensor::from_fn(Shape::mat(2, 3), |(r, c)| (r + c) as f32);
+        let mut dst = Tensor::zeros(Shape::mat(8, 8));
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn from_fn_rank3_repeats_base_tile() {
+        let t = Tensor::from_fn(Shape::cube(2, 2, 3), |(r, c)| (r * 2 + c) as f32);
+        // Base 2x2 tile [0,1,2,3] repeated to fill 2*2*3 = 12 elements.
+        assert_eq!(t.len(), 12);
+        let d = t.as_slice();
+        for idx in 4..12 {
+            assert_eq!(d[idx], d[idx - 4], "period-4 repetition at {idx}");
+        }
     }
 
     #[test]

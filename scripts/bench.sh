@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the repo's performance benchmarks.
+#
+#   scripts/bench.sh               full run: criterion micro-suite + the
+#                                  `mtp bench` wall-clock suite, writing
+#                                  bench-results.json in the repo root
+#   scripts/bench.sh --quick       CI smoke profile: `mtp bench --quick`
+#                                  only (criterion stays out of CI)
+#   scripts/bench.sh --json FILE   override the JSON output path
+#
+# The committed BENCH_<pr>.json trajectory files are produced from these
+# numbers — see the README's "Benchmarks" section for the format and
+# DESIGN.md §8 for the methodology.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=""
+json_out="bench-results.json"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) quick="--quick"; shift ;;
+    --json) json_out="$2"; shift 2 ;;
+    *) echo "usage: scripts/bench.sh [--quick] [--json FILE]" >&2; exit 2 ;;
+  esac
+done
+
+if [ -z "$quick" ]; then
+  echo "== criterion micro-suite (kernels + sweep engine) =="
+  cargo bench --bench kernels -- --bench
+  cargo bench --bench sweep -- --bench
+fi
+
+echo "== mtp bench $quick =="
+cargo run --release --bin mtp -- bench $quick --json "$json_out"
+echo "wrote $json_out"

@@ -13,7 +13,7 @@ use mtp::core::{schedule::Scheduler, DistributedSystem};
 use mtp::harness::sweep::{
     ModelPreset, PlacementPolicy, Span, SweepEngine, SweepGrid, TopologySpec,
 };
-use mtp::harness::{ablation, advisor, fig4, fig5, fig6, headline, table1};
+use mtp::harness::{ablation, advisor, bench, fig4, fig5, fig6, headline, table1};
 use mtp::model::{InferenceMode, TransformerConfig};
 use mtp::sim::{ChipSpec, Machine};
 use std::process::ExitCode;
@@ -34,12 +34,20 @@ USAGE:
     mtp headline
     mtp ablation
     mtp table1 [--chips N]
+    mtp bench  [--quick] [--json FILE]
 
 MODELS:
     tinyllama       TinyLlama-42M (default; S=128 ar / S=16 prompt)
     tinyllama-64h   the scalability-study variant (64 heads)
     tinyllama-gqaK  grouped-query variant with K kv heads (K in 1,2,4,8)
     mobilebert      MobileBERT encoder (S=268, prompt mode only)
+
+BENCH:
+    `mtp bench` times the hot paths (blocked matmul kernels, the 8-chip
+    simulator block, the cold-cache default sweep) as best-of-N wall
+    clock and prints one line per benchmark; --json also writes the
+    machine-readable report (the BENCH_*.json format, see the README's
+    Benchmarks section). --quick is the CI smoke profile.
 
 SWEEP:
     With no flags, `mtp sweep` runs the default paper grid: all three
@@ -59,6 +67,7 @@ fn main() -> ExitCode {
         Some("headline") => headline_cmd(),
         Some("ablation") => ablation_cmd(),
         Some("table1") => table1_cmd(&args[1..]),
+        Some("bench") => bench_cmd(&args[1..]),
         Some("--help" | "-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -282,6 +291,16 @@ fn headline_cmd() -> CliResult {
 
 fn ablation_cmd() -> CliResult {
     println!("{}", ablation::render_all()?);
+    Ok(())
+}
+
+fn bench_cmd(args: &[String]) -> CliResult {
+    let report = bench::run(has_flag(args, "--quick"));
+    print!("{}", report.render());
+    if let Some(path) = flag_value(args, "--json") {
+        std::fs::write(path, report.to_json())?;
+        println!("JSON written to {path}");
+    }
     Ok(())
 }
 

@@ -32,6 +32,44 @@ fn mixed_grid() -> SweepGrid {
     .with_link_bw_pcts(vec![100, 50])
 }
 
+/// Pre-PR checksum of the mixed grid's CSV bytes (see
+/// [`sweep_output_checksums_are_pinned`]).
+const PINNED_CSV_FNV64: u64 = 2_412_179_117_525_011_204;
+/// Pre-PR checksum of the mixed grid's JSON bytes.
+const PINNED_JSON_FNV64: u64 = 10_638_090_856_799_012_347;
+
+/// FNV-1a 64-bit hash (stable, dependency-free) used to pin sweep output.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Pins the exact bytes of the mixed grid's CSV and JSON output.
+///
+/// These checksums were captured on the pre-perf-rewrite code (PR 2), so
+/// they prove the zero-alloc kernels, trace sinks, program templating, and
+/// cache-key rework change *nothing* about what the sweep reports. If an
+/// intentional semantic change ever touches sweep output, recompute both
+/// constants and say so in the commit message.
+#[test]
+fn sweep_output_checksums_are_pinned() {
+    let results = SweepEngine::new().run(&mixed_grid());
+    assert_eq!(
+        fnv1a64(results.to_csv().as_bytes()),
+        PINNED_CSV_FNV64,
+        "sweep CSV bytes changed; the perf rewrite must be output-preserving"
+    );
+    assert_eq!(
+        fnv1a64(results.to_json().as_bytes()),
+        PINNED_JSON_FNV64,
+        "sweep JSON bytes changed; the perf rewrite must be output-preserving"
+    );
+}
+
 #[test]
 fn two_cold_runs_are_byte_identical() {
     let grid = mixed_grid();
