@@ -21,7 +21,7 @@ use crate::{CoreError, MemoryPlan, PartitionSpec, Result, WeightResidency};
 use mtp_kernels::Kernel;
 use mtp_link::Topology;
 use mtp_model::{AttentionKind, InferenceMode, NormKind, TransformerConfig};
-use mtp_sim::{ChipId, ChipSpec, DmaTag, Instr, MemPath, MsgId, Program};
+use mtp_sim::{ChipId, ChipSpec, DmaTag, Instr, Machine, MemPath, MsgId, Program};
 
 // Partial outputs are requantized to the deployment dtype before hitting
 // the wire (the energy-optimal choice for a 100 pJ/B link), so reduce and
@@ -405,6 +405,116 @@ impl Scheduler {
     #[must_use]
     pub fn chip(&self) -> &ChipSpec {
         &self.chip
+    }
+}
+
+/// A one-block schedule compiled once and reusable across every scenario
+/// that shares its structure: the per-chip instruction template plus the
+/// residency regime and mode it was lowered for.
+///
+/// Depth variants (different `n_layers`) simulate through
+/// [`mtp_sim::Machine::run_periodic`] on the same template, and
+/// link-bandwidth variants reuse the template unchanged (the schedule
+/// never depends on the chip-to-chip link speed — only the machine's
+/// timing does). The sweep engine keys its template cache on exactly the
+/// fields that reach this compilation: model structure, mode, chip count,
+/// topology, placement, and the residency regime the memory plan selects
+/// (which is the only path through which model depth shapes the
+/// template).
+///
+/// ```
+/// use mtp_core::schedule::CompiledSchedule;
+/// use mtp_model::{InferenceMode, TransformerConfig};
+/// use mtp_sim::ChipSpec;
+///
+/// let cfg = TransformerConfig::tiny_llama_42m();
+/// let chip = ChipSpec::siracusa();
+/// let compiled =
+///     CompiledSchedule::compile(&cfg, 8, &chip, None, InferenceMode::Autoregressive)?;
+/// let deep = compiled.simulate(&chip, 96)?;
+/// assert_eq!(deep.n_blocks, 96);
+/// # Ok::<(), mtp_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledSchedule {
+    template: Vec<Program>,
+    residency: WeightResidency,
+    mode: InferenceMode,
+    n_chips: usize,
+}
+
+impl CompiledSchedule {
+    /// Lowers one steady-state block of `cfg` over `n_chips` chips of
+    /// type `chip` into a reusable template; `topology` overrides the
+    /// paper's default reduction tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition-divisibility and topology errors.
+    pub fn compile(
+        cfg: &TransformerConfig,
+        n_chips: usize,
+        chip: &ChipSpec,
+        topology: Option<Topology>,
+        mode: InferenceMode,
+    ) -> Result<Self> {
+        let mut scheduler = Scheduler::new(cfg, n_chips, chip)?;
+        if let Some(t) = topology {
+            scheduler = scheduler.with_topology(t);
+        }
+        let residency = scheduler.plan().residency;
+        let template = scheduler.block_programs(mode);
+        Ok(CompiledSchedule { template, residency, mode, n_chips })
+    }
+
+    /// The per-chip one-block instruction template.
+    #[must_use]
+    pub fn template(&self) -> &[Program] {
+        &self.template
+    }
+
+    /// The residency regime the template was lowered for.
+    #[must_use]
+    pub fn residency(&self) -> WeightResidency {
+        self.residency
+    }
+
+    /// The inference mode the template was lowered for.
+    #[must_use]
+    pub fn mode(&self) -> InferenceMode {
+        self.mode
+    }
+
+    /// Number of chips the template spans.
+    #[must_use]
+    pub fn n_chips(&self) -> usize {
+        self.n_chips
+    }
+
+    /// Simulates `n_blocks` consecutive blocks on a machine of `chip`s
+    /// through the periodic steady-state engine.
+    ///
+    /// `chip` may differ from the compilation chip only in ways that do
+    /// not affect the schedule (in practice: link bandwidth, which the
+    /// sweep engine varies without recompiling).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors; `n_blocks` must be at least 1.
+    pub fn simulate(&self, chip: &ChipSpec, n_blocks: usize) -> Result<crate::SystemReport> {
+        if n_blocks == 0 {
+            return Err(CoreError::InvalidConfig("n_blocks must be at least 1".into()));
+        }
+        let machine = Machine::homogeneous(*chip, self.n_chips);
+        let stats = machine.run_periodic(&self.template, n_blocks)?;
+        Ok(crate::report::from_stats(
+            chip,
+            self.n_chips,
+            self.mode,
+            n_blocks,
+            self.residency,
+            stats,
+        ))
     }
 }
 

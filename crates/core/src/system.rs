@@ -1,11 +1,11 @@
 //! The distributed multi-MCU inference system: partitioning + scheduling +
 //! timing simulation + energy in one façade.
 
-use crate::{schedule::Scheduler, MemoryPlan, PartitionSpec, Result, SystemReport};
+use crate::{MemoryPlan, PartitionSpec, Result, SystemReport};
 use mtp_energy::EnergyParams;
 use mtp_link::Topology;
 use mtp_model::{InferenceMode, TransformerConfig};
-use mtp_sim::{ChipSpec, Machine, RunStats};
+use mtp_sim::ChipSpec;
 
 /// A system of `N` Siracusa-class chips running one partitioned
 /// Transformer model.
@@ -89,14 +89,6 @@ impl DistributedSystem {
         MemoryPlan::decide(&self.cfg, &spec, &self.chip)
     }
 
-    fn scheduler(&self) -> Result<Scheduler> {
-        let mut s = Scheduler::new(&self.cfg, self.n_chips, &self.chip)?;
-        if let Some(t) = &self.topology {
-            s = s.with_topology(t.clone());
-        }
-        Ok(s)
-    }
-
     /// Energy-model constants derived from the chip specification.
     #[must_use]
     pub fn energy_params(&self) -> EnergyParams {
@@ -108,16 +100,6 @@ impl DistributedSystem {
             cores: self.chip.cores(),
             freq_hz: self.chip.freq_hz,
         }
-    }
-
-    fn report(
-        &self,
-        stats: RunStats,
-        mode: InferenceMode,
-        n_blocks: usize,
-        residency: crate::WeightResidency,
-    ) -> SystemReport {
-        crate::report::from_stats(&self.chip, self.n_chips, mode, n_blocks, residency, stats)
     }
 
     /// Simulates one steady-state Transformer block (what the paper's
@@ -132,17 +114,25 @@ impl DistributedSystem {
 
     /// Simulates `n_blocks` consecutive blocks.
     ///
+    /// Multi-block spans run through the periodic steady-state engine
+    /// ([`mtp_sim::Machine::run_periodic`]): one block template is compiled and
+    /// simulated until the machine state provably repeats, then the
+    /// remaining blocks are extrapolated — with results identical to
+    /// simulating every block (locked by `tests/periodic_lockstep.rs`).
+    ///
     /// # Errors
     ///
     /// Propagates partitioning and simulation errors; `n_blocks` must be
     /// at least 1.
     pub fn simulate_blocks(&self, mode: InferenceMode, n_blocks: usize) -> Result<SystemReport> {
-        let mut scheduler = self.scheduler()?;
-        let residency = scheduler.plan().residency;
-        let programs = scheduler.model_programs(mode, n_blocks)?;
-        let machine = Machine::homogeneous(self.chip, self.n_chips);
-        let stats = machine.run(&programs)?;
-        Ok(self.report(stats, mode, n_blocks, residency))
+        let compiled = crate::schedule::CompiledSchedule::compile(
+            &self.cfg,
+            self.n_chips,
+            &self.chip,
+            self.topology.clone(),
+            mode,
+        )?;
+        compiled.simulate(&self.chip, n_blocks)
     }
 
     /// Simulates a full forward pass over all `n_layers` blocks of the

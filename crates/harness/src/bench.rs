@@ -110,6 +110,34 @@ pub fn run(quick: bool) -> BenchReport {
         s_reps,
     );
 
+    // --- Periodic steady-state engine: the same machine over a 96-block
+    // deep-model pass — full event-driven simulation of every block vs.
+    // warmup-and-extrapolate (`Machine::run_periodic`), which pins the
+    // tentpole speedup of PR 4 on every host.
+    let deep_cfg = TransformerConfig::tiny_llama_deep(96);
+    let deep_programs = Scheduler::new(&deep_cfg, 8, &chip)
+        .expect("scheduler")
+        .model_programs(InferenceMode::Autoregressive, 96)
+        .expect("programs");
+    let template = Scheduler::new(&deep_cfg, 8, &chip)
+        .expect("scheduler")
+        .block_programs(InferenceMode::Autoregressive);
+    let d_reps = if quick { 3 } else { 20 };
+    push(
+        "sim/8chip_ar_deep96_full",
+        best_of(d_reps, || {
+            std::hint::black_box(machine.run(&deep_programs).expect("run"));
+        }),
+        d_reps,
+    );
+    push(
+        "sim/8chip_ar_deep96_periodic",
+        best_of(s_reps, || {
+            std::hint::black_box(machine.run_periodic(&template, 96).expect("run_periodic"));
+        }),
+        s_reps,
+    );
+
     // --- Sweep: the default `mtp sweep` grid, cold scenario cache every
     // iteration (a fresh engine), serial so the number is comparable
     // across machines with different core counts.
@@ -123,7 +151,157 @@ pub fn run(quick: bool) -> BenchReport {
         g_reps,
     );
 
+    // --- Deep sweep: the `mtp sweep --deep` model-span grid (hundreds of
+    // blocks per scenario), cold caches every iteration — the workload
+    // periodic extrapolation plus the compiled-schedule cache make
+    // practical.
+    let deep_grid = SweepGrid::deep_default();
+    push(
+        "sweep/deep_grid_cold_serial",
+        best_of(g_reps, || {
+            let engine = SweepEngine::serial();
+            std::hint::black_box(engine.run(&deep_grid).rows.len());
+        }),
+        g_reps,
+    );
+
     BenchReport { profile, results }
+}
+
+/// Parses the benchmark entries of a committed `BENCH_*.json` baseline
+/// (or an `mtp bench --json` report): each entry's `name` paired with its
+/// nanosecond figure — `after_ns` for trajectory files, `min_ns` for raw
+/// reports. Entries without a numeric figure (e.g. a `null` before/after)
+/// are skipped. The scanner is schema-tolerant on purpose: the repo
+/// vendors no JSON parser, and the two formats share only these keys.
+///
+/// # Errors
+///
+/// Returns a message when no benchmark entry can be extracted.
+pub fn parse_baseline(json: &str) -> Result<Vec<(String, u64)>, String> {
+    fn number_after(scope: &str, key: &str) -> Option<u64> {
+        let at = scope.find(key)?;
+        let value = scope[at + key.len()..]
+            .trim_start_matches(|c: char| c == '"' || c == ':' || c.is_whitespace());
+        let digits: &str =
+            &value[..value.find(|c: char| !c.is_ascii_digit()).unwrap_or(value.len())];
+        digits.parse().ok()
+    }
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"name\"") {
+        rest = &rest[pos + "\"name\"".len()..];
+        let open = rest.find('"').ok_or("malformed baseline: unterminated name")?;
+        let value = &rest[open + 1..];
+        let close = value.find('"').ok_or("malformed baseline: unterminated name")?;
+        let name = value[..close].to_owned();
+        rest = &value[close + 1..];
+        let scope = &rest[..rest.find("\"name\"").unwrap_or(rest.len())];
+        if let Some(ns) =
+            number_after(scope, "\"after_ns\"").or_else(|| number_after(scope, "\"min_ns\""))
+        {
+            out.push((name, ns));
+        }
+    }
+    if out.is_empty() {
+        return Err("no benchmark entries found in baseline".to_owned());
+    }
+    Ok(out)
+}
+
+/// A fresh run diffed against a committed baseline (`mtp bench
+/// --compare`).
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// `(name, baseline_ns, current_ns)` for every benchmark present in
+    /// both, in current-run order.
+    pub rows: Vec<(String, u64, u64)>,
+    /// Benchmarks of the current run absent from the baseline.
+    pub unmatched: Vec<String>,
+}
+
+impl BenchReport {
+    /// Diffs this run against parsed baseline entries (see
+    /// [`parse_baseline`]).
+    #[must_use]
+    pub fn compare(&self, baseline: &[(String, u64)]) -> Comparison {
+        let mut rows = Vec::new();
+        let mut unmatched = Vec::new();
+        for r in &self.results {
+            match baseline.iter().find(|(name, _)| *name == r.name) {
+                Some(&(_, base_ns)) => rows.push((r.name.clone(), base_ns, r.min_ns)),
+                None => unmatched.push(r.name.clone()),
+            }
+        }
+        Comparison { rows, unmatched }
+    }
+}
+
+impl Comparison {
+    /// Renders the per-bench speedup table (`baseline / current`; above
+    /// 1.0 means the current tree is faster).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("vs baseline (speedup = baseline/current; >1 is faster):\n");
+        for (name, base, cur) in &self.rows {
+            out.push_str(&format!(
+                "  {:<34} {:>12} -> {:>12} ns   {:>6.2}x\n",
+                name,
+                base,
+                cur,
+                *base as f64 / (*cur).max(1) as f64,
+            ));
+        }
+        for name in &self.unmatched {
+            out.push_str(&format!("  {name:<34} (not in baseline)\n"));
+        }
+        out
+    }
+
+    /// The worst slowdown factor across matched benchmarks
+    /// (`current / baseline`; 1.0 when nothing matched).
+    #[must_use]
+    pub fn worst_slowdown(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|(_, base, cur)| *cur as f64 / (*base).max(1) as f64)
+            .fold(1.0, f64::max)
+    }
+
+    /// Fails when any matched benchmark is more than `tolerance` times
+    /// slower than its baseline. The CI guard runs this with a generous
+    /// tolerance so shared-runner noise never trips it — only
+    /// order-of-magnitude regressions do.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the worst offender, or an error when no
+    /// benchmark matched the baseline at all (a renamed suite or an
+    /// incompatible baseline must fail loudly, not gate vacuously).
+    pub fn check(&self, tolerance: f64) -> Result<(), String> {
+        if self.rows.is_empty() {
+            return Err("no benchmark matches the baseline; the perf gate cannot run (renamed \
+                 benches or an incompatible baseline file?)"
+                .to_owned());
+        }
+        let worst = self.worst_slowdown();
+        if worst > tolerance {
+            let (name, base, cur) = self
+                .rows
+                .iter()
+                .max_by(|a, b| {
+                    let sa = a.2 as f64 / a.1.max(1) as f64;
+                    let sb = b.2 as f64 / b.1.max(1) as f64;
+                    sa.total_cmp(&sb)
+                })
+                .expect("worst > 1.0 implies a row");
+            return Err(format!(
+                "perf regression: `{name}` is {worst:.1}x slower than baseline \
+                 ({base} ns -> {cur} ns; tolerance {tolerance}x)"
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl BenchReport {
@@ -173,10 +351,64 @@ mod tests {
     fn quick_profile_runs_every_bench() {
         let report = run(true);
         assert_eq!(report.profile, "quick");
-        assert_eq!(report.results.len(), 5);
+        assert_eq!(report.results.len(), 8);
         for r in &report.results {
             assert!(r.min_ns > 0, "{} measured nothing", r.name);
         }
+        // The periodic path must beat full simulation of the same deep
+        // workload by a wide margin even under quick-profile noise.
+        let ns =
+            |name: &str| report.results.iter().find(|r| r.name == name).map(|r| r.min_ns).unwrap();
+        assert!(
+            ns("sim/8chip_ar_deep96_periodic") * 5 <= ns("sim/8chip_ar_deep96_full"),
+            "periodic {} ns vs full {} ns",
+            ns("sim/8chip_ar_deep96_periodic"),
+            ns("sim/8chip_ar_deep96_full")
+        );
+    }
+
+    #[test]
+    fn baseline_parsing_reads_both_schemas() {
+        let trajectory = r#"{"benches": [
+            {"name": "kernel/a", "before_ns": 100, "after_ns": 50, "speedup": 2.0},
+            {"name": "kernel/b", "before_ns": null, "after_ns": 70, "note": "new"},
+            {"name": "kernel/skipped", "before_ns": 5, "after_ns": null}
+        ]}"#;
+        assert_eq!(
+            parse_baseline(trajectory).unwrap(),
+            vec![("kernel/a".to_owned(), 50), ("kernel/b".to_owned(), 70)]
+        );
+        let raw = r#"{"benches": [{"name": "sim/x", "min_ns": 42, "reps": 3}]}"#;
+        assert_eq!(parse_baseline(raw).unwrap(), vec![("sim/x".to_owned(), 42)]);
+        assert!(parse_baseline("{}").is_err());
+    }
+
+    #[test]
+    fn comparison_flags_only_order_of_magnitude_regressions() {
+        let report = BenchReport {
+            profile: "quick",
+            results: vec![
+                BenchResult { name: "kernel/a".into(), min_ns: 200, reps: 1 },
+                BenchResult { name: "kernel/new".into(), min_ns: 7, reps: 1 },
+            ],
+        };
+        let baseline = vec![("kernel/a".to_owned(), 100)];
+        let cmp = report.compare(&baseline);
+        assert_eq!(cmp.rows, vec![("kernel/a".to_owned(), 100, 200)]);
+        assert_eq!(cmp.unmatched, vec!["kernel/new".to_owned()]);
+        assert!((cmp.worst_slowdown() - 2.0).abs() < 1e-12);
+        // 2x slower passes a 10x gate but fails a 1.5x gate.
+        cmp.check(10.0).unwrap();
+        let err = cmp.check(1.5).unwrap_err();
+        assert!(err.contains("kernel/a"), "{err}");
+        let rendered = cmp.render();
+        assert!(rendered.contains("kernel/a"));
+        assert!(rendered.contains("0.50x"));
+        assert!(rendered.contains("not in baseline"));
+        // A comparison with zero matched rows must fail the gate loudly
+        // rather than pass vacuously.
+        let disjoint = report.compare(&[("kernel/renamed".to_owned(), 1)]);
+        assert!(disjoint.check(10.0).unwrap_err().contains("no benchmark matches"));
     }
 
     #[test]

@@ -31,13 +31,16 @@
 //! ```
 
 use crate::table::{fmt_cycles, TextTable};
-use mtp_core::{CoreError, DistributedSystem, SystemReport};
+use mtp_core::schedule::CompiledSchedule;
+use mtp_core::{
+    CoreError, DistributedSystem, MemoryPlan, PartitionSpec, SystemReport, WeightResidency,
+};
 use mtp_link::Topology;
 use mtp_model::{InferenceMode, TransformerConfig};
 use mtp_sim::ChipSpec;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 /// The named model presets of the paper plus the in-repo extensions —
@@ -51,19 +54,31 @@ pub enum ModelPreset {
     TinyLlamaScaled64h,
     /// Grouped-query TinyLlama with the given number of K/V heads.
     TinyLlamaGqa(usize),
+    /// Depth-scaled TinyLlama with the given layer count (the deep-stack
+    /// workloads the periodic steady-state engine makes practical).
+    TinyLlamaDeep(usize),
     /// The MobileBERT encoder (S = 268).
     MobileBert,
+    /// Depth-scaled MobileBERT with the given layer count.
+    MobileBertDeep(usize),
 }
 
 impl ModelPreset {
     /// Parses a CLI model name (`tinyllama`, `tinyllama-64h`,
-    /// `tinyllama-gqaK`, `mobilebert`).
+    /// `tinyllama-gqaK`, `tinyllama-dN`, `mobilebert`, `mobilebert-dN`).
     ///
     /// # Errors
     ///
     /// Returns a description of the accepted vocabulary on unknown names
-    /// and of the divisibility constraint on bad `gqaK` suffixes.
+    /// and of the constraint violated by bad `gqaK`/`dN` suffixes.
     pub fn parse(name: &str) -> Result<Self, String> {
+        fn layers(suffix: &str, of: &str) -> Result<usize, String> {
+            let n: usize = suffix.parse().map_err(|_| format!("bad layer count in `{of}`"))?;
+            if n == 0 {
+                return Err(format!("layer count must be at least 1 in `{of}`"));
+            }
+            Ok(n)
+        }
         match name {
             "tinyllama" => Ok(ModelPreset::TinyLlama),
             "tinyllama-64h" => Ok(ModelPreset::TinyLlamaScaled64h),
@@ -77,8 +92,15 @@ impl ModelPreset {
                     }
                     return Ok(ModelPreset::TinyLlamaGqa(kv));
                 }
+                if let Some(d) = other.strip_prefix("tinyllama-d") {
+                    return Ok(ModelPreset::TinyLlamaDeep(layers(d, other)?));
+                }
+                if let Some(d) = other.strip_prefix("mobilebert-d") {
+                    return Ok(ModelPreset::MobileBertDeep(layers(d, other)?));
+                }
                 Err(format!(
-                    "unknown model `{other}` (tinyllama|tinyllama-64h|tinyllama-gqaK|mobilebert)"
+                    "unknown model `{other}` (tinyllama|tinyllama-64h|tinyllama-gqaK|\
+                     tinyllama-dN|mobilebert|mobilebert-dN)"
                 ))
             }
         }
@@ -91,7 +113,9 @@ impl ModelPreset {
             ModelPreset::TinyLlama => "tinyllama".to_owned(),
             ModelPreset::TinyLlamaScaled64h => "tinyllama-64h".to_owned(),
             ModelPreset::TinyLlamaGqa(kv) => format!("tinyllama-gqa{kv}"),
+            ModelPreset::TinyLlamaDeep(n) => format!("tinyllama-d{n}"),
             ModelPreset::MobileBert => "mobilebert".to_owned(),
+            ModelPreset::MobileBertDeep(n) => format!("mobilebert-d{n}"),
         }
     }
 
@@ -103,7 +127,9 @@ impl ModelPreset {
             ModelPreset::TinyLlama => TransformerConfig::tiny_llama_42m(),
             ModelPreset::TinyLlamaScaled64h => TransformerConfig::tiny_llama_scaled_64h(),
             ModelPreset::TinyLlamaGqa(kv) => TransformerConfig::tiny_llama_gqa(kv),
+            ModelPreset::TinyLlamaDeep(n) => TransformerConfig::tiny_llama_deep(n),
             ModelPreset::MobileBert => return TransformerConfig::mobile_bert(),
+            ModelPreset::MobileBertDeep(n) => return TransformerConfig::mobile_bert_deep(n),
         };
         match mode {
             InferenceMode::Autoregressive => cfg,
@@ -373,6 +399,94 @@ impl Scenario {
             Span::Model => sys.simulate_model(self.mode),
         }
     }
+
+    /// Number of Transformer blocks this scenario simulates.
+    #[must_use]
+    pub fn n_blocks(&self) -> usize {
+        match self.span {
+            Span::Block => 1,
+            Span::Model => self.config.n_layers,
+        }
+    }
+
+    /// The compiled-schedule cache key: exactly the scenario fields a
+    /// block template depends on.
+    ///
+    /// The model's `name` and `n_layers` are normalized away (names are
+    /// display-only; depth shapes the template only through the residency
+    /// regime, which is computed from the real configuration and included
+    /// in the key), and `link_bw_pct` and `span` are excluded (the link
+    /// speed changes machine timing, never the schedule; the span only
+    /// changes how many times the template runs). Two scenarios with
+    /// equal keys lower to bit-identical templates, so the sweep engine
+    /// compiles once per key. Hygiene is locked by the
+    /// `schedule_key_hygiene` property suite in `tests/sweep.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition-divisibility errors (a scenario without a
+    /// valid partition has no schedule).
+    pub fn schedule_key(&self) -> Result<ScheduleKey, CoreError> {
+        let chip = self.chip();
+        let spec = PartitionSpec::new(&self.config, self.n_chips)?;
+        let plan = MemoryPlan::decide(&self.config, &spec, &chip)?;
+        let c = &self.config;
+        // Field-by-field (not `clone()` + overwrite) so key construction
+        // never allocates: every structural field is `Copy`.
+        let structure = TransformerConfig {
+            name: String::new(),
+            embed_dim: c.embed_dim,
+            n_heads: c.n_heads,
+            n_kv_heads: c.n_kv_heads,
+            ffn_dim: c.ffn_dim,
+            n_layers: 0,
+            seq_len: c.seq_len,
+            norm: c.norm,
+            activation: c.activation,
+            attention: c.attention,
+            dtype: c.dtype,
+        };
+        // A single chip emits no communication at all, so the reduction
+        // topology is structurally irrelevant there: every topology
+        // lowers to the bit-identical template (locked by
+        // `single_chip_topologies_share_template_and_simulation`).
+        let topology = if self.n_chips == 1 { TopologySpec::PaperDefault } else { self.topology };
+        Ok(ScheduleKey {
+            structure,
+            mode: self.mode,
+            n_chips: self.n_chips,
+            topology,
+            placement: self.placement,
+            residency: plan.residency,
+        })
+    }
+
+    /// Compiles this scenario's one-block schedule template (what the
+    /// engine shares across every scenario with an equal
+    /// [`Scenario::schedule_key`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning and topology errors.
+    pub fn compile_schedule(&self) -> Result<CompiledSchedule, CoreError> {
+        let topology = self.topology.build(self.n_chips)?;
+        CompiledSchedule::compile(&self.config, self.n_chips, &self.chip(), topology, self.mode)
+    }
+}
+
+/// Cache key of the engine's compiled-schedule store: the structural
+/// fields of a [`Scenario`] (model architecture with name and depth
+/// normalized away, mode, chip count, topology, placement) plus the
+/// weight-residency regime the memory plan selects. See
+/// [`Scenario::schedule_key`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScheduleKey {
+    structure: TransformerConfig,
+    mode: InferenceMode,
+    n_chips: usize,
+    topology: TopologySpec,
+    placement: PlacementPolicy,
+    residency: WeightResidency,
 }
 
 /// A declarative cross product of scenario axes.
@@ -441,6 +555,34 @@ impl SweepGrid {
             vec![1, 2, 4, 8, 16, 32, 64],
         );
         grid.topologies = vec![TopologySpec::PaperDefault, TopologySpec::Flat];
+        grid
+    }
+
+    /// The deep-model `mtp sweep --deep` grid: depth-scaled TinyLlama
+    /// (96 and 192 blocks) and MobileBERT (96 blocks) full-model passes
+    /// over chip counts 1–8 at full and half link bandwidth.
+    ///
+    /// Every scenario simulates hundreds of blocks, which the periodic
+    /// steady-state engine reduces to a few warmup blocks each; the
+    /// bandwidth axis exercises cross-scenario template reuse (halving
+    /// the link changes machine timing but not the compiled schedule).
+    /// Before periodic extrapolation and the schedule cache this grid
+    /// was ~20x the cost of the default grid; now it is comparable.
+    #[must_use]
+    pub fn deep_default() -> Self {
+        let ar = InferenceMode::Autoregressive;
+        let pr = InferenceMode::Prompt;
+        let mut grid = SweepGrid::new(
+            vec![
+                (ModelPreset::TinyLlamaDeep(96).config(ar), ar),
+                (ModelPreset::TinyLlamaDeep(96).config(pr), pr),
+                (ModelPreset::TinyLlamaDeep(192).config(ar), ar),
+                (ModelPreset::MobileBertDeep(96).config(pr), pr),
+            ],
+            vec![1, 2, 4, 8],
+        );
+        grid.link_bw_pcts = vec![100, 50];
+        grid.span = Span::Model;
         grid
     }
 
@@ -760,16 +902,26 @@ impl SweepResults {
     }
 }
 
+/// Outcome of one simulated grid point, shared across scenarios that
+/// provably produce the same report.
+type SimOutcome = Result<Arc<SystemReport>, String>;
+
 /// The parallel, caching sweep runner.
 ///
-/// The engine owns a scenario-key cache that persists across `run` calls,
-/// so re-running an overlapping grid only simulates the new points.
+/// The engine owns two caches that persist across `run` calls: a
+/// scenario-key report cache (re-running an overlapping grid only
+/// simulates the new points) and a [`ScheduleKey`]-keyed compiled-schedule
+/// cache (every scenario sharing a block template — depth variants,
+/// link-bandwidth variants, repeated structures — compiles it once).
 /// Within one run, duplicate scenarios are simulated once; unique points
-/// are distributed over `threads` scoped worker threads.
+/// are distributed over `threads` scoped worker threads, which read the
+/// run's schedules from a pre-resolved snapshot, so the hot loop never
+/// touches a lock.
 #[derive(Debug)]
 pub struct SweepEngine {
     threads: usize,
     cache: Mutex<HashMap<Scenario, Arc<SystemReport>>>,
+    schedules: Mutex<HashMap<ScheduleKey, Arc<CompiledSchedule>>>,
 }
 
 impl Default for SweepEngine {
@@ -796,7 +948,11 @@ impl SweepEngine {
     /// An engine with an explicit worker count (minimum 1).
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
-        SweepEngine { threads: threads.max(1), cache: Mutex::new(HashMap::new()) }
+        SweepEngine {
+            threads: threads.max(1),
+            cache: Mutex::new(HashMap::new()),
+            schedules: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Worker-thread count.
@@ -814,6 +970,17 @@ impl SweepEngine {
     #[must_use]
     pub fn cached_len(&self) -> usize {
         self.cache.lock().expect("sweep cache poisoned").len()
+    }
+
+    /// Number of compiled block templates currently cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule-cache lock was poisoned, which indicates a
+    /// simulator bug.
+    #[must_use]
+    pub fn cached_schedules_len(&self) -> usize {
+        self.schedules.lock().expect("schedule cache poisoned").len()
     }
 
     /// Runs every scenario of the grid. Never fails as a whole: invalid
@@ -850,41 +1017,132 @@ impl SweepEngine {
             }
         }
 
-        // Phase 2: simulate unique points in parallel. Workers claim
+        // Phase 2: resolve each point's compiled schedule in one batch.
+        // A single lock acquisition snapshots the already-cached
+        // templates into per-key slots; the remaining templates are
+        // compiled lazily by whichever worker needs the key first
+        // (compilation is a pure function of the key, so any winner
+        // builds the same template — and compiling right before
+        // simulating keeps the fresh template cache-hot). One more
+        // acquisition publishes the new templates after the workers
+        // finish; the hot loop never touches the mutex.
+        let keys: Vec<Option<ScheduleKey>> = to_run.iter().map(|s| s.schedule_key().ok()).collect();
+        let mut unique: HashMap<&ScheduleKey, usize> = HashMap::new();
+        let slot_of: Vec<Option<usize>> = keys
+            .iter()
+            .map(|key| {
+                key.as_ref().map(|key| {
+                    let slot = unique.len();
+                    *unique.entry(key).or_insert(slot)
+                })
+            })
+            .collect();
+        let sched_slots: Vec<OnceLock<Option<Arc<CompiledSchedule>>>> =
+            (0..unique.len()).map(|_| OnceLock::new()).collect();
+        {
+            let schedules = self.schedules.lock().expect("schedule cache poisoned");
+            if !schedules.is_empty() {
+                for (key, &slot) in &unique {
+                    if let Some(compiled) = schedules.get(*key) {
+                        let _ = sched_slots[slot].set(Some(Arc::clone(compiled)));
+                    }
+                }
+            }
+        }
+
+        // Scenarios sharing a template, link bandwidth, and depth
+        // produce identical reports (the template plus the
+        // bandwidth-scaled chip fully determine the simulation — the
+        // remaining scenario fields are display-only), so such groups
+        // simulate once and share the report through an `Arc`.
+        let mut sims: HashMap<(usize, u32, usize), usize> = HashMap::new();
+        let sim_of: Vec<Option<usize>> = to_run
+            .iter()
+            .zip(&slot_of)
+            .map(|(s, slot)| {
+                slot.map(|slot| {
+                    let sim = sims.len();
+                    *sims.entry((slot, s.link_bw_pct, s.n_blocks())).or_insert(sim)
+                })
+            })
+            .collect();
+        let sim_slots: Vec<OnceLock<SimOutcome>> =
+            (0..sims.len()).map(|_| OnceLock::new()).collect();
+        drop(sims);
+
+        // Phase 3: simulate unique points in parallel. Workers claim
         // indices from an atomic counter and write into pre-assigned
-        // slots, so the outcome is independent of scheduling order.
-        let slots: Vec<Mutex<Option<Result<SystemReport, String>>>> =
+        // slots, so the outcome is independent of scheduling order; a
+        // single-worker run executes inline (no thread spawn).
+        let slots: Vec<Mutex<Option<SimOutcome>>> =
             to_run.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
+        let worker = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(scenario) = to_run.get(i) else { break };
+            let outcome = match (slot_of[i], sim_of[i]) {
+                (Some(slot), Some(sim)) => sim_slots[sim]
+                    .get_or_init(|| {
+                        // Compilation failures (e.g. a topology error)
+                        // fall back to the uncached path, which reports
+                        // the exact error.
+                        let compiled = sched_slots[slot]
+                            .get_or_init(|| scenario.compile_schedule().ok().map(Arc::new))
+                            .as_ref();
+                        match compiled {
+                            Some(compiled) => compiled
+                                .simulate(&scenario.chip(), scenario.n_blocks())
+                                .map(Arc::new)
+                                .map_err(|e| e.to_string()),
+                            None => scenario.run().map(Arc::new).map_err(|e| e.to_string()),
+                        }
+                    })
+                    .clone(),
+                // No valid partition: report the scenario's own error.
+                _ => scenario.run().map(Arc::new).map_err(|e| e.to_string()),
+            };
+            *slots[i].lock().expect("sweep slot poisoned") = Some(outcome);
+        };
         let workers = self.threads.min(to_run.len());
-        if workers > 0 {
+        if workers == 1 {
+            worker();
+        } else if workers > 1 {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(scenario) = to_run.get(i) else { break };
-                        let outcome = scenario.run().map_err(|e| e.to_string());
-                        *slots[i].lock().expect("sweep slot poisoned") = Some(outcome);
-                    });
+                    scope.spawn(worker);
                 }
             });
         }
 
-        // Phase 3: fold results into the cache, then assemble rows in
-        // input order. A row counts as "simulated" only for the first
-        // occurrence of a scenario this run produced; every other
-        // successful row is a cache hit (a prior run's report or a
-        // within-run duplicate). Failed points are skipped wherever they
-        // occur, so `unique_simulated + cache_hits == rows.len()` always
-        // holds.
+        // Publish the templates this run compiled (one lock acquisition;
+        // keys already present keep their existing template).
+        {
+            let mut schedules = self.schedules.lock().expect("schedule cache poisoned");
+            for (key, &slot) in &unique {
+                if let Some(Some(compiled)) = sched_slots[slot].get() {
+                    schedules.entry((*key).clone()).or_insert_with(|| Arc::clone(compiled));
+                }
+            }
+        }
+
+        // Phase 4: fold results into the cache and assemble rows in input
+        // order, all under one cache acquisition. A row counts as
+        // "simulated" only for the first occurrence of a scenario this
+        // run produced; every other successful row is a cache hit (a
+        // prior run's report or a within-run duplicate). Failed points
+        // are skipped wherever they occur, so `unique_simulated +
+        // cache_hits == rows.len()` always holds.
         let mut failures: HashMap<&Scenario, String> = HashMap::new();
         let mut fresh: HashSet<&Scenario> = HashSet::new();
+        let mut rows = Vec::new();
+        let mut skipped = Vec::new();
+        let mut cache_hits = 0usize;
         {
             let mut cache = self.cache.lock().expect("sweep cache poisoned");
             for (&scenario, slot) in to_run.iter().zip(&slots) {
                 match slot.lock().expect("sweep slot poisoned").take() {
                     Some(Ok(report)) => {
-                        cache.insert(scenario.clone(), Arc::new(report));
+                        cache.insert(scenario.clone(), report);
                         fresh.insert(scenario);
                     }
                     Some(Err(reason)) => {
@@ -893,22 +1151,17 @@ impl SweepEngine {
                     None => unreachable!("worker exited without filling its slot"),
                 }
             }
-        }
-
-        let cache = self.cache.lock().expect("sweep cache poisoned");
-        let mut rows = Vec::new();
-        let mut skipped = Vec::new();
-        let mut cache_hits = 0usize;
-        for s in scenarios {
-            if let Some(report) = cache.get(s) {
-                if !fresh.remove(s) {
-                    cache_hits += 1;
+            for s in scenarios {
+                if let Some(report) = cache.get(s) {
+                    if !fresh.remove(s) {
+                        cache_hits += 1;
+                    }
+                    rows.push(SweepRow { scenario: s.clone(), report: Arc::clone(report) });
+                } else {
+                    let reason =
+                        failures.get(s).cloned().unwrap_or_else(|| "unknown failure".to_owned());
+                    skipped.push(SkippedScenario { scenario: s.clone(), reason });
                 }
-                rows.push(SweepRow { scenario: s.clone(), report: Arc::clone(report) });
-            } else {
-                let reason =
-                    failures.get(s).cloned().unwrap_or_else(|| "unknown failure".to_owned());
-                skipped.push(SkippedScenario { scenario: s.clone(), reason });
             }
         }
         SweepResults {
@@ -1111,6 +1364,113 @@ mod tests {
         assert_eq!(results.skipped.len(), 2);
         assert_eq!(results.cache_hits, 0);
         assert_eq!(results.unique_simulated, 0);
+    }
+
+    #[test]
+    fn schedule_keys_normalize_depth_name_bandwidth_and_span_only() {
+        let ar = InferenceMode::Autoregressive;
+        let base = Scenario::new(TransformerConfig::tiny_llama_42m(), ar, 8);
+        let key = base.schedule_key().unwrap();
+        // Non-structural axes collapse onto the same key.
+        assert_eq!(base.clone().with_link_bw_pct(50).schedule_key().unwrap(), key);
+        assert_eq!(base.clone().with_span(Span::Model).schedule_key().unwrap(), key);
+        let deep = Scenario::new(TransformerConfig::tiny_llama_deep(96), ar, 8);
+        assert_eq!(deep.schedule_key().unwrap(), key, "depth-only variant must share");
+        // Structural axes split.
+        assert_ne!(base.clone().with_topology(TopologySpec::Flat).schedule_key().unwrap(), key);
+        assert_ne!(
+            base.clone().with_placement(PlacementPolicy::ForceStreamed).schedule_key().unwrap(),
+            key
+        );
+        assert_ne!(
+            Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Prompt, 8)
+                .schedule_key()
+                .unwrap(),
+            key
+        );
+        assert_ne!(
+            Scenario::new(TransformerConfig::tiny_llama_42m(), ar, 4).schedule_key().unwrap(),
+            key
+        );
+        // A depth change that flips the residency regime must split too:
+        // the scaled model is resident at 32 chips with 8 layers but not
+        // with 96.
+        let scaled = Scenario::new(TransformerConfig::tiny_llama_scaled_64h(), ar, 32);
+        let scaled_deep =
+            Scenario::new(TransformerConfig::tiny_llama_scaled_64h().with_n_layers(96), ar, 32);
+        assert_ne!(
+            scaled.schedule_key().unwrap(),
+            scaled_deep.schedule_key().unwrap(),
+            "residency-changing depth variant must not share a template"
+        );
+        // Invalid partitions have no key.
+        assert!(Scenario::new(TransformerConfig::mobile_bert(), InferenceMode::Prompt, 8)
+            .schedule_key()
+            .is_err());
+    }
+
+    #[test]
+    fn depth_variants_share_one_template_and_match_uncached_runs() {
+        let ar = InferenceMode::Autoregressive;
+        let engine = SweepEngine::new();
+        let d96 =
+            Scenario::new(TransformerConfig::tiny_llama_deep(96), ar, 8).with_span(Span::Model);
+        let d192 =
+            Scenario::new(TransformerConfig::tiny_llama_deep(192), ar, 8).with_span(Span::Model);
+        let results = engine.run_scenarios(&[d96.clone(), d192.clone()]);
+        assert_eq!(results.rows.len(), 2);
+        assert_eq!(engine.cached_schedules_len(), 1, "one shared template");
+        // The cached-template path must equal direct uncached simulation.
+        assert_eq!(results.rows[0].report.stats, d96.run().unwrap().stats);
+        assert_eq!(results.rows[1].report.stats, d192.run().unwrap().stats);
+        assert_eq!(results.rows[0].report.n_blocks, 96);
+        assert_eq!(results.rows[1].report.n_blocks, 192);
+    }
+
+    #[test]
+    fn single_chip_topologies_share_template_and_simulation() {
+        // With one chip no communication is emitted, so every topology
+        // lowers to the bit-identical template: the key collapses them
+        // and the engine simulates the group once.
+        let ar = InferenceMode::Autoregressive;
+        let hier = Scenario::new(TransformerConfig::tiny_llama_42m(), ar, 1);
+        let flat = hier.clone().with_topology(TopologySpec::Flat);
+        assert_eq!(hier.schedule_key().unwrap(), flat.schedule_key().unwrap());
+        assert_eq!(
+            hier.compile_schedule().unwrap().template(),
+            flat.compile_schedule().unwrap().template(),
+            "single-chip templates must be bit-identical across topologies"
+        );
+        // Multi-chip topologies stay distinct.
+        let hier8 = Scenario::new(TransformerConfig::tiny_llama_42m(), ar, 8);
+        assert_ne!(
+            hier8.schedule_key().unwrap(),
+            hier8.clone().with_topology(TopologySpec::Flat).schedule_key().unwrap()
+        );
+        let engine = SweepEngine::new();
+        let results = engine.run_scenarios(&[hier.clone(), flat.clone()]);
+        assert_eq!(engine.cached_schedules_len(), 1);
+        assert_eq!(results.rows[0].report.stats, results.rows[1].report.stats);
+        // Both rows still match uncached simulation of their own scenario.
+        assert_eq!(results.rows[1].report.stats, flat.run().unwrap().stats);
+    }
+
+    #[test]
+    fn deep_grid_runs_and_reuses_templates_across_bandwidths() {
+        let engine = SweepEngine::new();
+        let results = engine.run(&SweepGrid::deep_default());
+        // 4 workloads x 4 chip counts x 2 bandwidths, minus MobileBERT at
+        // 8 chips (4 heads cannot split 8 ways).
+        assert_eq!(results.rows.len(), 30, "{:?}", results.skipped);
+        assert_eq!(results.skipped.len(), 2);
+        // Unique templates: bandwidth never splits a key, and the d192
+        // workload shares every key with d96 (same structure and
+        // residency), so 2 distinct TinyLlama workloads x 4 chip counts
+        // + MobileBERT x 3 valid chip counts.
+        assert_eq!(engine.cached_schedules_len(), 11);
+        for row in &results.rows {
+            assert_eq!(row.report.n_blocks, row.scenario.config.n_layers);
+        }
     }
 
     #[test]

@@ -130,6 +130,38 @@ impl TransformerConfig {
         cfg
     }
 
+    /// A depth-scaled TinyLlama variant (extension beyond the paper):
+    /// the TinyLlama-42M block replicated `n_layers` times, modelling the
+    /// deep decoder stacks (96+ blocks) that periodic steady-state
+    /// simulation makes cheap to study.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_layers` is zero.
+    #[must_use]
+    pub fn tiny_llama_deep(n_layers: usize) -> Self {
+        assert!(n_layers > 0, "a model needs at least one layer");
+        let mut cfg = TransformerConfig::tiny_llama_42m();
+        cfg.name = format!("TinyLlama-42M-d{n_layers}");
+        cfg.n_layers = n_layers;
+        cfg
+    }
+
+    /// A depth-scaled MobileBERT variant: the MobileBERT block replicated
+    /// `n_layers` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_layers` is zero.
+    #[must_use]
+    pub fn mobile_bert_deep(n_layers: usize) -> Self {
+        assert!(n_layers > 0, "a model needs at least one layer");
+        let mut cfg = TransformerConfig::mobile_bert();
+        cfg.name = format!("MobileBERT-d{n_layers}");
+        cfg.n_layers = n_layers;
+        cfg
+    }
+
     /// The MobileBERT encoder workload: `E = F = 512`, 4 heads, sequence
     /// length 268 (paper Sec. V-A).
     #[must_use]
@@ -211,6 +243,15 @@ impl TransformerConfig {
     #[must_use]
     pub fn with_seq_len(mut self, seq_len: usize) -> Self {
         self.seq_len = seq_len;
+        self
+    }
+
+    /// The same configuration with a different layer count (the depth
+    /// axis: per-block structure is unchanged, only the stack height —
+    /// and therefore the weight-residency thresholds — move).
+    #[must_use]
+    pub fn with_n_layers(mut self, n_layers: usize) -> Self {
+        self.n_layers = n_layers;
         self
     }
 
@@ -315,6 +356,21 @@ mod tests {
         let c = TransformerConfig::tiny_llama_42m();
         // 2 * 128 * 512 int8 bytes.
         assert_eq!(c.kv_cache_bytes_per_block(128), 131_072);
+    }
+
+    #[test]
+    fn deep_variants_scale_depth_only() {
+        let base = TransformerConfig::tiny_llama_42m();
+        let deep = TransformerConfig::tiny_llama_deep(96);
+        assert_eq!(deep.n_layers, 96);
+        assert_eq!(deep.name, "TinyLlama-42M-d96");
+        assert_eq!(deep.params_per_block(), base.params_per_block());
+        assert_eq!(deep.total_weight_bytes(), 12 * base.total_weight_bytes());
+        deep.validate().unwrap();
+        let mb = TransformerConfig::mobile_bert_deep(48);
+        assert_eq!(mb.n_layers, 48);
+        assert_eq!(mb.name, "MobileBERT-d48");
+        assert_eq!(TransformerConfig::mobile_bert().with_n_layers(48).n_layers, 48);
     }
 
     #[test]

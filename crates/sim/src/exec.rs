@@ -16,6 +16,7 @@
 
 use crate::{
     gantt::TraceKind,
+    periodic::{MachineState, SegmentRun},
     sink::{MakespanOnly, TraceCollector, TraceSink},
     trace::ChipStats,
     ChipId, ChipSpec, DmaTag, Instr, MemPath, MsgId, Program, Result, RunStats, SimError, Trace,
@@ -253,6 +254,37 @@ impl Machine {
         }
         Executor::new(self, programs, sink).run()
     }
+
+    /// Executes one repetition of `template` starting from the carried
+    /// machine state, without the end-of-program DMA drain, and reports
+    /// the boundary state plus the segment metadata the periodic engine's
+    /// fixed-point detection needs. See [`crate::periodic`].
+    pub(crate) fn run_segment(
+        &self,
+        template: &[Program],
+        carry: &MachineState,
+    ) -> Result<SegmentRun> {
+        let mut ex = Executor::for_segment(self, template, MakespanOnly, carry);
+        ex.run_loop()?;
+        let clean = ex.state.iter().all(|s| s.done && s.dma_tags.is_empty());
+        ex.sync_ids.sort_unstable();
+        ex.sync_ids.dedup();
+        let send_issue = (ex.send_issue_min <= ex.send_issue_max)
+            .then_some((ex.send_issue_min, ex.send_issue_max));
+        Ok(SegmentRun {
+            state: MachineState {
+                t: ex.state.iter().map(|s| s.t).collect(),
+                tx_free: ex.state.iter().map(|s| s.tx_free).collect(),
+                io_dma_free: ex.state.iter().map(|s| s.io_dma_free).collect(),
+                cluster_dma_free: ex.state.iter().map(|s| s.cluster_dma_free).collect(),
+                rx_free: ex.rx_free,
+            },
+            stats: ex.state.into_iter().map(|s| s.stats).collect(),
+            send_issue,
+            distinct_syncs: ex.sync_ids.len(),
+            clean,
+        })
+    }
 }
 
 /// Per-chip mutable execution state.
@@ -318,6 +350,15 @@ struct Executor<'a, S: TraceSink> {
     /// cost model's float evaluation (several long-latency divides) runs
     /// once per distinct shape. Collisions simply recompute.
     cycle_memo: Box<[Option<(u32, Kernel, u64)>; CYCLE_MEMO_SLOTS]>,
+    /// Whether in-flight async DMA is retired when a program ends (true
+    /// for complete runs; false for periodic-engine segments, which
+    /// instead require the boundary to be DMA-clean).
+    drain_at_end: bool,
+    /// Smallest send issue time observed (chip-local clock at the moment
+    /// the send executed); `u64::MAX` when no send ran.
+    send_issue_min: u64,
+    /// Largest send issue time observed; 0 when no send ran.
+    send_issue_max: u64,
     sink: S,
 }
 
@@ -378,17 +419,50 @@ impl<'a, S: TraceSink> Executor<'a, S> {
             sync_ids: Vec::new(),
             cost_class,
             cycle_memo: Box::new([None; CYCLE_MEMO_SLOTS]),
+            drain_at_end: true,
+            send_issue_min: u64::MAX,
+            send_issue_max: 0,
             sink,
         }
     }
 
-    fn run(mut self) -> Result<(RunStats, S)> {
+    /// An executor resuming from a carried machine state (the periodic
+    /// engine's segment mode): chip clocks, port frees, and DMA-engine
+    /// frees are seeded from `carry`, the ready heap is re-seeded with the
+    /// carried clocks, and the end-of-program DMA drain is disabled.
+    fn for_segment(
+        machine: &'a Machine,
+        programs: &'a [Program],
+        sink: S,
+        carry: &MachineState,
+    ) -> Self {
+        let mut ex = Executor::new(machine, programs, sink);
+        ex.drain_at_end = false;
+        ex.ready.clear();
+        for (i, st) in ex.state.iter_mut().enumerate() {
+            st.t = carry.t[i];
+            st.tx_free = carry.tx_free[i];
+            st.io_dma_free = carry.io_dma_free[i];
+            st.cluster_dma_free = carry.cluster_dma_free[i];
+            ex.ready.push(Reverse((st.t, i)));
+        }
+        ex.rx_free.copy_from_slice(&carry.rx_free);
+        ex
+    }
+
+    /// Drives the ready heap until every chip is done or parked.
+    fn run_loop(&mut self) -> Result<()> {
         while let Some(Reverse((t_pop, chip))) = self.ready.pop() {
             if self.state[chip].done {
                 continue;
             }
             self.run_chip(chip, t_pop)?;
         }
+        Ok(())
+    }
+
+    fn run(mut self) -> Result<(RunStats, S)> {
+        self.run_loop()?;
         if let Some(blocked) = self.deadlocked() {
             return Err(SimError::Deadlock { blocked });
         }
@@ -440,8 +514,11 @@ impl<'a, S: TraceSink> Executor<'a, S> {
         loop {
             let Some(&instr) = instrs.get(self.state[chip].pc) else {
                 let st = &mut self.state[chip];
-                // Account for async DMA still in flight at program end.
-                st.drain_pending_dma();
+                // Account for async DMA still in flight at program end
+                // (segments leave it to the boundary cleanliness check).
+                if self.drain_at_end {
+                    st.drain_pending_dma();
+                }
                 st.done = true;
                 return Ok(());
             };
@@ -524,6 +601,8 @@ impl<'a, S: TraceSink> Executor<'a, S> {
                         return Err(SimError::InvalidChip { chip: to, chips: machine.len() });
                     }
                     let t = self.state[chip].t;
+                    self.send_issue_min = self.send_issue_min.min(t);
+                    self.send_issue_max = self.send_issue_max.max(t);
                     let start = t.max(self.state[chip].tx_free).max(self.rx_free[to.0]);
                     let done = start + spec.link.transfer_cycles(bytes);
                     if !self.msgs.insert(msg, ChipId(chip), done) {

@@ -42,6 +42,7 @@ mod error;
 mod exec;
 mod gantt;
 mod memory;
+mod periodic;
 mod program;
 mod sink;
 mod trace;

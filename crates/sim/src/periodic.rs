@@ -1,0 +1,438 @@
+//! Periodic steady-state execution: simulate warmup repetitions of a
+//! block template until the machine state *provably* repeats, then
+//! extrapolate the remaining repetitions in O(1).
+//!
+//! Model-span workloads are `n_blocks` back-to-back instantiations of one
+//! identical per-chip instruction template (only message/sync identifiers
+//! differ, and identifiers never affect timing). The executor's dynamics
+//! are shift-invariant max-plus recurrences over the machine's time-like
+//! state — chip clocks, TX/RX port frees, DMA-engine frees: every update
+//! is a `max` of state components plus a constant, so advancing the whole
+//! state by a constant advances every future event by the same constant.
+//!
+//! [`Machine::run_periodic`] therefore runs the template segment by
+//! segment, carrying the machine state across boundaries, until one
+//! segment advances **every active state component by the same delta**
+//! (the *uniform-delta fixed point*). From that point on, each further
+//! block replays the last segment shifted by the delta, exactly — so the
+//! remaining `n_blocks - k` blocks reduce to one multiply-add per
+//! counter. Detection is an exact fixed-point test on executor state, not
+//! a heuristic; whenever any proof obligation fails, the engine falls
+//! back to full simulation. See `DESIGN.md` §9 for the soundness
+//! argument, and `tests/periodic_lockstep.rs` for the exact-equality
+//! lockstep suites.
+//!
+//! Proof obligations checked per segment (any failure → full simulation):
+//!
+//! 1. **Clean boundary** — every chip finished its segment program with
+//!    no async DMA in flight, and no chip is parked on a missing message.
+//! 2. **Send-order separation** — the latest send issue time of segment
+//!    `j` is strictly earlier than the earliest send issue time of
+//!    segment `j+1`. Cross-segment coupling flows only through RX/TX port
+//!    arbitration, which the executor resolves in global issue-time
+//!    order; separated segments therefore arbitrate identically whether
+//!    the blocks are simulated jointly or one segment at a time.
+//! 3. **Uniform delta** — every time-like component either advanced by
+//!    one common `delta`, or stayed put while already at or below the
+//!    segment-start minimum clock (an *inactive* component: it is never
+//!    selected by any `max` again, so it behaves as minus infinity).
+
+use crate::{trace::ChipStats, Program, Result, RunStats};
+use crate::{Instr, Machine, MsgId};
+
+/// Snapshot of the machine's time-like state at a segment boundary, also
+/// used as the carried starting state of the next segment.
+#[derive(Debug, Clone)]
+pub(crate) struct MachineState {
+    /// Per-chip local clocks.
+    pub(crate) t: Vec<u64>,
+    /// Per-chip TX-port frees.
+    pub(crate) tx_free: Vec<u64>,
+    /// Per-chip I/O-DMA engine frees.
+    pub(crate) io_dma_free: Vec<u64>,
+    /// Per-chip cluster-DMA engine frees.
+    pub(crate) cluster_dma_free: Vec<u64>,
+    /// Per-chip RX-port frees.
+    pub(crate) rx_free: Vec<u64>,
+}
+
+impl MachineState {
+    fn zero(n: usize) -> Self {
+        MachineState {
+            t: vec![0; n],
+            tx_free: vec![0; n],
+            io_dma_free: vec![0; n],
+            cluster_dma_free: vec![0; n],
+            rx_free: vec![0; n],
+        }
+    }
+
+    /// All time-like components in a fixed order.
+    fn components(&self) -> impl Iterator<Item = u64> + '_ {
+        self.t
+            .iter()
+            .chain(&self.tx_free)
+            .chain(&self.io_dma_free)
+            .chain(&self.cluster_dma_free)
+            .chain(&self.rx_free)
+            .copied()
+    }
+
+    /// The earliest chip clock (segment-start minimum for the inactive
+    /// rule).
+    fn min_clock(&self) -> u64 {
+        self.t.iter().copied().min().unwrap_or(0)
+    }
+}
+
+/// Everything one segment execution reports back to the periodic engine.
+#[derive(Debug)]
+pub(crate) struct SegmentRun {
+    /// Machine state at the segment boundary.
+    pub(crate) state: MachineState,
+    /// Per-chip counters accumulated by this segment alone.
+    pub(crate) stats: Vec<ChipStats>,
+    /// `(min, max)` send issue times, `None` when the segment sent
+    /// nothing.
+    pub(crate) send_issue: Option<(u64, u64)>,
+    /// Distinct sync ids the segment observed.
+    pub(crate) distinct_syncs: usize,
+    /// `true` when every chip finished with no async DMA in flight.
+    pub(crate) clean: bool,
+}
+
+/// `n_blocks` at or below this run as one plain simulation: the warmup
+/// needs at least two segments before extrapolation can save anything.
+const FULL_RUN_THRESHOLD: usize = 4;
+
+/// Warmup bound: if the state has not reached its uniform-delta fixed
+/// point after this many segments, the workload is treated as aperiodic
+/// and simulated in full.
+const MAX_WARMUP_SEGMENTS: usize = 24;
+
+/// Checks the uniform-delta fixed-point condition between two boundary
+/// states: every component either advances by one common delta or is
+/// inactive (unchanged and at or below the segment-start minimum clock).
+/// Returns the proven per-block delta.
+fn uniform_delta(prev: &MachineState, next: &MachineState) -> Option<u64> {
+    let m = prev.min_clock();
+    let mut delta: Option<u64> = None;
+    for (old, new) in prev.components().zip(next.components()) {
+        let d = new - old;
+        if d == 0 && new <= m {
+            continue;
+        }
+        match delta {
+            None => delta = Some(d),
+            Some(found) if found == d => {}
+            Some(_) => return None,
+        }
+    }
+    // A fully inactive machine (empty template) repeats with delta 0.
+    Some(delta.unwrap_or(0))
+}
+
+/// Scales every additive counter of a per-segment [`ChipStats`] by the
+/// number of extrapolated repetitions.
+fn scaled(stats: &ChipStats, reps: u64) -> ChipStats {
+    ChipStats {
+        compute_cycles: stats.compute_cycles * reps,
+        dma_l3_l2_exposed_cycles: stats.dma_l3_l2_exposed_cycles * reps,
+        dma_l2_l1_exposed_cycles: stats.dma_l2_l1_exposed_cycles * reps,
+        c2c_exposed_cycles: stats.c2c_exposed_cycles * reps,
+        dma_l3_l2_bytes: stats.dma_l3_l2_bytes * reps,
+        dma_l2_l1_bytes: stats.dma_l2_l1_bytes * reps,
+        c2c_bytes_sent: stats.c2c_bytes_sent * reps,
+        sync_marks: stats.sync_marks * reps,
+        finish_cycles: 0,
+    }
+}
+
+fn add_assign(into: &mut ChipStats, from: &ChipStats) {
+    into.compute_cycles += from.compute_cycles;
+    into.dma_l3_l2_exposed_cycles += from.dma_l3_l2_exposed_cycles;
+    into.dma_l2_l1_exposed_cycles += from.dma_l2_l1_exposed_cycles;
+    into.c2c_exposed_cycles += from.c2c_exposed_cycles;
+    into.dma_l3_l2_bytes += from.dma_l3_l2_bytes;
+    into.dma_l2_l1_bytes += from.dma_l2_l1_bytes;
+    into.c2c_bytes_sent += from.c2c_bytes_sent;
+    into.sync_marks += from.sync_marks;
+}
+
+/// Builds the concatenated programs the periodic contract is defined
+/// against: `n_blocks` copies of the template with per-block message and
+/// sync identifier shifts (stride = largest template id + 1), exactly the
+/// id-disjoint instantiation a schedule builder would emit.
+fn concat_shifted(template: &[Program], n_blocks: usize) -> Vec<Program> {
+    let mut max_msg = 0u64;
+    let mut max_sync = 0u32;
+    let mut any_msg = false;
+    let mut any_sync = false;
+    for p in template {
+        for i in p.instrs() {
+            match *i {
+                Instr::Send { msg, .. } | Instr::Recv { msg, .. } => {
+                    max_msg = max_msg.max(msg.0);
+                    any_msg = true;
+                }
+                Instr::Sync(id) => {
+                    max_sync = max_sync.max(id);
+                    any_sync = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    let msg_stride = if any_msg { max_msg + 1 } else { 0 };
+    let sync_stride = if any_sync { max_sync + 1 } else { 0 };
+    let mut out: Vec<Program> = (0..template.len()).map(|_| Program::new()).collect();
+    for (o, t) in out.iter_mut().zip(template) {
+        o.reserve(t.len() * n_blocks);
+    }
+    for block in 0..n_blocks as u64 {
+        let (dm, ds) = (block * msg_stride, block as u32 * sync_stride);
+        for (o, t) in out.iter_mut().zip(template) {
+            o.extend(t.instrs().iter().map(|&instr| match instr {
+                Instr::Send { to, msg, bytes } => Instr::Send { to, msg: MsgId(msg.0 + dm), bytes },
+                Instr::Recv { from, msg } => Instr::Recv { from, msg: MsgId(msg.0 + dm) },
+                Instr::Sync(id) => Instr::Sync(id + ds),
+                other => other,
+            }));
+        }
+    }
+    out
+}
+
+impl Machine {
+    /// Executes `n_blocks` back-to-back repetitions of the per-chip
+    /// `template` programs — each repetition with fresh message and sync
+    /// identifiers, exactly as a schedule builder chains steady-state
+    /// blocks — and returns aggregates **identical** to
+    /// [`Machine::run`] on the equivalent concatenated programs.
+    ///
+    /// Once the machine state provably repeats (see the module docs for
+    /// the fixed-point criterion), the remaining blocks are extrapolated
+    /// in O(1), making deep-model simulations cost a few warmup blocks
+    /// instead of `n_blocks`. Whenever periodicity is not proven, the
+    /// whole workload is simulated in full — the result is the same
+    /// either way, only slower.
+    ///
+    /// ```
+    /// use mtp_sim::{ChipSpec, Instr, Machine, Program};
+    /// use mtp_kernels::Kernel;
+    ///
+    /// let machine = Machine::homogeneous(ChipSpec::siracusa(), 1);
+    /// let block = Program::from_instrs([Instr::compute(Kernel::gemv(64, 64))]);
+    /// let stats = machine.run_periodic(std::slice::from_ref(&block), 1000)?;
+    /// let one = machine.run(std::slice::from_ref(&block))?;
+    /// assert_eq!(stats.makespan, 1000 * one.makespan);
+    /// # Ok::<(), mtp_sim::SimError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Machine::run`] on the concatenated programs:
+    /// [`crate::SimError::ProgramCountMismatch`], deadlocks, and
+    /// malformed-program errors.
+    pub fn run_periodic(&self, template: &[Program], n_blocks: usize) -> Result<RunStats> {
+        if template.len() != self.len() {
+            return Err(crate::SimError::ProgramCountMismatch {
+                chips: self.len(),
+                programs: template.len(),
+            });
+        }
+        if n_blocks == 0 {
+            return self.run(&vec![Program::new(); self.len()]);
+        }
+        if n_blocks == 1 {
+            // One repetition needs no id shifting: the template runs
+            // as-is (this is every block-span scenario of a sweep).
+            return self.run(template);
+        }
+        if n_blocks <= FULL_RUN_THRESHOLD {
+            return self.run(&concat_shifted(template, n_blocks));
+        }
+        let n = self.len();
+        let mut carry = MachineState::zero(n);
+        let mut totals: Vec<ChipStats> = vec![ChipStats::default(); n];
+        let mut prev_send_issue: Option<Option<(u64, u64)>> = None;
+        for seg in 1..=n_blocks.min(MAX_WARMUP_SEGMENTS) {
+            let Ok(run) = self.run_segment(template, &carry) else {
+                // Malformed template: the full run reproduces the exact
+                // error the concatenated simulation would report.
+                return self.run(&concat_shifted(template, n_blocks));
+            };
+            if !run.clean {
+                return self.run(&concat_shifted(template, n_blocks));
+            }
+            // Send-order separation from the previous segment.
+            if let Some(prev) = prev_send_issue {
+                let separated = match (prev, run.send_issue) {
+                    (Some((_, prev_max)), Some((next_min, _))) => prev_max < next_min,
+                    _ => true,
+                };
+                if !separated {
+                    return self.run(&concat_shifted(template, n_blocks));
+                }
+            }
+            for (total, seg_stats) in totals.iter_mut().zip(&run.stats) {
+                add_assign(total, seg_stats);
+            }
+            if let Some(delta) = uniform_delta(&carry, &run.state) {
+                // Send-order separation must keep holding at every
+                // extrapolated boundary: the next segment's sends are this
+                // segment's shifted by delta.
+                let separated_forever = match run.send_issue {
+                    Some((min, max)) => max < min.saturating_add(delta),
+                    None => true,
+                };
+                if separated_forever {
+                    let reps = (n_blocks - seg) as u64;
+                    let per_chip = totals
+                        .iter()
+                        .zip(&run.stats)
+                        .zip(run.state.t.iter().zip(&carry.t))
+                        .map(|((total, seg_stats), (&t_now, &t_prev))| {
+                            let mut chip = total.clone();
+                            add_assign(&mut chip, &scaled(seg_stats, reps));
+                            // Inactive chips (delta 0) stay parked at
+                            // their clock; active chips advance by delta
+                            // per block.
+                            chip.finish_cycles = t_now + reps * (t_now - t_prev);
+                            chip
+                        })
+                        .collect();
+                    return Ok(RunStats::new(per_chip, run.distinct_syncs * n_blocks));
+                }
+            }
+            if seg == n_blocks {
+                // Every block simulated segment by segment with all
+                // boundary obligations holding: the totals are exact.
+                let per_chip = totals
+                    .iter()
+                    .zip(&run.state.t)
+                    .map(|(total, &t)| {
+                        let mut chip = total.clone();
+                        chip.finish_cycles = t;
+                        chip
+                    })
+                    .collect();
+                return Ok(RunStats::new(per_chip, run.distinct_syncs * n_blocks));
+            }
+            prev_send_issue = Some(run.send_issue);
+            carry = run.state;
+        }
+        // No fixed point within the warmup bound: aperiodic workload.
+        self.run(&concat_shifted(template, n_blocks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChipSpec, DmaTag, MemPath};
+    use mtp_kernels::Kernel;
+
+    fn machine(n: usize) -> Machine {
+        Machine::homogeneous(ChipSpec::siracusa(), n)
+    }
+
+    #[test]
+    fn program_count_mismatch_detected() {
+        let m = machine(2);
+        assert!(matches!(
+            m.run_periodic(&[Program::new()], 10),
+            Err(crate::SimError::ProgramCountMismatch { chips: 2, programs: 1 })
+        ));
+    }
+
+    #[test]
+    fn zero_blocks_is_an_empty_run() {
+        let m = machine(2);
+        let template = vec![Program::from_instrs([Instr::compute(Kernel::gemv(64, 64))]); 2];
+        let stats = m.run_periodic(&template, 0).unwrap();
+        assert_eq!(stats.makespan, 0);
+        assert_eq!(stats.sync_phases, 0);
+    }
+
+    #[test]
+    fn single_chip_compute_extrapolates_linearly() {
+        let m = machine(1);
+        let template =
+            [Program::from_instrs([Instr::compute(Kernel::gemv(256, 256)), Instr::Sync(0)])];
+        let one = m.run(&template).unwrap();
+        let big = m.run_periodic(&template, 10_000).unwrap();
+        assert_eq!(big.makespan, 10_000 * one.makespan);
+        assert_eq!(big.per_chip[0].compute_cycles, 10_000 * one.per_chip[0].compute_cycles);
+        assert_eq!(big.sync_phases, 10_000);
+    }
+
+    #[test]
+    fn matches_concatenated_run_exactly() {
+        // Two chips with a ping-pong dependency and async DMA: the
+        // periodic result must equal the explicit concatenation.
+        let m = machine(2);
+        let p0 = Program::from_instrs([
+            Instr::DmaAsync { path: MemPath::L3ToL2, bytes: 40_000, tag: DmaTag(0) },
+            Instr::compute(Kernel::gemm(16, 128, 128)),
+            Instr::DmaWait(DmaTag(0)),
+            Instr::send(1, 0, 2048),
+            Instr::recv(1, 1),
+        ]);
+        let p1 = Program::from_instrs([
+            Instr::compute(Kernel::gemv(512, 128)),
+            Instr::recv(0, 0),
+            Instr::Compute(Kernel::Add { n: 1024 }),
+            Instr::send(0, 1, 2048),
+        ]);
+        let template = [p0, p1];
+        for n_blocks in [1usize, 3, 5, 9, 40] {
+            let fast = m.run_periodic(&template, n_blocks).unwrap();
+            let full = m.run(&concat_shifted(&template, n_blocks)).unwrap();
+            assert_eq!(fast, full, "n_blocks={n_blocks}");
+        }
+    }
+
+    #[test]
+    fn aperiodic_template_falls_back_to_full_simulation() {
+        // A template that leaves a DMA in flight at the boundary can
+        // never prove a clean boundary; the fallback must still be exact.
+        let m = machine(1);
+        let template = [Program::from_instrs([
+            Instr::DmaAsync { path: MemPath::L3ToL2, bytes: 1 << 20, tag: DmaTag(0) },
+            Instr::compute(Kernel::Add { n: 64 }),
+        ])];
+        let n_blocks = 7;
+        let fast = m.run_periodic(&template, n_blocks).unwrap();
+        let full = m.run(&concat_shifted(&template, n_blocks)).unwrap();
+        assert_eq!(fast, full);
+    }
+
+    #[test]
+    fn deadlocking_template_reports_deadlock() {
+        let m = machine(2);
+        let template =
+            [Program::from_instrs([Instr::recv(1, 99)]), Program::from_instrs([Instr::Sync(0)])];
+        assert!(matches!(m.run_periodic(&template, 8), Err(crate::SimError::Deadlock { .. })));
+    }
+
+    #[test]
+    fn uniform_delta_rejects_mixed_advances() {
+        let prev = MachineState {
+            t: vec![100, 100],
+            tx_free: vec![90, 95],
+            io_dma_free: vec![0, 0],
+            cluster_dma_free: vec![80, 85],
+            rx_free: vec![70, 75],
+        };
+        let mut next = prev.clone();
+        next.t = vec![150, 150];
+        next.tx_free = vec![140, 145];
+        next.cluster_dma_free = vec![130, 135];
+        next.rx_free = vec![120, 125];
+        // io_dma_free untouched at 0 <= min clock: inactive, ignored.
+        assert_eq!(uniform_delta(&prev, &next), Some(50));
+        next.t[1] = 151;
+        assert_eq!(uniform_delta(&prev, &next), None);
+    }
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI perf-regression guard: runs the quick `mtp bench` profile and diffs
+# it against the newest committed BENCH_*.json baseline.
+#
+#   scripts/bench_compare.sh                  compare against the newest
+#                                             BENCH_*.json, tolerance 10x
+#   scripts/bench_compare.sh BENCH_4.json     explicit baseline
+#   TOLERANCE=25 scripts/bench_compare.sh     override the gate
+#
+# The tolerance is deliberately generous: quick-profile numbers on shared
+# CI runners are noisy, and the gate exists to catch order-of-magnitude
+# regressions (a hot path accidentally falling off its fast path), not to
+# police percent-level drift. The committed baselines are measured with
+# the full profile on a quiet host, which adds its own constant factor —
+# both effects stay far inside a 10x gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-}"
+if [ -z "$baseline" ]; then
+  baseline=$(ls BENCH_*.json | sort -V | tail -1)
+fi
+tolerance="${TOLERANCE:-10}"
+
+echo "== perf-regression guard: quick profile vs $baseline (gate ${tolerance}x) =="
+cargo run --release --bin mtp -- bench --quick --compare "$baseline" --check "$tolerance"

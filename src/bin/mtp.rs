@@ -24,7 +24,7 @@ mtp — distributed Transformer inference on low-power MCU networks
 USAGE:
     mtp simulate [--model NAME] [--chips N] [--mode ar|prompt] [--blocks N]
                  [--trace] [--chrome-trace FILE]
-    mtp sweep    [--models A,B] [--modes ar,prompt] [--chips 1,2,4,8]
+    mtp sweep    [--deep] [--models A,B] [--modes ar,prompt] [--chips 1,2,4,8]
                  [--topologies hier4,flat] [--placements auto,streamed]
                  [--link-bw 100,50] [--span block|model] [--threads N]
                  [--csv FILE] [--json FILE] [--serial] [--compare-serial]
@@ -34,20 +34,28 @@ USAGE:
     mtp headline
     mtp ablation
     mtp table1 [--chips N]
-    mtp bench  [--quick] [--json FILE]
+    mtp bench  [--quick] [--json FILE] [--compare BENCH_N.json] [--check TOL]
 
 MODELS:
     tinyllama       TinyLlama-42M (default; S=128 ar / S=16 prompt)
     tinyllama-64h   the scalability-study variant (64 heads)
     tinyllama-gqaK  grouped-query variant with K kv heads (K in 1,2,4,8)
+    tinyllama-dN    depth-scaled TinyLlama with N layers (e.g. -d96)
     mobilebert      MobileBERT encoder (S=268, prompt mode only)
+    mobilebert-dN   depth-scaled MobileBERT with N layers
 
 BENCH:
     `mtp bench` times the hot paths (blocked matmul kernels, the 8-chip
-    simulator block, the cold-cache default sweep) as best-of-N wall
-    clock and prints one line per benchmark; --json also writes the
-    machine-readable report (the BENCH_*.json format, see the README's
-    Benchmarks section). --quick is the CI smoke profile.
+    simulator block and its 96-block deep pass — full vs. periodic
+    steady-state extrapolation — plus the cold-cache default and deep
+    sweeps) as best-of-N wall clock and prints one line per benchmark;
+    --json also writes the machine-readable report (the BENCH_*.json
+    format, see the README's Benchmarks section). --quick is the CI
+    smoke profile. --compare diffs the run against a committed
+    BENCH_*.json baseline as a per-bench speedup table, and --check TOL
+    exits non-zero when any benchmark runs more than TOL times slower
+    than that baseline (the CI perf-regression guard,
+    scripts/bench_compare.sh).
 
 SWEEP:
     With no flags, `mtp sweep` runs the default paper grid: all three
@@ -55,6 +63,10 @@ SWEEP:
     (>= 48 valid scenarios; invalid chip counts are skipped with a
     reason). Grid axes multiply, duplicates are answered from the
     scenario cache, and unique points run on one worker thread per CPU.
+    --deep starts from the deep-model grid instead: 96- and 192-block
+    full-model passes x chips 1-8 x {100%, 50%} link bandwidth, made
+    cheap by periodic steady-state extrapolation and the shared
+    compiled-schedule cache (other grid flags still override its axes).
 ";
 
 fn main() -> ExitCode {
@@ -159,10 +171,19 @@ fn simulate(args: &[String]) -> CliResult {
 fn build_sweep_grid(args: &[String]) -> Result<SweepGrid, String> {
     let models = list_flag(args, "--models");
     let modes = list_flag(args, "--modes");
-    let mut grid = SweepGrid::paper_default();
+    let deep = has_flag(args, "--deep");
+    let mut grid = if deep { SweepGrid::deep_default() } else { SweepGrid::paper_default() };
     if models.is_some() || modes.is_some() {
+        // With `--modes` but no `--models` (or vice versa), the omitted
+        // axis defaults to the active grid's own model vocabulary, so
+        // `--deep --modes ar` still sweeps the deep presets.
+        let default_models = if deep {
+            vec!["tinyllama-d96", "tinyllama-d192", "mobilebert-d96"]
+        } else {
+            vec!["tinyllama", "tinyllama-64h", "mobilebert"]
+        };
         let presets: Vec<ModelPreset> = models
-            .unwrap_or_else(|| vec!["tinyllama", "tinyllama-64h", "mobilebert"])
+            .unwrap_or(default_models)
             .into_iter()
             .map(ModelPreset::parse)
             .collect::<Result<_, _>>()?;
@@ -300,6 +321,19 @@ fn bench_cmd(args: &[String]) -> CliResult {
     if let Some(path) = flag_value(args, "--json") {
         std::fs::write(path, report.to_json())?;
         println!("JSON written to {path}");
+    }
+    if let Some(path) = flag_value(args, "--compare") {
+        let baseline = bench::parse_baseline(&std::fs::read_to_string(path)?)?;
+        let comparison = report.compare(&baseline);
+        print!("{}", comparison.render());
+        if has_flag(args, "--check") {
+            let tolerance =
+                flag_value(args, "--check").ok_or("--check requires a tolerance value")?;
+            comparison.check(tolerance.parse()?)?;
+            println!("perf check passed (worst slowdown {:.2}x)", comparison.worst_slowdown());
+        }
+    } else if has_flag(args, "--check") {
+        return Err("--check requires --compare <BENCH_N.json>".into());
     }
     Ok(())
 }

@@ -12,12 +12,13 @@
 //! 4. **Grid scale** — the default `mtp sweep` grid yields at least 48
 //!    valid scenarios end to end.
 
-use mtp::core::DistributedSystem;
+use mtp::core::{DistributedSystem, MemoryPlan, PartitionSpec, WeightResidency};
 use mtp::harness::sweep::{
-    PlacementPolicy, Scenario, Span, SweepEngine, SweepGrid, TopologySpec, CSV_HEADER,
+    ModelPreset, PlacementPolicy, Scenario, Span, SweepEngine, SweepGrid, TopologySpec, CSV_HEADER,
 };
 use mtp::harness::{fig4, fig5, fig6, headline, table1};
 use mtp::model::{InferenceMode, TransformerConfig};
+use proptest::prelude::*;
 
 fn mixed_grid() -> SweepGrid {
     SweepGrid::new(
@@ -203,6 +204,113 @@ fn model_span_scenarios_simulate_all_layers() {
     assert_eq!(block.n_blocks, 1);
     assert_eq!(model.n_blocks, cfg.n_layers);
     assert!(model.stats.makespan > block.stats.makespan);
+}
+
+/// The residency regime a scenario's memory plan selects (the only path
+/// through which model depth may legitimately shape a block template).
+fn residency_of(s: &Scenario) -> WeightResidency {
+    let spec = PartitionSpec::new(&s.config, s.n_chips).unwrap();
+    MemoryPlan::decide(&s.config, &spec, &s.chip()).unwrap().residency
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compiled-schedule cache-key hygiene: scenarios differing in any
+    /// structural field never share a key; depth-only variants always
+    /// share one while the residency regime is unchanged (and never when
+    /// depth flips the regime); bandwidth and span never split a key.
+    #[test]
+    fn prop_schedule_key_hygiene(
+        preset_i in 0usize..4,
+        chips in prop::sample::select(vec![1usize, 2, 4, 8]),
+        prompt in prop::sample::select(vec![false, true]),
+        topo_i in 0usize..3,
+        streamed in prop::sample::select(vec![false, true]),
+        bw in prop::sample::select(vec![25u32, 50, 100]),
+        model_span in prop::sample::select(vec![false, true]),
+        depth in 1usize..300,
+        mutation in 0usize..5,
+    ) {
+        let preset = [
+            ModelPreset::TinyLlama,
+            ModelPreset::TinyLlamaScaled64h,
+            ModelPreset::TinyLlamaGqa(2),
+            ModelPreset::MobileBert,
+        ][preset_i];
+        let mode = if prompt { InferenceMode::Prompt } else { InferenceMode::Autoregressive };
+        let mut base = Scenario::new(preset.config(mode), mode, chips)
+            .with_topology(
+                [TopologySpec::PaperDefault, TopologySpec::Flat,
+                 TopologySpec::Hierarchical { group_size: 2 }][topo_i],
+            )
+            .with_link_bw_pct(bw);
+        if streamed {
+            base = base.with_placement(PlacementPolicy::ForceStreamed);
+        }
+        if model_span {
+            base = base.with_span(Span::Model);
+        }
+        let Ok(key) = base.schedule_key() else {
+            // Invalid partition: no schedule, nothing to share.
+            return Ok(());
+        };
+
+        // Depth-only variants share exactly while the residency regime is
+        // unchanged.
+        let mut deep = base.clone();
+        deep.config = deep.config.clone().with_n_layers(depth);
+        deep.config.name = format!("{}-d{depth}", base.config.name);
+        let deep_key = deep.schedule_key().unwrap();
+        if residency_of(&base) == residency_of(&deep) {
+            prop_assert_eq!(&deep_key, &key, "depth-only variant must share the template");
+        } else {
+            prop_assert!(deep_key != key, "residency-changing depth must not share");
+        }
+
+        // Bandwidth and span are non-structural: never split.
+        prop_assert_eq!(base.clone().with_link_bw_pct(if bw == 100 { 50 } else { 100 })
+            .schedule_key().unwrap(), key.clone());
+        prop_assert_eq!(
+            base.clone().with_span(if model_span { Span::Block } else { Span::Model })
+                .schedule_key().unwrap(),
+            key.clone()
+        );
+
+        // A change to any structural field never shares. Exception: with
+        // a single chip no communication is emitted, so the topology is
+        // not structural there and the key deliberately collapses it.
+        let expect_shared = mutation == 2 && chips == 1;
+        let mutated = match mutation {
+            0 => {
+                let other = if prompt { InferenceMode::Autoregressive } else { InferenceMode::Prompt };
+                Scenario { mode: other, ..base.clone() }
+            }
+            1 => Scenario { n_chips: if chips == 8 { 4 } else { chips * 2 }, ..base.clone() },
+            2 => base.clone().with_topology(if base.topology == TopologySpec::Flat {
+                TopologySpec::PaperDefault
+            } else {
+                TopologySpec::Flat
+            }),
+            3 => base.clone().with_placement(if streamed {
+                PlacementPolicy::Auto
+            } else {
+                PlacementPolicy::ForceStreamed
+            }),
+            _ => {
+                let mut s = base.clone();
+                s.config.seq_len += 1;
+                s
+            }
+        };
+        if let Ok(mutated_key) = mutated.schedule_key() {
+            if expect_shared {
+                prop_assert_eq!(mutated_key, key, "single-chip topology is not structural");
+            } else {
+                prop_assert!(mutated_key != key, "structural change must split the key");
+            }
+        }
+    }
 }
 
 #[test]
