@@ -20,8 +20,42 @@
 use crate::{CoreError, MemoryPlan, PartitionSpec, Result, WeightResidency};
 use mtp_kernels::Kernel;
 use mtp_link::Topology;
-use mtp_model::{AttentionKind, InferenceMode, NormKind, TransformerConfig};
+use mtp_model::{AttentionKind, BatchWorkload, InferenceMode, NormKind, TransformerConfig};
 use mtp_sim::{ChipId, ChipSpec, DmaTag, Instr, Machine, MemPath, MsgId, Program};
+
+/// The batch structure of a workload as the scheduler sees it.
+///
+/// Uniform batches — every request presents the same per-block token
+/// count — lower to one shared *request-slot* template whatever their
+/// size, so the batch size is normalized away here: any uniform batch
+/// (including batch 1, which *is* the single-request path) reuses the
+/// single-request template, and request-level periodicity makes its
+/// simulation cost size-independent (see
+/// [`mtp_sim::Machine::run_batched`] and `DESIGN.md` §10). Heterogeneous
+/// batches carry their per-request shape vector: each distinct vector
+/// lowers to its own interleaved template and simulates through the full
+/// event-driven fallback.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BatchRegime {
+    /// Every request shares one per-block shape (always the case in
+    /// autoregressive mode, where each decode step processes one token).
+    Uniform,
+    /// Per-request per-block token counts, in request order (prompt-mode
+    /// batches with differing prompt lengths).
+    Mixed(Vec<usize>),
+}
+
+impl BatchRegime {
+    /// Classifies a workload for the given inference mode.
+    #[must_use]
+    pub fn of(workload: &BatchWorkload, mode: InferenceMode) -> Self {
+        if workload.is_uniform_for(mode) {
+            BatchRegime::Uniform
+        } else {
+            BatchRegime::Mixed(workload.tokens_per_pass(mode))
+        }
+    }
+}
 
 // Partial outputs are requantized to the deployment dtype before hitting
 // the wire (the energy-optimal choice for a 100 pJ/B link), so reduce and
@@ -401,6 +435,65 @@ impl Scheduler {
         Ok(progs)
     }
 
+    /// Per-chip programs for one Transformer block serving a uniform
+    /// batch of `n_requests` interleaved requests: the block body is
+    /// emitted once per request with fresh message and sync identifiers
+    /// (requests are independent, so nothing else distinguishes their
+    /// slots). `batch_block_programs(mode, 1)` is
+    /// [`Scheduler::block_programs`] verbatim — the batch=1 lockstep
+    /// guarantee at the schedule level, by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `n_requests` is zero.
+    pub fn batch_block_programs(
+        &mut self,
+        mode: InferenceMode,
+        n_requests: usize,
+    ) -> Result<Vec<Program>> {
+        if n_requests == 0 {
+            return Err(CoreError::InvalidConfig("a batch needs at least one request".into()));
+        }
+        let mut progs = self.block_programs(mode);
+        for _ in 1..n_requests {
+            for (p, slot) in progs.iter_mut().zip(self.block_programs(mode)) {
+                p.extend(slot.instrs().iter().copied());
+            }
+        }
+        Ok(progs)
+    }
+
+    /// Programs for `n_blocks` consecutive blocks each serving a uniform
+    /// batch of `n_requests` requests, block-major: block 0's request
+    /// slots 0..B, then block 1's, and so on.
+    ///
+    /// Because every request slot is the same body with shifted
+    /// identifiers, the interleaved stream is exactly
+    /// [`Scheduler::model_programs`] over `n_blocks * n_requests`
+    /// repetitions — which is what lets the periodic engine prove
+    /// request-level periodicity with the machinery it already has
+    /// (locked by `batch_model_programs_match_per_block_interleaving` and
+    /// the `tests/batch_lockstep.rs` suite).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `n_blocks` or
+    /// `n_requests` is zero, or when their product overflows.
+    pub fn batch_model_programs(
+        &mut self,
+        mode: InferenceMode,
+        n_blocks: usize,
+        n_requests: usize,
+    ) -> Result<Vec<Program>> {
+        if n_requests == 0 {
+            return Err(CoreError::InvalidConfig("a batch needs at least one request".into()));
+        }
+        let total = n_blocks.checked_mul(n_requests).ok_or_else(|| {
+            CoreError::InvalidConfig("batched block count overflows usize".into())
+        })?;
+        self.model_programs(mode, total)
+    }
+
     /// The chip specification this scheduler targets.
     #[must_use]
     pub fn chip(&self) -> &ChipSpec {
@@ -515,6 +608,41 @@ impl CompiledSchedule {
             self.residency,
             stats,
         ))
+    }
+
+    /// Simulates `n_blocks` blocks each serving a uniform batch of
+    /// `n_requests` interleaved requests through the periodic engine's
+    /// request-level fixed point ([`mtp_sim::Machine::run_batched`]): the
+    /// one-block template doubles as the request-slot template, so the
+    /// warmup cost is the single-request warmup and the rest of the
+    /// `n_blocks * n_requests` repetitions extrapolate in O(1).
+    /// `simulate_batched(chip, n, 1)` equals
+    /// [`CompiledSchedule::simulate`]`(chip, n)` exactly.
+    ///
+    /// The report's `n_blocks` counts block *instances* (blocks times
+    /// requests) — the unit every per-chip counter scales with.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors; `n_blocks` and `n_requests` must be
+    /// at least 1, and their product must not overflow.
+    pub fn simulate_batched(
+        &self,
+        chip: &ChipSpec,
+        n_blocks: usize,
+        n_requests: usize,
+    ) -> Result<crate::SystemReport> {
+        if n_blocks == 0 || n_requests == 0 {
+            return Err(CoreError::InvalidConfig(
+                "a batched simulation needs at least one block and one request".into(),
+            ));
+        }
+        let total = n_blocks.checked_mul(n_requests).ok_or_else(|| {
+            CoreError::InvalidConfig("batched block count overflows usize".into())
+        })?;
+        let machine = Machine::homogeneous(*chip, self.n_chips);
+        let stats = machine.run_batched(&self.template, n_blocks, n_requests)?;
+        Ok(crate::report::from_stats(chip, self.n_chips, self.mode, total, self.residency, stats))
     }
 }
 
@@ -666,6 +794,102 @@ mod tests {
             assert_eq!(fast.msg_next, slow.msg_next);
             assert_eq!(fast.sync_next, slow.sync_next);
         }
+    }
+
+    #[test]
+    fn batch_of_one_is_block_programs_verbatim() {
+        // Across all three residency regimes and both modes: a batch of
+        // one request lowers to bit-identical programs with identical
+        // counter state.
+        let cases = [
+            (TransformerConfig::tiny_llama_42m(), 1, InferenceMode::Autoregressive),
+            (TransformerConfig::tiny_llama_42m(), 8, InferenceMode::Autoregressive),
+            (TransformerConfig::tiny_llama_scaled_64h(), 64, InferenceMode::Autoregressive),
+            (TransformerConfig::mobile_bert(), 4, InferenceMode::Prompt),
+        ];
+        for (cfg, n, mode) in cases {
+            let mut batched = sched(&cfg, n);
+            let b = batched.batch_block_programs(mode, 1).unwrap();
+            let mut single = sched(&cfg, n);
+            let s = single.block_programs(mode);
+            assert_eq!(b, s, "{} x{n} {mode}", cfg.name);
+            assert_eq!(batched.msg_next, single.msg_next);
+            assert_eq!(batched.sync_next, single.sync_next);
+        }
+    }
+
+    #[test]
+    fn batch_block_programs_concatenate_request_slots() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let mut s = sched(&cfg, 8);
+        let batched = s.batch_block_programs(InferenceMode::Autoregressive, 3).unwrap();
+        let mut manual = sched(&cfg, 8);
+        let mut expect = vec![Program::new(); 8];
+        for _ in 0..3 {
+            for (p, slot) in
+                expect.iter_mut().zip(manual.block_programs(InferenceMode::Autoregressive))
+            {
+                p.extend(slot.instrs().iter().copied());
+            }
+        }
+        assert_eq!(batched, expect);
+        assert!(sched(&cfg, 8).batch_block_programs(InferenceMode::Autoregressive, 0).is_err());
+    }
+
+    #[test]
+    fn batch_model_programs_match_per_block_interleaving() {
+        // Block-major request interleaving: emitting each block's B
+        // request slots in order, block after block, must equal the
+        // templated batch_model_programs stream exactly.
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let mode = InferenceMode::Autoregressive;
+        let mut fast = sched(&cfg, 8);
+        let templated = fast.batch_model_programs(mode, 2, 3).unwrap();
+        let mut slow = sched(&cfg, 8);
+        let mut derived = vec![Program::new(); 8];
+        for _block in 0..2 {
+            for (p, b) in derived.iter_mut().zip(slow.batch_block_programs(mode, 3).unwrap()) {
+                p.extend(b.instrs().iter().copied());
+            }
+        }
+        assert_eq!(templated, derived);
+        assert_eq!(fast.msg_next, slow.msg_next);
+        assert_eq!(fast.sync_next, slow.sync_next);
+        assert!(sched(&cfg, 8).batch_model_programs(mode, 2, 0).is_err());
+        assert!(sched(&cfg, 8).batch_model_programs(mode, 0, 2).is_err());
+    }
+
+    #[test]
+    fn batch_regime_classifies_workloads() {
+        use mtp_model::RequestSpec;
+        let uniform = BatchWorkload::uniform(4, 16, 8);
+        assert_eq!(BatchRegime::of(&uniform, InferenceMode::Prompt), BatchRegime::Uniform);
+        let mixed = BatchWorkload::new(vec![
+            RequestSpec { prompt_len: 16, decode_len: 0, arrival: 0 },
+            RequestSpec { prompt_len: 32, decode_len: 0, arrival: 0 },
+        ])
+        .unwrap();
+        // Autoregressive decode steps are one token per pass regardless
+        // of prompt length, so every AR batch is uniform.
+        assert_eq!(BatchRegime::of(&mixed, InferenceMode::Autoregressive), BatchRegime::Uniform);
+        assert_eq!(
+            BatchRegime::of(&mixed, InferenceMode::Prompt),
+            BatchRegime::Mixed(vec![16, 32])
+        );
+    }
+
+    #[test]
+    fn simulate_batched_equals_simulate_for_batch_one() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let chip = ChipSpec::siracusa();
+        let compiled =
+            CompiledSchedule::compile(&cfg, 8, &chip, None, InferenceMode::Autoregressive).unwrap();
+        let single = compiled.simulate(&chip, 8).unwrap();
+        let batched = compiled.simulate_batched(&chip, 8, 1).unwrap();
+        assert_eq!(single.stats, batched.stats);
+        assert_eq!(single.n_blocks, batched.n_blocks);
+        assert!(compiled.simulate_batched(&chip, 0, 4).is_err());
+        assert!(compiled.simulate_batched(&chip, 4, 0).is_err());
     }
 
     #[test]

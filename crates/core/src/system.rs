@@ -1,11 +1,12 @@
 //! The distributed multi-MCU inference system: partitioning + scheduling +
 //! timing simulation + energy in one façade.
 
-use crate::{MemoryPlan, PartitionSpec, Result, SystemReport};
+use crate::schedule::{BatchRegime, Scheduler};
+use crate::{CoreError, MemoryPlan, PartitionSpec, Result, SystemReport};
 use mtp_energy::EnergyParams;
 use mtp_link::Topology;
-use mtp_model::{InferenceMode, TransformerConfig};
-use mtp_sim::ChipSpec;
+use mtp_model::{BatchWorkload, InferenceMode, TransformerConfig};
+use mtp_sim::{ChipSpec, Instr, Machine, MsgId, Program};
 
 /// A system of `N` Siracusa-class chips running one partitioned
 /// Transformer model.
@@ -144,6 +145,147 @@ impl DistributedSystem {
     pub fn simulate_model(&self, mode: InferenceMode) -> Result<SystemReport> {
         self.simulate_blocks(mode, self.cfg.n_layers)
     }
+
+    /// Simulates a full model pass serving a multi-request batch: every
+    /// block runs each request's slot back to back (requests are
+    /// independent streams time-multiplexed over the same chips, each
+    /// with its own KV-cache state).
+    ///
+    /// Uniform batches ([`BatchRegime::Uniform`]) route through the
+    /// periodic engine's request-level fixed point, so their cost is
+    /// independent of batch size; heterogeneous prompt-mode batches fall
+    /// back to full event-driven simulation of the interleaved schedule
+    /// (see `DESIGN.md` §10 for the regime split and its fallback
+    /// conditions). In prompt mode each request's slot processes its own
+    /// prompt length; in autoregressive mode every slot is one decode
+    /// step against the model's full cached context, exactly as the
+    /// single-request path simulates it. Arrival offsets shape the
+    /// functional KV-cache trajectories, not the saturated steady-state
+    /// schedule, so they do not enter the timing model.
+    ///
+    /// A batch of one request is the single-request path: for a workload
+    /// whose prompt length matches `cfg.seq_len`, the report's stats are
+    /// identical to [`DistributedSystem::simulate_model`] (locked by
+    /// `tests/batch_lockstep.rs`). The report's `n_blocks` counts block
+    /// instances (`n_layers * n_requests`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects workloads exceeding the model's KV capacity and
+    /// propagates partitioning and simulation errors.
+    pub fn simulate_batch(
+        &self,
+        mode: InferenceMode,
+        workload: &BatchWorkload,
+    ) -> Result<SystemReport> {
+        workload.validate_for(&self.cfg).map_err(CoreError::InvalidConfig)?;
+        match BatchRegime::of(workload, mode) {
+            BatchRegime::Uniform => {
+                // One request-slot template serves the whole batch. The
+                // per-pass token count comes from the workload in prompt
+                // mode (each slot processes its prompt); autoregressive
+                // slots use the model's own steady-state context.
+                let cfg = match mode {
+                    InferenceMode::Autoregressive => self.cfg.clone(),
+                    InferenceMode::Prompt => {
+                        self.cfg.clone().with_seq_len(workload.requests()[0].prompt_len)
+                    }
+                };
+                let compiled = crate::schedule::CompiledSchedule::compile(
+                    &cfg,
+                    self.n_chips,
+                    &self.chip,
+                    self.topology.clone(),
+                    mode,
+                )?;
+                compiled.simulate_batched(&self.chip, self.cfg.n_layers, workload.n_requests())
+            }
+            BatchRegime::Mixed(_) => self.simulate_mixed_batch(mode, workload),
+        }
+    }
+
+    /// The heterogeneous-batch fallback: per-request schedules (each
+    /// prompt length lowers its own block body) interleaved block-major
+    /// with disjoint identifier spaces, simulated in full by the
+    /// event-driven executor. Exact by construction — no periodicity
+    /// proof is attempted across unequal slots.
+    fn simulate_mixed_batch(
+        &self,
+        mode: InferenceMode,
+        workload: &BatchWorkload,
+    ) -> Result<SystemReport> {
+        // Emit every request's per-block bodies from its own scheduler
+        // (ids are unique within a request's stream).
+        let mut residency = None;
+        let mut bodies: Vec<Vec<Vec<Program>>> = Vec::with_capacity(workload.n_requests());
+        let mut strides: Vec<(u64, u32)> = Vec::with_capacity(workload.n_requests());
+        for spec in workload.requests() {
+            let cfg = self.cfg.clone().with_seq_len(spec.tokens_per_pass(mode));
+            let mut scheduler = Scheduler::new(&cfg, self.n_chips, &self.chip)?;
+            if let Some(t) = &self.topology {
+                scheduler = scheduler.with_topology(t.clone());
+            }
+            // The report's residency regime is the first request's plan;
+            // per-request plans can differ across a mixed batch (longer
+            // prompts enlarge the KV working set), and each slot stages
+            // weights according to its own plan.
+            residency.get_or_insert(scheduler.plan().residency);
+            let mut per_block = Vec::with_capacity(self.cfg.n_layers);
+            for _ in 0..self.cfg.n_layers {
+                per_block.push(scheduler.block_programs(mode));
+            }
+            let (mut max_msg, mut max_sync) = (0u64, 0u32);
+            for progs in &per_block {
+                for p in progs {
+                    for i in p.instrs() {
+                        match *i {
+                            Instr::Send { msg, .. } | Instr::Recv { msg, .. } => {
+                                max_msg = max_msg.max(msg.0 + 1);
+                            }
+                            Instr::Sync(id) => max_sync = max_sync.max(id + 1),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            bodies.push(per_block);
+            strides.push((max_msg, max_sync));
+        }
+        // Disjoint per-request id bases, then block-major interleaving:
+        // block 0's request slots 0..B, then block 1's, and so on.
+        let mut bases = Vec::with_capacity(strides.len());
+        let (mut msg_base, mut sync_base) = (0u64, 0u32);
+        for &(dm, ds) in &strides {
+            bases.push((msg_base, sync_base));
+            msg_base += dm;
+            sync_base += ds;
+        }
+        let mut progs = vec![Program::new(); self.n_chips];
+        for block in 0..self.cfg.n_layers {
+            for (per_block, &(dm, ds)) in bodies.iter().zip(&bases) {
+                for (out, body) in progs.iter_mut().zip(&per_block[block]) {
+                    out.extend(body.instrs().iter().map(|&instr| match instr {
+                        Instr::Send { to, msg, bytes } => {
+                            Instr::Send { to, msg: MsgId(msg.0 + dm), bytes }
+                        }
+                        Instr::Recv { from, msg } => Instr::Recv { from, msg: MsgId(msg.0 + dm) },
+                        Instr::Sync(id) => Instr::Sync(id + ds),
+                        other => other,
+                    }));
+                }
+            }
+        }
+        let machine = Machine::homogeneous(self.chip, self.n_chips);
+        let stats = machine.run(&progs)?;
+        Ok(crate::report::from_stats(
+            &self.chip,
+            self.n_chips,
+            mode,
+            self.cfg.n_layers * workload.n_requests(),
+            residency.expect("a validated workload has at least one request"),
+            stats,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -197,5 +339,69 @@ mod tests {
     fn invalid_chip_count_fails_at_construction() {
         let cfg = TransformerConfig::tiny_llama_42m();
         assert!(DistributedSystem::paper_default(cfg, 3).is_err());
+    }
+
+    #[test]
+    fn batch_of_one_equals_simulate_model() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let sys = DistributedSystem::paper_default(cfg.clone(), 8).unwrap();
+        for mode in [InferenceMode::Autoregressive, InferenceMode::Prompt] {
+            let workload = BatchWorkload::uniform(1, cfg.seq_len, 0);
+            let batched = sys.simulate_batch(mode, &workload).unwrap();
+            let single = sys.simulate_model(mode).unwrap();
+            assert_eq!(batched.stats, single.stats, "{mode}");
+            assert_eq!(batched.n_blocks, single.n_blocks);
+            assert_eq!(batched.residency, single.residency);
+        }
+    }
+
+    #[test]
+    fn uniform_batch_scales_counters_linearly() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let sys = DistributedSystem::paper_default(cfg.clone(), 8).unwrap();
+        let one = sys
+            .simulate_batch(InferenceMode::Autoregressive, &BatchWorkload::uniform(1, 128, 0))
+            .unwrap();
+        let four = sys
+            .simulate_batch(InferenceMode::Autoregressive, &BatchWorkload::uniform(4, 128, 0))
+            .unwrap();
+        assert_eq!(four.n_blocks, 4 * one.n_blocks);
+        // Steady-state periodicity: byte counters scale exactly with the
+        // number of request slots.
+        assert_eq!(4 * one.stats.total_c2c_bytes(), four.stats.total_c2c_bytes());
+        assert!(four.stats.makespan > 3 * one.stats.makespan);
+    }
+
+    #[test]
+    fn mixed_prompt_batch_simulates_every_slot() {
+        use mtp_model::RequestSpec;
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let sys = DistributedSystem::paper_default(cfg.clone(), 4).unwrap();
+        let mixed = BatchWorkload::new(vec![
+            RequestSpec { prompt_len: 8, decode_len: 0, arrival: 0 },
+            RequestSpec { prompt_len: 16, decode_len: 0, arrival: 2 },
+        ])
+        .unwrap();
+        let report = sys.simulate_batch(InferenceMode::Prompt, &mixed).unwrap();
+        assert_eq!(report.n_blocks, 2 * cfg.n_layers);
+        // Two syncs per block instance, all distinct.
+        assert_eq!(report.stats.sync_phases, 2 * 2 * cfg.n_layers);
+        // The interleaved batch costs at least as much as each request
+        // alone.
+        for p in [8usize, 16] {
+            let solo = sys
+                .simulate_batch(InferenceMode::Prompt, &BatchWorkload::uniform(1, p, 0))
+                .unwrap();
+            assert!(report.stats.makespan > solo.stats.makespan, "prompt {p}");
+        }
+    }
+
+    #[test]
+    fn oversized_batch_context_is_rejected() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let sys = DistributedSystem::paper_default(cfg.clone(), 8).unwrap();
+        let too_long = BatchWorkload::uniform(2, cfg.seq_len, 1);
+        let err = sys.simulate_batch(InferenceMode::Autoregressive, &too_long).unwrap_err();
+        assert!(err.to_string().contains("context"), "{err}");
     }
 }

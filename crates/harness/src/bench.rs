@@ -165,6 +165,48 @@ pub fn run(quick: bool) -> BenchReport {
         g_reps,
     );
 
+    // --- Batched simulator entry: the same 8-chip machine serving a
+    // uniform batch of 8 requests over 8 blocks (64 block instances).
+    // Request-level periodicity reuses the single-request warmup, so the
+    // periodic path should sit near the single-request deep numbers; the
+    // full path simulates every instance.
+    let batch_programs = Scheduler::new(&cfg, 8, &chip)
+        .expect("scheduler")
+        .batch_model_programs(InferenceMode::Autoregressive, 8, 8)
+        .expect("programs");
+    let block_template = Scheduler::new(&cfg, 8, &chip)
+        .expect("scheduler")
+        .block_programs(InferenceMode::Autoregressive);
+    push(
+        "sim/8chip_ar_8blk_b8_full",
+        best_of(d_reps, || {
+            std::hint::black_box(machine.run(&batch_programs).expect("run"));
+        }),
+        d_reps,
+    );
+    push(
+        "sim/8chip_ar_8blk_b8_periodic",
+        best_of(s_reps, || {
+            std::hint::black_box(machine.run_batched(&block_template, 8, 8).expect("run_batched"));
+        }),
+        s_reps,
+    );
+
+    // --- Batched deep sweep: the deep grid again with four interleaved
+    // requests per scenario (4x the block instances). The acceptance
+    // gate for the batching subsystem: within ~2x of the single-request
+    // deep sweep above, because every batch size shares the
+    // single-request template and warmup.
+    let batch_grid = SweepGrid::deep_default().with_batch_sizes(vec![4]);
+    push(
+        "sweep/deep_grid_batch4_cold_serial",
+        best_of(g_reps, || {
+            let engine = SweepEngine::serial();
+            std::hint::black_box(engine.run(&batch_grid).rows.len());
+        }),
+        g_reps,
+    );
+
     BenchReport { profile, results }
 }
 
@@ -351,7 +393,7 @@ mod tests {
     fn quick_profile_runs_every_bench() {
         let report = run(true);
         assert_eq!(report.profile, "quick");
-        assert_eq!(report.results.len(), 8);
+        assert_eq!(report.results.len(), 11);
         for r in &report.results {
             assert!(r.min_ns > 0, "{} measured nothing", r.name);
         }
@@ -364,6 +406,24 @@ mod tests {
             "periodic {} ns vs full {} ns",
             ns("sim/8chip_ar_deep96_periodic"),
             ns("sim/8chip_ar_deep96_full")
+        );
+        // Request-level periodicity: the batched periodic path must beat
+        // full simulation of every block instance.
+        assert!(
+            ns("sim/8chip_ar_8blk_b8_periodic") * 5 <= ns("sim/8chip_ar_8blk_b8_full"),
+            "batched periodic {} ns vs full {} ns",
+            ns("sim/8chip_ar_8blk_b8_periodic"),
+            ns("sim/8chip_ar_8blk_b8_full")
+        );
+        // The batched deep sweep shares templates and warmups with the
+        // single-request deep sweep, so it must land within a small
+        // factor of it (the ~2x acceptance gate, with headroom for
+        // quick-profile noise on shared runners).
+        assert!(
+            ns("sweep/deep_grid_batch4_cold_serial") <= 3 * ns("sweep/deep_grid_cold_serial"),
+            "batched deep sweep {} ns vs single-request {} ns",
+            ns("sweep/deep_grid_batch4_cold_serial"),
+            ns("sweep/deep_grid_cold_serial")
         );
     }
 

@@ -3,14 +3,17 @@
 //!
 //! A [`Scenario`] is one fully-specified experiment point — model
 //! configuration, inference mode, chip count, reduction topology,
-//! placement policy, link bandwidth, and span (one steady-state block or
-//! the full model pass). A [`SweepGrid`] declares a cross product over
-//! those axes; the [`SweepEngine`] enumerates the grid, deduplicates
+//! placement policy, link bandwidth, span (one steady-state block or
+//! the full model pass), and uniform batch size (how many interleaved
+//! requests each block serves). A [`SweepGrid`] declares a cross product
+//! over those axes; the [`SweepEngine`] enumerates the grid, deduplicates
 //! repeated configurations through a scenario-key cache, simulates the
 //! unique points in parallel with `std::thread::scope`, and returns
 //! [`SweepResults`] that render as a text table or serialize to CSV and
 //! JSON rows (makespan, runtime breakdown, per-chip breakdown, bytes
-//! moved, energy).
+//! moved, energy). For grids too large to materialize,
+//! [`SweepEngine::run_streamed`] writes the same CSV bytes row by row
+//! with flat memory.
 //!
 //! Determinism: grids enumerate in a fixed nested order, workers write
 //! results into pre-assigned slots, and the underlying simulator is
@@ -31,7 +34,7 @@
 //! ```
 
 use crate::table::{fmt_cycles, TextTable};
-use mtp_core::schedule::CompiledSchedule;
+use mtp_core::schedule::{BatchRegime, CompiledSchedule};
 use mtp_core::{
     CoreError, DistributedSystem, MemoryPlan, PartitionSpec, SystemReport, WeightResidency,
 };
@@ -290,6 +293,12 @@ pub struct Scenario {
     pub link_bw_pct: u32,
     /// Simulated span.
     pub span: Span,
+    /// Uniform batch size: how many interleaved requests of this
+    /// workload's shape each block serves (1 = the single-request path,
+    /// bit-identical to the pre-batching engine). Multiplies the number
+    /// of simulated block instances; request-level periodicity keeps the
+    /// simulation cost batch-size-independent.
+    pub batch: usize,
 }
 
 impl Scenario {
@@ -306,6 +315,7 @@ impl Scenario {
             placement: PlacementPolicy::Auto,
             link_bw_pct: 100,
             span: Span::Block,
+            batch: 1,
         }
     }
 
@@ -338,6 +348,18 @@ impl Scenario {
         self
     }
 
+    /// The same scenario with a different uniform batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch` is zero.
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "a batch needs at least one request");
+        self.batch = batch;
+        self
+    }
+
     /// Human-readable scenario label, used in skip reports and error
     /// messages. (The engine's cache no longer keys on this string: the
     /// [`Scenario`] value itself is the hashed key — every architectural
@@ -348,7 +370,7 @@ impl Scenario {
     pub fn key(&self) -> String {
         let c = &self.config;
         format!(
-            "{}|e{}h{}kv{}f{}l{}s{}|{:?}|{:?}|{:?}|{}|{}|{}chips|{}|{}|bw{}|{}",
+            "{}|e{}h{}kv{}f{}l{}s{}|{:?}|{:?}|{:?}|{}|{}|{}chips|{}|{}|bw{}|{}|b{}",
             c.name,
             c.embed_dim,
             c.n_heads,
@@ -366,7 +388,21 @@ impl Scenario {
             self.placement.label(),
             self.link_bw_pct,
             self.span.label(),
+            self.batch,
         )
+    }
+
+    /// The span column value of serialized rows: the span label alone
+    /// for single-request scenarios (keeping batch-free output
+    /// byte-identical to the pre-batching engine, as the pinned FNV
+    /// checksums require), suffixed with `@bN` for batched ones.
+    #[must_use]
+    pub fn span_batch_label(&self) -> String {
+        if self.batch == 1 {
+            self.span.label().to_owned()
+        } else {
+            format!("{}@b{}", self.span.label(), self.batch)
+        }
     }
 
     /// The chip specification this scenario simulates on: Siracusa with
@@ -394,19 +430,22 @@ impl Scenario {
         if let Some(t) = self.topology.build(self.n_chips)? {
             sys = sys.with_topology(t);
         }
-        match self.span {
-            Span::Block => sys.simulate_block(self.mode),
-            Span::Model => sys.simulate_model(self.mode),
-        }
+        // Span blocks times the uniform batch size: each block instance
+        // is one request slot, so a batched span is exactly a deeper
+        // single-request span over the same template (the request-level
+        // periodicity argument, DESIGN.md §10).
+        sys.simulate_blocks(self.mode, self.n_blocks())
     }
 
-    /// Number of Transformer blocks this scenario simulates.
+    /// Number of Transformer block instances this scenario simulates
+    /// (span blocks times the uniform batch size).
     #[must_use]
     pub fn n_blocks(&self) -> usize {
-        match self.span {
+        let span_blocks = match self.span {
             Span::Block => 1,
             Span::Model => self.config.n_layers,
-        }
+        };
+        span_blocks * self.batch
     }
 
     /// The compiled-schedule cache key: exactly the scenario fields a
@@ -458,6 +497,13 @@ impl Scenario {
             topology,
             placement: self.placement,
             residency: plan.residency,
+            // The sweep axis is a uniform batch of the scenario's own
+            // workload shape, and a uniform batch of any size reuses the
+            // single-request template — the batch regime therefore never
+            // splits a key here. (Heterogeneous batches would carry
+            // their shape vector and get their own template; see
+            // `BatchRegime`.)
+            batch: BatchRegime::Uniform,
         })
     }
 
@@ -477,8 +523,10 @@ impl Scenario {
 /// Cache key of the engine's compiled-schedule store: the structural
 /// fields of a [`Scenario`] (model architecture with name and depth
 /// normalized away, mode, chip count, topology, placement) plus the
-/// weight-residency regime the memory plan selects. See
-/// [`Scenario::schedule_key`].
+/// weight-residency regime the memory plan selects and the batch regime
+/// (uniform batches of every size collapse onto the single-request
+/// template; batch size, like depth, only changes how often the template
+/// runs). See [`Scenario::schedule_key`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ScheduleKey {
     structure: TransformerConfig,
@@ -487,13 +535,14 @@ pub struct ScheduleKey {
     topology: TopologySpec,
     placement: PlacementPolicy,
     residency: WeightResidency,
+    batch: BatchRegime,
 }
 
 /// A declarative cross product of scenario axes.
 ///
 /// Enumeration order is fixed (workloads, then chip counts, then
-/// topologies, placements, bandwidths), which makes sweep output
-/// deterministic row-for-row.
+/// topologies, placements, bandwidths, batch sizes), which makes sweep
+/// output deterministic row-for-row.
 #[derive(Debug, Clone)]
 pub struct SweepGrid {
     /// Model/mode pairs to sweep (a pair, not a cross product, so encoder
@@ -510,6 +559,9 @@ pub struct SweepGrid {
     /// Simulated span (one value, not an axis: mixing block- and
     /// model-span rows in one table is rarely meaningful).
     pub span: Span,
+    /// Uniform batch-size axis (how many interleaved requests each block
+    /// serves; `[1]` is the single-request grid).
+    pub batch_sizes: Vec<usize>,
 }
 
 impl SweepGrid {
@@ -527,6 +579,7 @@ impl SweepGrid {
             placements: vec![PlacementPolicy::Auto],
             link_bw_pcts: vec![100],
             span: Span::Block,
+            batch_sizes: vec![1],
         }
     }
 
@@ -586,6 +639,32 @@ impl SweepGrid {
         grid
     }
 
+    /// The multi-request `mtp sweep --batch` grid: the paper workloads
+    /// as full-model passes over chip counts 1–8, each block serving a
+    /// uniform batch of 1, 4, or 16 interleaved requests (up to 384
+    /// block instances per scenario).
+    ///
+    /// Request-level periodicity makes this grid cost roughly the same
+    /// as its batch=1 slice: every batch size reuses the single-request
+    /// schedule template, the warmup segments are identical, and the
+    /// remaining block instances extrapolate in O(1) (DESIGN.md §10).
+    #[must_use]
+    pub fn batch_default() -> Self {
+        let ar = InferenceMode::Autoregressive;
+        let pr = InferenceMode::Prompt;
+        let mut grid = SweepGrid::new(
+            vec![
+                (ModelPreset::TinyLlama.config(ar), ar),
+                (ModelPreset::TinyLlama.config(pr), pr),
+                (ModelPreset::MobileBert.config(pr), pr),
+            ],
+            vec![1, 2, 4, 8],
+        );
+        grid.span = Span::Model;
+        grid.batch_sizes = vec![1, 4, 16];
+        grid
+    }
+
     /// The same grid with a different topology axis.
     #[must_use]
     pub fn with_topologies(mut self, topologies: Vec<TopologySpec>) -> Self {
@@ -615,6 +694,19 @@ impl SweepGrid {
         self
     }
 
+    /// The same grid with a different uniform batch-size axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any size is zero (the same invariant
+    /// [`Scenario::with_batch`] enforces).
+    #[must_use]
+    pub fn with_batch_sizes(mut self, batch_sizes: Vec<usize>) -> Self {
+        assert!(batch_sizes.iter().all(|&b| b > 0), "a batch needs at least one request");
+        self.batch_sizes = batch_sizes;
+        self
+    }
+
     /// Number of scenarios the grid enumerates (before validity checks).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -623,6 +715,7 @@ impl SweepGrid {
             * self.topologies.len()
             * self.placements.len()
             * self.link_bw_pcts.len()
+            * self.batch_sizes.len()
     }
 
     /// `true` when the grid enumerates no scenario.
@@ -641,15 +734,18 @@ impl SweepGrid {
                 for &topology in &self.topologies {
                     for &placement in &self.placements {
                         for &link_bw_pct in &self.link_bw_pcts {
-                            out.push(Scenario {
-                                config: cfg.clone(),
-                                mode: *mode,
-                                n_chips,
-                                topology,
-                                placement,
-                                link_bw_pct,
-                                span: self.span,
-                            });
+                            for &batch in &self.batch_sizes {
+                                out.push(Scenario {
+                                    config: cfg.clone(),
+                                    mode: *mode,
+                                    n_chips,
+                                    topology,
+                                    placement,
+                                    link_bw_pct,
+                                    span: self.span,
+                                    batch,
+                                });
+                            }
                         }
                     }
                 }
@@ -747,7 +843,7 @@ impl SweepRow {
             s.topology.label(),
             s.placement.label(),
             s.link_bw_pct,
-            s.span.label(),
+            s.span_batch_label(),
             r.n_blocks,
             r.residency,
             r.stats.makespan,
@@ -795,7 +891,7 @@ impl SweepRow {
             json_string(&s.topology.label()),
             json_string(s.placement.label()),
             s.link_bw_pct,
-            json_string(s.span.label()),
+            json_string(&s.span_batch_label()),
             r.n_blocks,
             json_string(&r.residency.to_string()),
             r.stats.makespan,
@@ -859,6 +955,7 @@ impl SweepResults {
                 "topo",
                 "place",
                 "bw%",
+                "batch",
                 "regime",
                 "runtime(cyc)",
                 "ms",
@@ -878,6 +975,7 @@ impl SweepResults {
                 s.topology.label(),
                 s.placement.label().to_owned(),
                 s.link_bw_pct.to_string(),
+                s.batch.to_string(),
                 r.residency.to_string(),
                 fmt_cycles(r.stats.makespan),
                 format!("{:.3}", r.runtime_ms()),
@@ -905,6 +1003,43 @@ impl SweepResults {
 /// Outcome of one simulated grid point, shared across scenarios that
 /// provably produce the same report.
 type SimOutcome = Result<Arc<SystemReport>, String>;
+
+/// Scenarios per bounded batch of [`SweepEngine::run_streamed`]: large
+/// enough to keep the workers saturated and the template reuse warm,
+/// small enough that the in-flight row set never grows with the grid.
+pub const STREAM_CHUNK: usize = 512;
+
+/// Counters of a streamed sweep run ([`SweepEngine::run_streamed`]) —
+/// the scalar half of a [`SweepResults`], without the per-row
+/// materialization streaming exists to avoid.
+#[derive(Debug, Clone)]
+pub struct StreamSummary {
+    /// CSV rows written (successful scenarios).
+    pub rows: usize,
+    /// Scenarios that could not run (no row written).
+    pub skipped: usize,
+    /// Scenarios answered from a cache (within-batch duplicates).
+    pub cache_hits: usize,
+    /// Scenarios actually simulated.
+    pub unique_simulated: usize,
+    /// Wall-clock time of the whole streamed run.
+    pub elapsed: Duration,
+}
+
+impl StreamSummary {
+    /// One-line run summary (mirrors [`SweepResults::summary`]).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} scenario(s): {} simulated, {} from cache, {} skipped; {:.1} ms (streamed)",
+            self.rows + self.skipped,
+            self.unique_simulated,
+            self.cache_hits,
+            self.skipped,
+            self.elapsed.as_secs_f64() * 1e3,
+        )
+    }
+}
 
 /// The parallel, caching sweep runner.
 ///
@@ -1171,6 +1306,69 @@ impl SweepEngine {
             unique_simulated: to_run.len() - failures.len(),
             elapsed: started.elapsed(),
         }
+    }
+
+    /// Runs a scenario list and streams CSV rows (header first, then one
+    /// line per successful scenario in input order) into `out` as the
+    /// worker loop produces them, instead of materializing a
+    /// [`SweepResults`].
+    ///
+    /// The input is processed in bounded batches of [`STREAM_CHUNK`]
+    /// scenarios — each batch runs through the full parallel engine
+    /// (schedule-template reuse, within-batch dedup), its rows are
+    /// written, and its reports are then evicted from the persistent
+    /// report cache — so memory stays flat however many scenarios the
+    /// grid enumerates (the ROADMAP's 10^5-scenario studies). The
+    /// compiled-schedule cache, which is small and carries the real
+    /// cross-batch reuse, persists as usual. Invalid scenarios are
+    /// counted (and skipped), exactly as [`SweepResults::to_csv`] omits
+    /// them, so the streamed bytes are identical to
+    /// `run_scenarios(scenarios).to_csv()` — locked against the pinned
+    /// FNV sweep checksums in `tests/sweep.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `out`'s I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (see
+    /// [`SweepEngine::run_scenarios`]).
+    pub fn run_streamed<W: std::io::Write>(
+        &self,
+        scenarios: &[Scenario],
+        out: &mut W,
+    ) -> std::io::Result<StreamSummary> {
+        let started = std::time::Instant::now();
+        out.write_all(CSV_HEADER.as_bytes())?;
+        out.write_all(b"\n")?;
+        let mut summary = StreamSummary {
+            rows: 0,
+            skipped: 0,
+            cache_hits: 0,
+            unique_simulated: 0,
+            elapsed: Duration::ZERO,
+        };
+        for chunk in scenarios.chunks(STREAM_CHUNK) {
+            let results = self.run_scenarios(chunk);
+            for row in &results.rows {
+                out.write_all(row.to_csv_line().as_bytes())?;
+                out.write_all(b"\n")?;
+            }
+            summary.rows += results.rows.len();
+            summary.skipped += results.skipped.len();
+            summary.cache_hits += results.cache_hits;
+            summary.unique_simulated += results.unique_simulated;
+            // Keep memory flat: this chunk's reports leave the
+            // persistent cache once their rows are written.
+            let mut cache = self.cache.lock().expect("sweep cache poisoned");
+            for s in chunk {
+                cache.remove(s);
+            }
+        }
+        out.flush()?;
+        summary.elapsed = started.elapsed();
+        Ok(summary)
     }
 
     /// Runs (or recalls) a single scenario.
@@ -1474,6 +1672,112 @@ mod tests {
     }
 
     #[test]
+    fn batch_axis_multiplies_blocks_and_shares_templates() {
+        let engine = SweepEngine::new();
+        let base =
+            Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive, 8)
+                .with_span(Span::Model);
+        let b4 = base.clone().with_batch(4);
+        assert_eq!(b4.n_blocks(), 4 * base.n_blocks());
+        // Uniform batches never split the schedule key.
+        assert_eq!(base.schedule_key().unwrap(), b4.schedule_key().unwrap());
+        let results = engine.run_scenarios(&[base.clone(), b4.clone()]);
+        assert_eq!(results.rows.len(), 2);
+        assert_eq!(engine.cached_schedules_len(), 1, "one shared template");
+        // Engine rows equal uncached simulation of the batched scenario.
+        assert_eq!(results.rows[1].report.stats, b4.run().unwrap().stats);
+        assert_eq!(results.rows[1].report.n_blocks, 4 * 8);
+    }
+
+    #[test]
+    fn batched_scenario_equals_depth_multiplied_single_request() {
+        // A batch of B requests over a d-layer model is the same template
+        // run d*B times — so it shares its *simulation* with the B*d-deep
+        // single-request scenario and reports identical stats.
+        let ar = InferenceMode::Autoregressive;
+        let engine = SweepEngine::new();
+        let batched = Scenario::new(TransformerConfig::tiny_llama_deep(96), ar, 8)
+            .with_span(Span::Model)
+            .with_batch(2);
+        let deep =
+            Scenario::new(TransformerConfig::tiny_llama_deep(192), ar, 8).with_span(Span::Model);
+        let results = engine.run_scenarios(&[batched, deep]);
+        assert_eq!(results.rows.len(), 2);
+        assert_eq!(results.unique_simulated, 2);
+        assert_eq!(results.rows[0].report.stats, results.rows[1].report.stats);
+        assert_eq!(results.rows[0].report.n_blocks, 192);
+    }
+
+    #[test]
+    fn batch_grid_axis_enumerates_and_labels() {
+        let grid = small_grid().with_batch_sizes(vec![1, 4]);
+        let scenarios = grid.scenarios();
+        assert_eq!(grid.len(), 8);
+        assert_eq!(scenarios.len(), 8);
+        // Batch is the innermost axis.
+        assert_eq!(scenarios[0].batch, 1);
+        assert_eq!(scenarios[1].batch, 4);
+        assert_eq!(scenarios[0].span_batch_label(), "block");
+        assert_eq!(scenarios[1].span_batch_label(), "block@b4");
+        assert_ne!(scenarios[0].key(), scenarios[1].key());
+        let results = SweepEngine::new().run(&grid);
+        let csv = results.to_csv();
+        assert!(csv.contains(",block@b4,"), "batched rows must carry the batch label:\n{csv}");
+        assert!(results.to_json().contains("\"span\":\"block@b4\""));
+        assert!(results.render().contains("batch"));
+    }
+
+    #[test]
+    fn batch_default_grid_runs() {
+        let results = SweepEngine::new().run(&SweepGrid::batch_default());
+        // 3 workloads x 4 chip counts x 3 batch sizes, minus MobileBERT
+        // at 8 chips (4 heads cannot split 8 ways) x 3 batches.
+        assert_eq!(results.rows.len(), 33, "{:?}", results.skipped);
+        assert_eq!(results.skipped.len(), 3);
+        for row in &results.rows {
+            assert_eq!(row.report.n_blocks, row.scenario.config.n_layers * row.scenario.batch);
+        }
+    }
+
+    #[test]
+    fn streamed_rows_equal_materialized_csv() {
+        let grid = small_grid().with_batch_sizes(vec![1, 2]);
+        let scenarios = grid.scenarios();
+        let engine = SweepEngine::new();
+        let mut buf = Vec::new();
+        let summary = engine.run_streamed(&scenarios, &mut buf).unwrap();
+        let materialized = SweepEngine::new().run_scenarios(&scenarios);
+        assert_eq!(String::from_utf8(buf).unwrap(), materialized.to_csv());
+        assert_eq!(summary.rows, materialized.rows.len());
+        assert_eq!(summary.skipped, 0);
+        assert!(summary.summary().contains("streamed"));
+        // Memory stays flat: no reports linger in the persistent cache.
+        assert_eq!(engine.cached_len(), 0);
+        // Templates persist (they are the cross-batch reuse carrier).
+        assert!(engine.cached_schedules_len() > 0);
+    }
+
+    #[test]
+    fn streaming_crosses_chunk_boundaries_in_input_order() {
+        // More scenarios than one chunk, built from duplicates so the
+        // run stays cheap: every chunk re-simulates its unique point
+        // (reports are evicted between chunks) and rows stream in input
+        // order regardless.
+        let scenario =
+            Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive, 2);
+        let scenarios = vec![scenario; STREAM_CHUNK + 7];
+        let engine = SweepEngine::new();
+        let mut buf = Vec::new();
+        let summary = engine.run_streamed(&scenarios, &mut buf).unwrap();
+        assert_eq!(summary.rows, STREAM_CHUNK + 7);
+        assert_eq!(summary.unique_simulated, 2, "one fresh simulation per chunk");
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), STREAM_CHUNK + 7 + 1);
+        let expected = SweepEngine::new().run_scenarios(&scenarios).to_csv();
+        assert_eq!(text, expected);
+    }
+
+    #[test]
     fn key_distinguishes_architecture_beyond_name_and_shape() {
         // Same name and dimensions, different attention kind: the cache
         // must not serve one the other's report.
@@ -1494,6 +1798,7 @@ mod tests {
             base.clone().with_placement(PlacementPolicy::ForceStreamed),
             base.clone().with_link_bw_pct(50),
             base.clone().with_span(Span::Model),
+            base.clone().with_batch(4),
             Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Prompt, 4),
             Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive, 8),
             Scenario::new(TransformerConfig::tiny_llama_gqa(4), InferenceMode::Autoregressive, 4),

@@ -118,8 +118,10 @@ impl Embedding {
     }
 }
 
-/// Row-0 argmax of a logits tensor (first maximal index wins).
-fn argmax_row(logits: &Tensor) -> TokenId {
+/// Row-0 argmax of a logits tensor (first maximal index wins). Shared
+/// with the batched driver (`crate::batch`) so the greedy tie-break can
+/// never diverge between the solo and batched paths.
+pub(crate) fn argmax_row(logits: &Tensor) -> TokenId {
     let row = logits.row(0);
     let mut best = 0usize;
     for (i, &v) in row.iter().enumerate() {

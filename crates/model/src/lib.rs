@@ -36,9 +36,11 @@ mod infer;
 mod kv_cache;
 mod weights;
 
+pub mod batch;
 pub mod generate;
 pub mod reference;
 
+pub use batch::{generate_greedy_batch, BatchDecoder, BatchWorkload, RequestSpec};
 pub use config::{Activation, AttentionKind, InferenceMode, NormKind, TransformerConfig};
 pub use generate::{generate_greedy, Embedding, TokenId};
 pub use infer::{synthetic_embeddings, Decoder, Encoder};

@@ -8,6 +8,12 @@
 #                                  only (criterion stays out of CI)
 #   scripts/bench.sh --json FILE   override the JSON output path
 #
+# The `mtp bench` suite includes the multi-request batching entries
+# (sim/8chip_ar_8blk_b8_* and sweep/deep_grid_batch4_cold_serial), so
+# the batch axis is covered by every run of this script — the batched
+# deep sweep is expected to land within ~2x of the single-request
+# sweep/deep_grid_cold_serial (request-level periodicity, DESIGN.md §10).
+#
 # The committed BENCH_<pr>.json trajectory files are produced from these
 # numbers — see the README's "Benchmarks" section for the format and
 # DESIGN.md §8 for the methodology.

@@ -13,6 +13,12 @@
 # police percent-level drift. The committed baselines are measured with
 # the full profile on a quiet host, which adds its own constant factor —
 # both effects stay far inside a 10x gate.
+#
+# Since PR 5 the suite includes batch entries (batched simulator runs
+# and the batched deep sweep), so this guard also catches the batching
+# subsystem falling off its request-level periodicity fast path —
+# BENCH_5.json is the first baseline carrying them; against older
+# baselines they are reported as "not in baseline" and skipped.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -24,10 +24,12 @@ mtp — distributed Transformer inference on low-power MCU networks
 USAGE:
     mtp simulate [--model NAME] [--chips N] [--mode ar|prompt] [--blocks N]
                  [--trace] [--chrome-trace FILE]
-    mtp sweep    [--deep] [--models A,B] [--modes ar,prompt] [--chips 1,2,4,8]
-                 [--topologies hier4,flat] [--placements auto,streamed]
-                 [--link-bw 100,50] [--span block|model] [--threads N]
-                 [--csv FILE] [--json FILE] [--serial] [--compare-serial]
+    mtp sweep    [--deep | --batch] [--models A,B] [--modes ar,prompt]
+                 [--chips 1,2,4,8] [--topologies hier4,flat]
+                 [--placements auto,streamed] [--link-bw 100,50]
+                 [--span block|model] [--batches 1,4,16] [--threads N]
+                 [--csv FILE] [--json FILE] [--stream] [--serial]
+                 [--compare-serial]
     mtp advise   [--model NAME] [--mode ar|prompt] [--latency-ms X] [--energy-mj X]
                  [--max-chips N]
     mtp figures
@@ -67,6 +69,14 @@ SWEEP:
     full-model passes x chips 1-8 x {100%, 50%} link bandwidth, made
     cheap by periodic steady-state extrapolation and the shared
     compiled-schedule cache (other grid flags still override its axes).
+    --batch starts from the multi-request grid: full-model passes x
+    chips 1-8 x uniform batches of {1, 4, 16} interleaved requests per
+    block — request-level periodicity reuses the single-request
+    template, so batched sweeps cost about the same as batch=1 ones.
+    --batches overrides the batch-size axis on any grid. --stream
+    writes CSV row by row with flat memory (to --csv FILE, or stdout
+    when no file is given) instead of materializing the result table —
+    the mode for grids far beyond what a table is useful for.
 ";
 
 fn main() -> ExitCode {
@@ -172,13 +182,27 @@ fn build_sweep_grid(args: &[String]) -> Result<SweepGrid, String> {
     let models = list_flag(args, "--models");
     let modes = list_flag(args, "--modes");
     let deep = has_flag(args, "--deep");
-    let mut grid = if deep { SweepGrid::deep_default() } else { SweepGrid::paper_default() };
+    let batch = has_flag(args, "--batch");
+    if deep && batch {
+        return Err("--deep and --batch are mutually exclusive base grids \
+                    (use --deep --batches N,M for a batched deep sweep)"
+            .to_owned());
+    }
+    let mut grid = if deep {
+        SweepGrid::deep_default()
+    } else if batch {
+        SweepGrid::batch_default()
+    } else {
+        SweepGrid::paper_default()
+    };
     if models.is_some() || modes.is_some() {
         // With `--modes` but no `--models` (or vice versa), the omitted
         // axis defaults to the active grid's own model vocabulary, so
         // `--deep --modes ar` still sweeps the deep presets.
         let default_models = if deep {
             vec!["tinyllama-d96", "tinyllama-d192", "mobilebert-d96"]
+        } else if batch {
+            vec!["tinyllama", "mobilebert"]
         } else {
             vec!["tinyllama", "tinyllama-64h", "mobilebert"]
         };
@@ -221,6 +245,15 @@ fn build_sweep_grid(args: &[String]) -> Result<SweepGrid, String> {
     if let Some(span) = flag_value(args, "--span") {
         grid = grid.with_span(Span::parse(span)?);
     }
+    if let Some(batches) = list_flag(args, "--batches") {
+        grid.batch_sizes = batches
+            .into_iter()
+            .map(|b| match b.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(format!("bad batch size `{b}` (need a positive integer)")),
+            })
+            .collect::<Result<_, _>>()?;
+    }
     if grid.is_empty() {
         return Err("the grid is empty (every axis needs at least one value)".to_owned());
     }
@@ -236,6 +269,28 @@ fn sweep_cmd(args: &[String]) -> CliResult {
     } else {
         SweepEngine::new()
     };
+
+    if has_flag(args, "--stream") {
+        // Row-streaming mode: CSV only, flat memory, no result table.
+        if has_flag(args, "--json") {
+            return Err("--stream writes CSV only (drop --json or drop --stream)".into());
+        }
+        let scenarios = grid.scenarios();
+        let summary = if let Some(path) = flag_value(args, "--csv") {
+            let file = std::fs::File::create(path)?;
+            let mut out = std::io::BufWriter::new(file);
+            let summary = engine.run_streamed(&scenarios, &mut out)?;
+            println!("CSV streamed to {path}");
+            summary
+        } else {
+            let stdout = std::io::stdout();
+            let mut out = std::io::BufWriter::new(stdout.lock());
+            engine.run_streamed(&scenarios, &mut out)?
+        };
+        // stderr, so `mtp sweep --stream > out.csv` stays pure CSV.
+        eprintln!("{} ({} worker thread(s))", summary.summary(), engine.threads());
+        return Ok(());
+    }
 
     let results = engine.run(&grid);
     print!("{}", results.render());

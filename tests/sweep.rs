@@ -52,10 +52,12 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// Pins the exact bytes of the mixed grid's CSV and JSON output.
 ///
 /// These checksums were captured on the pre-perf-rewrite code (PR 2), so
-/// they prove the zero-alloc kernels, trace sinks, program templating, and
-/// cache-key rework change *nothing* about what the sweep reports. If an
-/// intentional semantic change ever touches sweep output, recompute both
-/// constants and say so in the commit message.
+/// they prove the zero-alloc kernels, trace sinks, program templating,
+/// cache-key rework, and the batching subsystem (whose batch=1 rows must
+/// serialize exactly as the pre-batching engine did) change *nothing*
+/// about what the sweep reports. If an intentional semantic change ever
+/// touches sweep output, recompute both constants and say so in the
+/// commit message.
 #[test]
 fn sweep_output_checksums_are_pinned() {
     let results = SweepEngine::new().run(&mixed_grid());
@@ -69,6 +71,26 @@ fn sweep_output_checksums_are_pinned() {
         PINNED_JSON_FNV64,
         "sweep JSON bytes changed; the perf rewrite must be output-preserving"
     );
+}
+
+/// The row-streaming CSV sink must emit byte-identical output to the
+/// materialized path — locked against the same pinned pre-PR checksum,
+/// so streaming can never drift from what `to_csv` reports.
+#[test]
+fn streamed_csv_bytes_match_pinned_checksum() {
+    let engine = SweepEngine::new();
+    let mut streamed = Vec::new();
+    let summary = engine.run_streamed(&mixed_grid().scenarios(), &mut streamed).unwrap();
+    assert_eq!(
+        fnv1a64(&streamed),
+        PINNED_CSV_FNV64,
+        "streamed CSV bytes diverged from the pinned materialized output"
+    );
+    let materialized = SweepEngine::new().run(&mixed_grid());
+    assert_eq!(summary.rows, materialized.rows.len());
+    assert_eq!(summary.skipped, materialized.skipped.len());
+    // Flat memory: the persistent report cache holds nothing afterwards.
+    assert_eq!(engine.cached_len(), 0);
 }
 
 #[test]
@@ -219,7 +241,9 @@ proptest! {
     /// Compiled-schedule cache-key hygiene: scenarios differing in any
     /// structural field never share a key; depth-only variants always
     /// share one while the residency regime is unchanged (and never when
-    /// depth flips the regime); bandwidth and span never split a key.
+    /// depth flips the regime); bandwidth, span, and uniform batch size
+    /// never split a key (any uniform batch — including batch 1, the
+    /// single-request path — reuses the same request-slot template).
     #[test]
     fn prop_schedule_key_hygiene(
         preset_i in 0usize..4,
@@ -229,6 +253,7 @@ proptest! {
         streamed in prop::sample::select(vec![false, true]),
         bw in prop::sample::select(vec![25u32, 50, 100]),
         model_span in prop::sample::select(vec![false, true]),
+        batch in prop::sample::select(vec![1usize, 2, 16, 64]),
         depth in 1usize..300,
         mutation in 0usize..5,
     ) {
@@ -244,7 +269,8 @@ proptest! {
                 [TopologySpec::PaperDefault, TopologySpec::Flat,
                  TopologySpec::Hierarchical { group_size: 2 }][topo_i],
             )
-            .with_link_bw_pct(bw);
+            .with_link_bw_pct(bw)
+            .with_batch(batch);
         if streamed {
             base = base.with_placement(PlacementPolicy::ForceStreamed);
         }
@@ -268,7 +294,8 @@ proptest! {
             prop_assert!(deep_key != key, "residency-changing depth must not share");
         }
 
-        // Bandwidth and span are non-structural: never split.
+        // Bandwidth, span, and uniform batch size are non-structural:
+        // never split.
         prop_assert_eq!(base.clone().with_link_bw_pct(if bw == 100 { 50 } else { 100 })
             .schedule_key().unwrap(), key.clone());
         prop_assert_eq!(
@@ -276,6 +303,15 @@ proptest! {
                 .schedule_key().unwrap(),
             key.clone()
         );
+        prop_assert_eq!(
+            base.clone().with_batch(if batch == 1 { 32 } else { 1 }).schedule_key().unwrap(),
+            key.clone()
+        );
+        // The batch size still multiplies the simulated block instances
+        // and distinguishes the scenario itself.
+        let rebatched = base.clone().with_batch(batch + 1);
+        prop_assert_eq!(rebatched.n_blocks(), base.n_blocks() / batch * (batch + 1));
+        prop_assert!(rebatched.key() != base.key());
 
         // A change to any structural field never shares. Exception: with
         // a single chip no communication is emitted, so the topology is
