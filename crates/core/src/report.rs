@@ -76,6 +76,32 @@ impl SystemReport {
     pub fn edp_improvement_over(&self, baseline: &SystemReport) -> f64 {
         baseline.edp() / self.edp().max(f64::MIN_POSITIVE)
     }
+
+    /// Total cycles sends spent queued on remote ingress ports or buffer
+    /// credit (queued link regimes; 0 under the default affine model).
+    /// Per-chip values live in `stats.per_chip[i].c2c_queue_cycles`.
+    #[must_use]
+    pub fn queueing_delay_cycles(&self) -> u64 {
+        self.stats.total_queueing_cycles()
+    }
+
+    /// Peak link ingress-buffer occupancy observed on any chip, in bytes.
+    #[must_use]
+    pub fn peak_queue_bytes(&self) -> u64 {
+        self.stats.peak_queue_bytes()
+    }
+
+    /// Total dropped messages/packets (drop-tail and lossy link regimes).
+    #[must_use]
+    pub fn drops(&self) -> u64 {
+        self.stats.total_drops()
+    }
+
+    /// Total retransmitted packets (drop-tail and lossy link regimes).
+    #[must_use]
+    pub fn retransmits(&self) -> u64 {
+        self.stats.total_retransmits()
+    }
 }
 
 /// Builds a [`SystemReport`] from raw run statistics plus the chip spec

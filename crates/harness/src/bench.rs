@@ -19,7 +19,7 @@
 use crate::sweep::{SweepEngine, SweepGrid};
 use mtp_core::schedule::Scheduler;
 use mtp_model::{reference, InferenceMode, TransformerConfig};
-use mtp_sim::{ChipSpec, Machine};
+use mtp_sim::{ChipSpec, LinkRegime, Machine, QueueDiscipline};
 use mtp_tensor::Tensor;
 use std::time::Instant;
 
@@ -205,6 +205,46 @@ pub fn run(quick: bool) -> BenchReport {
             std::hint::black_box(engine.run(&batch_grid).rows.len());
         }),
         g_reps,
+    );
+
+    // --- Queued link regime: the same 8-chip block through the
+    // packet-level arbitration path. The infinite buffer guards the
+    // affine hot path (timing-identical by the lockstep suite, so the
+    // delta is pure queue bookkeeping); the finite buffer adds credit
+    // tracking and waiter wakeups on top.
+    let qinf_machine = Machine::homogeneous(
+        ChipSpec {
+            link_regime: LinkRegime::Queued {
+                buffer_bytes: u64::MAX,
+                discipline: QueueDiscipline::Backpressure,
+            },
+            ..chip
+        },
+        8,
+    );
+    push(
+        "sim/8chip_ar_block_qinf",
+        best_of(s_reps, || {
+            std::hint::black_box(qinf_machine.run(&programs).expect("run"));
+        }),
+        s_reps,
+    );
+    let qbuf_machine = Machine::homogeneous(
+        ChipSpec {
+            link_regime: LinkRegime::Queued {
+                buffer_bytes: 1 << 20,
+                discipline: QueueDiscipline::Backpressure,
+            },
+            ..chip
+        },
+        8,
+    );
+    push(
+        "sim/8chip_ar_block_q1m",
+        best_of(s_reps, || {
+            std::hint::black_box(qbuf_machine.run(&programs).expect("run"));
+        }),
+        s_reps,
     );
 
     BenchReport { profile, results }
@@ -393,7 +433,7 @@ mod tests {
     fn quick_profile_runs_every_bench() {
         let report = run(true);
         assert_eq!(report.profile, "quick");
-        assert_eq!(report.results.len(), 11);
+        assert_eq!(report.results.len(), 13);
         for r in &report.results {
             assert!(r.min_ns > 0, "{} measured nothing", r.name);
         }

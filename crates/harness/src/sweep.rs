@@ -3,9 +3,10 @@
 //!
 //! A [`Scenario`] is one fully-specified experiment point — model
 //! configuration, inference mode, chip count, reduction topology,
-//! placement policy, link bandwidth, span (one steady-state block or
-//! the full model pass), and uniform batch size (how many interleaved
-//! requests each block serves). A [`SweepGrid`] declares a cross product
+//! placement policy, link bandwidth, link timing regime (affine,
+//! queued, or lossy), span (one steady-state block or the full model
+//! pass), and uniform batch size (how many interleaved requests each
+//! block serves). A [`SweepGrid`] declares a cross product
 //! over those axes; the [`SweepEngine`] enumerates the grid, deduplicates
 //! repeated configurations through a scenario-key cache, simulates the
 //! unique points in parallel with `std::thread::scope`, and returns
@@ -40,7 +41,7 @@ use mtp_core::{
 };
 use mtp_link::Topology;
 use mtp_model::{InferenceMode, TransformerConfig};
-use mtp_sim::ChipSpec;
+use mtp_sim::{ChipSpec, LinkRegime};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -291,6 +292,11 @@ pub struct Scenario {
     /// Chip-to-chip link bandwidth as a percentage of the paper's MIPI
     /// port (100 = 1 byte per cycle).
     pub link_bw_pct: u32,
+    /// Timing regime of the chip-to-chip link (affine, queued, lossy).
+    /// A regime alters *when* messages arrive, never *which* — the
+    /// compiled schedule is regime-independent, so this axis never
+    /// splits a [`ScheduleKey`] (mirroring `link_bw_pct`).
+    pub link_regime: LinkRegime,
     /// Simulated span.
     pub span: Span,
     /// Uniform batch size: how many interleaved requests of this
@@ -314,6 +320,7 @@ impl Scenario {
             topology: TopologySpec::PaperDefault,
             placement: PlacementPolicy::Auto,
             link_bw_pct: 100,
+            link_regime: LinkRegime::Affine,
             span: Span::Block,
             batch: 1,
         }
@@ -335,10 +342,55 @@ impl Scenario {
 
     /// The same scenario with a different link bandwidth (percent of the
     /// paper's MIPI port).
-    #[must_use]
-    pub fn with_link_bw_pct(mut self, pct: u32) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `pct` is zero: a
+    /// zero-rate link has unbounded transfer time, and letting it
+    /// through used to overflow the cycle arithmetic deep inside the
+    /// simulator instead of failing here with a typed error.
+    pub fn with_link_bw_pct(mut self, pct: u32) -> Result<Self, CoreError> {
         self.link_bw_pct = pct;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// The same scenario with a different link timing regime.
+    #[must_use]
+    pub fn with_link_regime(mut self, regime: LinkRegime) -> Self {
+        self.link_regime = regime;
         self
+    }
+
+    /// Checks axis values that the typed builders already reject but a
+    /// literal construction (for example a grid axis) can still smuggle
+    /// in. [`Scenario::run`] and [`Scenario::schedule_key`] call this,
+    /// so an invalid point becomes a skip with a typed reason instead
+    /// of an arithmetic overflow inside the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a zero link bandwidth,
+    /// a zero-byte queue buffer, or a lossy drop rate of 1000‰ or more.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.link_bw_pct == 0 {
+            return Err(CoreError::InvalidConfig(
+                "link bandwidth must be positive: 0% of the MIPI port is a zero-rate link \
+                 with unbounded transfer time"
+                    .to_owned(),
+            ));
+        }
+        match self.link_regime {
+            LinkRegime::Queued { buffer_bytes: 0, .. } => Err(CoreError::InvalidConfig(
+                "queued link regime needs a non-zero buffer".to_owned(),
+            )),
+            LinkRegime::Lossy { drop_per_mille, .. } if drop_per_mille >= 1000 => {
+                Err(CoreError::InvalidConfig(format!(
+                    "lossy drop rate must stay below 1000 per mille, got {drop_per_mille}"
+                )))
+            }
+            _ => Ok(()),
+        }
     }
 
     /// The same scenario with a different span.
@@ -370,7 +422,7 @@ impl Scenario {
     pub fn key(&self) -> String {
         let c = &self.config;
         format!(
-            "{}|e{}h{}kv{}f{}l{}s{}|{:?}|{:?}|{:?}|{}|{}|{}chips|{}|{}|bw{}|{}|b{}",
+            "{}|e{}h{}kv{}f{}l{}s{}|{:?}|{:?}|{:?}|{}|{}|{}chips|{}|{}|bw{}|{}|{}|b{}",
             c.name,
             c.embed_dim,
             c.n_heads,
@@ -387,6 +439,7 @@ impl Scenario {
             self.topology.label(),
             self.placement.label(),
             self.link_bw_pct,
+            self.link_regime.label(),
             self.span.label(),
             self.batch,
         )
@@ -405,12 +458,39 @@ impl Scenario {
         }
     }
 
+    /// The link column value of serialized rows and tables: the bare
+    /// bandwidth percentage under the default affine regime (keeping
+    /// affine output byte-identical to the pre-regime engine, as the
+    /// pinned FNV checksums require), suffixed with `@<regime>` for
+    /// every other regime (for example `100@q2048`).
+    #[must_use]
+    pub fn link_label(&self) -> String {
+        if self.link_regime == LinkRegime::Affine {
+            self.link_bw_pct.to_string()
+        } else {
+            format!("{}@{}", self.link_bw_pct, self.link_regime.label())
+        }
+    }
+
+    /// The `link_bw_pct` JSON value: a bare number under the affine
+    /// regime (byte-identical to the pre-regime engine), a quoted
+    /// `"pct@regime"` string otherwise.
+    #[must_use]
+    pub fn link_bw_json(&self) -> String {
+        if self.link_regime == LinkRegime::Affine {
+            self.link_bw_pct.to_string()
+        } else {
+            json_string(&self.link_label())
+        }
+    }
+
     /// The chip specification this scenario simulates on: Siracusa with
-    /// the link-bandwidth and placement axes applied.
+    /// the link-bandwidth, link-regime, and placement axes applied.
     #[must_use]
     pub fn chip(&self) -> ChipSpec {
         let mut chip = ChipSpec::siracusa();
         chip.link.bytes_per_cycle *= f64::from(self.link_bw_pct) / 100.0;
+        chip.link_regime = self.link_regime;
         if self.placement == PlacementPolicy::ForceStreamed {
             // No L2 headroom for a second weight buffer: the memory plan
             // must fall back to synchronous streaming.
@@ -426,6 +506,7 @@ impl Scenario {
     ///
     /// Propagates partitioning, topology, and simulation errors.
     pub fn run(&self) -> Result<SystemReport, CoreError> {
+        self.validate()?;
         let mut sys = DistributedSystem::with_chip(self.config.clone(), self.n_chips, self.chip())?;
         if let Some(t) = self.topology.build(self.n_chips)? {
             sys = sys.with_topology(t);
@@ -454,8 +535,9 @@ impl Scenario {
     /// The model's `name` and `n_layers` are normalized away (names are
     /// display-only; depth shapes the template only through the residency
     /// regime, which is computed from the real configuration and included
-    /// in the key), and `link_bw_pct` and `span` are excluded (the link
-    /// speed changes machine timing, never the schedule; the span only
+    /// in the key), and `link_bw_pct`, `link_regime`, and `span` are
+    /// excluded (the link speed and timing regime change machine timing,
+    /// never the schedule; the span only
     /// changes how many times the template runs). Two scenarios with
     /// equal keys lower to bit-identical templates, so the sweep engine
     /// compiles once per key. Hygiene is locked by the
@@ -464,8 +546,10 @@ impl Scenario {
     /// # Errors
     ///
     /// Propagates partition-divisibility errors (a scenario without a
-    /// valid partition has no schedule).
+    /// valid partition has no schedule) and [`Scenario::validate`]
+    /// failures (an invalid axis value has no simulation either).
     pub fn schedule_key(&self) -> Result<ScheduleKey, CoreError> {
+        self.validate()?;
         let chip = self.chip();
         let spec = PartitionSpec::new(&self.config, self.n_chips)?;
         let plan = MemoryPlan::decide(&self.config, &spec, &chip)?;
@@ -541,8 +625,8 @@ pub struct ScheduleKey {
 /// A declarative cross product of scenario axes.
 ///
 /// Enumeration order is fixed (workloads, then chip counts, then
-/// topologies, placements, bandwidths, batch sizes), which makes sweep
-/// output deterministic row-for-row.
+/// topologies, placements, bandwidths, link regimes, batch sizes), which
+/// makes sweep output deterministic row-for-row.
 #[derive(Debug, Clone)]
 pub struct SweepGrid {
     /// Model/mode pairs to sweep (a pair, not a cross product, so encoder
@@ -556,6 +640,9 @@ pub struct SweepGrid {
     pub placements: Vec<PlacementPolicy>,
     /// Link-bandwidth axis (percent of the paper's MIPI port).
     pub link_bw_pcts: Vec<u32>,
+    /// Link timing-regime axis (the default affine-only axis reproduces
+    /// the paper's link model bit-for-bit).
+    pub link_regimes: Vec<LinkRegime>,
     /// Simulated span (one value, not an axis: mixing block- and
     /// model-span rows in one table is rarely meaningful).
     pub span: Span,
@@ -578,6 +665,7 @@ impl SweepGrid {
             topologies: vec![TopologySpec::PaperDefault],
             placements: vec![PlacementPolicy::Auto],
             link_bw_pcts: vec![100],
+            link_regimes: vec![LinkRegime::Affine],
             span: Span::Block,
             batch_sizes: vec![1],
         }
@@ -687,6 +775,13 @@ impl SweepGrid {
         self
     }
 
+    /// The same grid with a different link timing-regime axis.
+    #[must_use]
+    pub fn with_link_regimes(mut self, regimes: Vec<LinkRegime>) -> Self {
+        self.link_regimes = regimes;
+        self
+    }
+
     /// The same grid with a different span.
     #[must_use]
     pub fn with_span(mut self, span: Span) -> Self {
@@ -715,6 +810,7 @@ impl SweepGrid {
             * self.topologies.len()
             * self.placements.len()
             * self.link_bw_pcts.len()
+            * self.link_regimes.len()
             * self.batch_sizes.len()
     }
 
@@ -734,17 +830,20 @@ impl SweepGrid {
                 for &topology in &self.topologies {
                     for &placement in &self.placements {
                         for &link_bw_pct in &self.link_bw_pcts {
-                            for &batch in &self.batch_sizes {
-                                out.push(Scenario {
-                                    config: cfg.clone(),
-                                    mode: *mode,
-                                    n_chips,
-                                    topology,
-                                    placement,
-                                    link_bw_pct,
-                                    span: self.span,
-                                    batch,
-                                });
+                            for &link_regime in &self.link_regimes {
+                                for &batch in &self.batch_sizes {
+                                    out.push(Scenario {
+                                        config: cfg.clone(),
+                                        mode: *mode,
+                                        n_chips,
+                                        topology,
+                                        placement,
+                                        link_bw_pct,
+                                        link_regime,
+                                        span: self.span,
+                                        batch,
+                                    });
+                                }
                             }
                         }
                     }
@@ -842,7 +941,7 @@ impl SweepRow {
             s.n_chips,
             s.topology.label(),
             s.placement.label(),
-            s.link_bw_pct,
+            s.link_label(),
             s.span_batch_label(),
             r.n_blocks,
             r.residency,
@@ -890,7 +989,7 @@ impl SweepRow {
             s.n_chips,
             json_string(&s.topology.label()),
             json_string(s.placement.label()),
-            s.link_bw_pct,
+            s.link_bw_json(),
             json_string(&s.span_batch_label()),
             r.n_blocks,
             json_string(&r.residency.to_string()),
@@ -974,7 +1073,7 @@ impl SweepResults {
                 s.n_chips.to_string(),
                 s.topology.label(),
                 s.placement.label().to_owned(),
-                s.link_bw_pct.to_string(),
+                s.link_label(),
                 s.batch.to_string(),
                 r.residency.to_string(),
                 fmt_cycles(r.stats.makespan),
@@ -1185,19 +1284,20 @@ impl SweepEngine {
             }
         }
 
-        // Scenarios sharing a template, link bandwidth, and depth
-        // produce identical reports (the template plus the
-        // bandwidth-scaled chip fully determine the simulation — the
-        // remaining scenario fields are display-only), so such groups
-        // simulate once and share the report through an `Arc`.
-        let mut sims: HashMap<(usize, u32, usize), usize> = HashMap::new();
+        // Scenarios sharing a template, link bandwidth, link regime, and
+        // depth produce identical reports (the template plus the
+        // bandwidth-scaled, regime-tagged chip fully determine the
+        // simulation — the remaining scenario fields are display-only),
+        // so such groups simulate once and share the report through an
+        // `Arc`.
+        let mut sims: HashMap<(usize, u32, usize, LinkRegime), usize> = HashMap::new();
         let sim_of: Vec<Option<usize>> = to_run
             .iter()
             .zip(&slot_of)
             .map(|(s, slot)| {
                 slot.map(|slot| {
                     let sim = sims.len();
-                    *sims.entry((slot, s.link_bw_pct, s.n_blocks())).or_insert(sim)
+                    *sims.entry((slot, s.link_bw_pct, s.n_blocks(), s.link_regime)).or_insert(sim)
                 })
             })
             .collect();
@@ -1339,9 +1439,64 @@ impl SweepEngine {
         scenarios: &[Scenario],
         out: &mut W,
     ) -> std::io::Result<StreamSummary> {
-        let started = std::time::Instant::now();
         out.write_all(CSV_HEADER.as_bytes())?;
         out.write_all(b"\n")?;
+        let summary = self.stream_rows(scenarios, |row| {
+            out.write_all(row.to_csv_line().as_bytes())?;
+            out.write_all(b"\n")
+        })?;
+        out.flush()?;
+        Ok(summary)
+    }
+
+    /// The JSON twin of [`SweepEngine::run_streamed`]: streams the exact
+    /// bytes of [`SweepResults::to_json`] (a pretty-printed row array)
+    /// through the same bounded-chunk machinery, so arbitrarily large
+    /// grids serialize to JSON with flat memory too. Byte-equivalence is
+    /// locked by `streamed_json_rows_equal_materialized_json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `out`'s I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (see
+    /// [`SweepEngine::run_scenarios`]).
+    pub fn run_streamed_json<W: std::io::Write>(
+        &self,
+        scenarios: &[Scenario],
+        out: &mut W,
+    ) -> std::io::Result<StreamSummary> {
+        out.write_all(b"[\n")?;
+        let mut first = true;
+        let summary = self.stream_rows(scenarios, |row| {
+            if !first {
+                out.write_all(b",\n")?;
+            }
+            first = false;
+            out.write_all(b"  ")?;
+            out.write_all(row.to_json_object().as_bytes())
+        })?;
+        if !first {
+            out.write_all(b"\n")?;
+        }
+        out.write_all(b"]\n")?;
+        out.flush()?;
+        Ok(summary)
+    }
+
+    /// The shared chunking loop of the streaming sinks: runs the input
+    /// in bounded batches of [`STREAM_CHUNK`] scenarios through the full
+    /// parallel engine, hands each successful row to `emit` in input
+    /// order, and evicts each chunk's reports from the persistent cache
+    /// once emitted (the compiled-schedule cache persists and carries
+    /// the cross-chunk reuse).
+    fn stream_rows<F>(&self, scenarios: &[Scenario], mut emit: F) -> std::io::Result<StreamSummary>
+    where
+        F: FnMut(&SweepRow) -> std::io::Result<()>,
+    {
+        let started = std::time::Instant::now();
         let mut summary = StreamSummary {
             rows: 0,
             skipped: 0,
@@ -1352,8 +1507,7 @@ impl SweepEngine {
         for chunk in scenarios.chunks(STREAM_CHUNK) {
             let results = self.run_scenarios(chunk);
             for row in &results.rows {
-                out.write_all(row.to_csv_line().as_bytes())?;
-                out.write_all(b"\n")?;
+                emit(row)?;
             }
             summary.rows += results.rows.len();
             summary.skipped += results.skipped.len();
@@ -1366,7 +1520,6 @@ impl SweepEngine {
                 cache.remove(s);
             }
         }
-        out.flush()?;
         summary.elapsed = started.elapsed();
         Ok(summary)
     }
@@ -1513,7 +1666,7 @@ mod tests {
         let engine = SweepEngine::new();
         let cfg = TransformerConfig::tiny_llama_42m().with_seq_len(16);
         let full = Scenario::new(cfg, InferenceMode::Prompt, 8);
-        let half = full.clone().with_link_bw_pct(50);
+        let half = full.clone().with_link_bw_pct(50).unwrap();
         let f = engine.run_one(&full).unwrap();
         let h = engine.run_one(&half).unwrap();
         assert!(h.stats.makespan > f.stats.makespan);
@@ -1570,8 +1723,13 @@ mod tests {
         let base = Scenario::new(TransformerConfig::tiny_llama_42m(), ar, 8);
         let key = base.schedule_key().unwrap();
         // Non-structural axes collapse onto the same key.
-        assert_eq!(base.clone().with_link_bw_pct(50).schedule_key().unwrap(), key);
+        assert_eq!(base.clone().with_link_bw_pct(50).unwrap().schedule_key().unwrap(), key);
         assert_eq!(base.clone().with_span(Span::Model).schedule_key().unwrap(), key);
+        let queued = LinkRegime::Queued {
+            buffer_bytes: 4096,
+            discipline: mtp_sim::QueueDiscipline::Backpressure,
+        };
+        assert_eq!(base.clone().with_link_regime(queued).schedule_key().unwrap(), key);
         let deep = Scenario::new(TransformerConfig::tiny_llama_deep(96), ar, 8);
         assert_eq!(deep.schedule_key().unwrap(), key, "depth-only variant must share");
         // Structural axes split.
@@ -1796,7 +1954,11 @@ mod tests {
         let variants = [
             base.clone().with_topology(TopologySpec::Flat),
             base.clone().with_placement(PlacementPolicy::ForceStreamed),
-            base.clone().with_link_bw_pct(50),
+            base.clone().with_link_bw_pct(50).unwrap(),
+            base.clone().with_link_regime(LinkRegime::Queued {
+                buffer_bytes: 2048,
+                discipline: mtp_sim::QueueDiscipline::Backpressure,
+            }),
             base.clone().with_span(Span::Model),
             base.clone().with_batch(4),
             Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Prompt, 4),
@@ -1808,5 +1970,124 @@ mod tests {
             assert!(!keys.contains(&v.key()), "key collision: {}", v.key());
             keys.push(v.key());
         }
+    }
+
+    #[test]
+    fn zero_link_bandwidth_is_a_typed_error() {
+        let base =
+            Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive, 2);
+        let err = base.clone().with_link_bw_pct(0).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig(_)), "{err:?}");
+        assert!(err.to_string().contains("bandwidth"), "{err}");
+        // A grid axis smuggling the zero past the typed builder becomes
+        // a skip with the same reason, never an overflow.
+        let mut literal = base;
+        literal.link_bw_pct = 0;
+        assert!(literal.validate().is_err());
+        assert!(literal.schedule_key().is_err());
+        let results = SweepEngine::new().run_scenarios(&[literal]);
+        assert_eq!(results.rows.len(), 0);
+        assert_eq!(results.skipped.len(), 1);
+        assert!(results.skipped[0].reason.contains("bandwidth"), "{}", results.skipped[0].reason);
+    }
+
+    #[test]
+    fn invalid_regime_values_are_typed_errors() {
+        let base =
+            Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive, 2);
+        let zero_buffer = base.clone().with_link_regime(LinkRegime::Queued {
+            buffer_bytes: 0,
+            discipline: mtp_sim::QueueDiscipline::Backpressure,
+        });
+        assert!(zero_buffer.validate().is_err());
+        let all_drop =
+            base.with_link_regime(LinkRegime::Lossy { drop_per_mille: 1000, nack_cycles: 500 });
+        assert!(all_drop.validate().unwrap_err().to_string().contains("1000"));
+    }
+
+    #[test]
+    fn link_regime_axis_enumerates_labels_and_serializes() {
+        // The buffer holds the full reduce fan-in (3 x 64 KiB messages
+        // at 4 chips), so the finite-buffer run completes; an undersized
+        // buffer would deadlock via head-of-line blocking (see the
+        // `undersized_buffer_deadlocks_head_of_line` lockstep test).
+        let queued = LinkRegime::Queued {
+            buffer_bytes: 256 * 1024,
+            discipline: mtp_sim::QueueDiscipline::Backpressure,
+        };
+        let grid =
+            SweepGrid::single(TransformerConfig::tiny_llama_42m(), InferenceMode::Prompt, vec![4])
+                .with_link_regimes(vec![LinkRegime::Affine, queued]);
+        let scenarios = grid.scenarios();
+        assert_eq!(grid.len(), 2);
+        // The regime axis sits between bandwidth and batch (innermost
+        // stays batch).
+        assert_eq!(scenarios[0].link_regime, LinkRegime::Affine);
+        assert_eq!(scenarios[1].link_regime, queued);
+        assert_eq!(scenarios[0].link_label(), "100");
+        assert_eq!(scenarios[1].link_label(), "100@q262144");
+        assert_ne!(scenarios[0].key(), scenarios[1].key());
+        let results = SweepEngine::new().run(&grid);
+        assert_eq!(results.rows.len(), 2, "{:?}", results.skipped);
+        let csv = results.to_csv();
+        assert!(csv.contains(",100,"), "affine rows keep the bare pct:\n{csv}");
+        assert!(csv.contains(",100@q262144,"), "queued rows carry the regime label:\n{csv}");
+        let json = results.to_json();
+        assert!(json.contains("\"link_bw_pct\":100,"), "{json}");
+        assert!(json.contains("\"link_bw_pct\":\"100@q262144\","), "{json}");
+        assert!(results.render().contains("100@q262144"));
+    }
+
+    #[test]
+    fn link_regime_splits_simulation_but_not_template() {
+        let engine = SweepEngine::new();
+        let affine = Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Prompt, 8);
+        let queued_inf = affine.clone().with_link_regime(LinkRegime::Queued {
+            buffer_bytes: u64::MAX,
+            discipline: mtp_sim::QueueDiscipline::Backpressure,
+        });
+        assert_eq!(affine.schedule_key().unwrap(), queued_inf.schedule_key().unwrap());
+        let results = engine.run_scenarios(&[affine, queued_inf]);
+        assert_eq!(results.rows.len(), 2);
+        assert_eq!(engine.cached_schedules_len(), 1, "regimes share one template");
+        assert_eq!(results.unique_simulated, 2, "regimes must not share a simulation");
+        // The infinite-buffer queued regime never parks, so its makespan
+        // is bit-identical to the affine model's.
+        assert_eq!(results.rows[0].report.stats.makespan, results.rows[1].report.stats.makespan);
+        assert_eq!(results.rows[0].report.queueing_delay_cycles(), 0);
+        assert!(results.rows[1].report.peak_queue_bytes() > 0);
+    }
+
+    #[test]
+    fn streamed_json_rows_equal_materialized_json() {
+        let grid = small_grid().with_batch_sizes(vec![1, 2]);
+        let scenarios = grid.scenarios();
+        let engine = SweepEngine::new();
+        let mut buf = Vec::new();
+        let summary = engine.run_streamed_json(&scenarios, &mut buf).unwrap();
+        let materialized = SweepEngine::new().run_scenarios(&scenarios);
+        assert_eq!(String::from_utf8(buf).unwrap(), materialized.to_json());
+        assert_eq!(summary.rows, materialized.rows.len());
+        assert_eq!(engine.cached_len(), 0, "streamed reports must not linger");
+        // An empty input still produces a well-formed (empty) array.
+        let mut empty = Vec::new();
+        engine.run_streamed_json(&[], &mut empty).unwrap();
+        assert_eq!(String::from_utf8(empty).unwrap(), "[\n]\n");
+    }
+
+    #[test]
+    fn streamed_json_crosses_chunk_boundaries_with_correct_commas() {
+        // The row separator is emitted by the callback across chunk
+        // boundaries; a duplicate-heavy input keeps the run cheap while
+        // forcing two chunks.
+        let scenario =
+            Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive, 2);
+        let scenarios = vec![scenario; STREAM_CHUNK + 3];
+        let mut buf = Vec::new();
+        let summary = SweepEngine::new().run_streamed_json(&scenarios, &mut buf).unwrap();
+        assert_eq!(summary.rows, STREAM_CHUNK + 3);
+        let text = String::from_utf8(buf).unwrap();
+        let expected = SweepEngine::new().run_scenarios(&scenarios).to_json();
+        assert_eq!(text, expected);
     }
 }

@@ -31,8 +31,13 @@
 
 mod collective;
 mod mipi;
+mod regime;
 mod topology;
 
 pub use collective::CommStep;
 pub use mipi::LinkPortSpec;
+pub use regime::{
+    go_back_n_overhead, GoBackNOutcome, LinkRegime, QueueDiscipline, GO_BACK_N_WINDOW,
+    LOSSY_MAX_ATTEMPTS, LOSSY_MTU_BYTES,
+};
 pub use topology::{Topology, TopologyError};

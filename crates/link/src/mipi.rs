@@ -37,7 +37,30 @@ impl LinkPortSpec {
         if bytes == 0 {
             return 0;
         }
-        self.latency_cycles + (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+        self.latency_cycles.saturating_add(self.payload_cycles(bytes))
+    }
+
+    /// Cycles the payload alone occupies the link (the bandwidth term of
+    /// [`Self::transfer_cycles`], without the per-message latency).
+    ///
+    /// Integral bandwidths take an exact `div_ceil` path; the historical
+    /// `as f64 … ceil()` round-trip loses precision above 2^53 bytes and
+    /// is kept only for fractional bandwidths.
+    #[must_use]
+    pub fn payload_cycles(&self, bytes: u64) -> u64 {
+        debug_assert!(
+            self.bytes_per_cycle > 0.0,
+            "link bandwidth must be positive, got {}",
+            self.bytes_per_cycle
+        );
+        if bytes == 0 {
+            return 0;
+        }
+        if self.bytes_per_cycle >= 1.0 && self.bytes_per_cycle.fract() == 0.0 {
+            bytes.div_ceil(self.bytes_per_cycle as u64)
+        } else {
+            (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+        }
     }
 
     /// Energy in millijoules to move `bytes` over the link once.
@@ -73,5 +96,20 @@ mod tests {
     fn energy_scales_linearly() {
         let m = LinkPortSpec::mipi();
         assert!((m.transfer_energy_mj(1_000_000) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_bandwidth_is_exact_above_float_precision() {
+        // 2^53 + 1 is not representable as f64; the integer path must not
+        // round it away.
+        let m = LinkPortSpec { bytes_per_cycle: 1.0, latency_cycles: 0, ..LinkPortSpec::mipi() };
+        let huge = (1u64 << 53) + 1;
+        assert_eq!(m.transfer_cycles(huge), huge);
+    }
+
+    #[test]
+    fn fractional_bandwidth_keeps_float_semantics() {
+        let m = LinkPortSpec { bytes_per_cycle: 0.5, latency_cycles: 10, ..LinkPortSpec::mipi() };
+        assert_eq!(m.transfer_cycles(7), 10 + 14);
     }
 }

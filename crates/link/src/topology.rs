@@ -255,4 +255,74 @@ mod tests {
         let t = Topology::paper_default(8).unwrap();
         assert_eq!(t.all_reduce_message_count(), 14);
     }
+
+    #[test]
+    fn binary_tree_with_odd_chip_counts_at_every_level() {
+        // group_size == 2 halves (rounding up) per level, so odd counts
+        // leave a lone survivor that passes through unpaired. 11 chips:
+        // 11 -> 6 -> 3 -> 2 -> 1, and chip 10 stays active (unpaired)
+        // through level 0.
+        for n in [3usize, 5, 7, 11, 23] {
+            let t = Topology::hierarchical(n, 2).unwrap();
+            assert_eq!(t.reduce_steps().len(), n - 1, "n={n}");
+            let mut expected_depth = 0;
+            let mut active = n;
+            while active > 1 {
+                active = active.div_ceil(2);
+                expected_depth += 1;
+            }
+            assert_eq!(t.depth(), expected_depth, "n={n}");
+        }
+        let t = Topology::hierarchical(11, 2).unwrap();
+        assert_eq!(t.depth(), 4);
+        // Level 0 pairs (1,0) (3,2) (5,4) (7,6) (9,8); chip 10 survives
+        // alone and first sends at level 1 (to leader 8).
+        let level0: Vec<_> = t.reduce_steps().iter().filter(|s| s.level == 0).collect();
+        assert_eq!(level0.len(), 5);
+        assert!(level0.iter().all(|s| s.from == s.to + 1));
+        let chip10 = t.reduce_steps().iter().find(|s| s.from == 10).unwrap();
+        assert_eq!((chip10.to, chip10.level), (8, 1));
+    }
+
+    #[test]
+    fn per_level_fan_in_never_exceeds_group_size_minus_one() {
+        for (n, g) in
+            [(64usize, 2usize), (11, 2), (64, 4), (37, 4), (100, 7), (6, 5), (200, 3), (16, 16)]
+        {
+            let t = Topology::hierarchical(n, g).unwrap();
+            let mut fan_in: std::collections::HashMap<(usize, usize), usize> =
+                std::collections::HashMap::new();
+            for s in t.reduce_steps() {
+                *fan_in.entry((s.to, s.level)).or_default() += 1;
+            }
+            for (&(to, level), &count) in &fan_in {
+                assert!(
+                    count < g,
+                    "n={n} g={g}: leader {to} receives {count} messages at level {level} \
+                     (max {})",
+                    g - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn levels_are_monotone_and_leaders_persist_upward() {
+        // Steps come in dependency order: levels never decrease, and a
+        // chip that has already sent (been reduced into its leader) can
+        // never reappear as a sender or receiver at a later level.
+        for (n, g) in [(64usize, 2usize), (11, 2), (37, 4), (100, 7)] {
+            let t = Topology::hierarchical(n, g).unwrap();
+            let mut last_level = 0;
+            let mut retired = vec![false; n];
+            for s in t.reduce_steps() {
+                assert!(s.level >= last_level, "n={n} g={g}: levels must be monotone");
+                last_level = s.level;
+                assert!(!retired[s.from], "n={n} g={g}: chip {} sends twice", s.from);
+                assert!(!retired[s.to], "n={n} g={g}: retired leader {} receives", s.to);
+                retired[s.from] = true;
+            }
+            assert!(!retired[t.root()], "the root is never reduced away");
+        }
+    }
 }

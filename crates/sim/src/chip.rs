@@ -2,7 +2,7 @@
 
 use crate::{DmaSpec, MemorySpec};
 use mtp_kernels::ClusterCostModel;
-pub use mtp_link::LinkPortSpec;
+pub use mtp_link::{LinkPortSpec, LinkRegime, QueueDiscipline};
 use serde::{Deserialize, Serialize};
 
 /// Full specification of one MCU in the multi-chip system.
@@ -35,6 +35,11 @@ pub struct ChipSpec {
     pub io_dma: DmaSpec,
     /// Chip-to-chip link port.
     pub link: LinkPortSpec,
+    /// Timing regime of the link port (affine, queued, or lossy). The
+    /// regime alters when messages arrive, never which messages are
+    /// exchanged; [`LinkRegime::Affine`] reproduces the paper's model
+    /// bit-for-bit and is the default.
+    pub link_regime: LinkRegime,
     /// Fraction of L2 usable for weights/KV-cache; the remainder holds the
     /// runtime, code, I/O buffers, and activation scratch. This threshold
     /// determines the paper's fit crossovers (streamed vs double-buffered
@@ -65,6 +70,7 @@ impl ChipSpec {
             cluster_dma: DmaSpec::new(16.0, 50),
             io_dma: DmaSpec::new(2.0, 4000),
             link: LinkPortSpec::mipi(),
+            link_regime: LinkRegime::Affine,
             l2_usable_fraction: 0.75,
         }
     }

@@ -27,13 +27,26 @@ impl DmaSpec {
 
     /// Cycles to move `bytes` in a single transfer.
     ///
-    /// Zero-byte transfers are free (no descriptor is issued).
+    /// Zero-byte transfers are free (no descriptor is issued). Integral
+    /// bandwidths take an exact `div_ceil` path; the historical
+    /// `as f64 … ceil()` round-trip loses precision above 2^53 bytes and
+    /// is kept only for fractional bandwidths.
     #[must_use]
     pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        debug_assert!(
+            self.bytes_per_cycle > 0.0,
+            "DMA bandwidth must be positive, got {}",
+            self.bytes_per_cycle
+        );
         if bytes == 0 {
             return 0;
         }
-        self.setup_cycles + (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+        let payload = if self.bytes_per_cycle >= 1.0 && self.bytes_per_cycle.fract() == 0.0 {
+            bytes.div_ceil(self.bytes_per_cycle as u64)
+        } else {
+            (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+        };
+        self.setup_cycles.saturating_add(payload)
     }
 
     /// Effective bandwidth (bytes/cycle) achieved when moving `bytes` per
@@ -76,5 +89,12 @@ mod tests {
     fn rounding_up() {
         let d = DmaSpec::new(3.0, 0);
         assert_eq!(d.transfer_cycles(10), 4); // ceil(10/3)
+    }
+
+    #[test]
+    fn integral_bandwidth_is_exact_above_float_precision() {
+        let d = DmaSpec::new(1.0, 0);
+        let huge = (1u64 << 53) + 1;
+        assert_eq!(d.transfer_cycles(huge), huge);
     }
 }

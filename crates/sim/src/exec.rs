@@ -22,6 +22,7 @@ use crate::{
     ChipId, ChipSpec, DmaTag, Instr, MemPath, MsgId, Program, Result, RunStats, SimError, Trace,
 };
 use mtp_kernels::{ClusterCostModel, Kernel};
+use mtp_link::{go_back_n_overhead, LinkRegime, QueueDiscipline, LOSSY_MTU_BYTES};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
@@ -81,14 +82,16 @@ type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 /// hashed overflow storage instead, so a wild id cannot balloon the
 /// dense vectors.
 struct MsgTable {
-    /// id -> (sender, delivery time); `None` until sent. Dense ids only.
-    messages: Vec<Option<(ChipId, u64)>>,
+    /// id -> (sender, delivery time, bytes); `None` until sent. Dense ids
+    /// only. Bytes ride along so queued regimes can return buffer credit
+    /// at consumption time.
+    messages: Vec<Option<(ChipId, u64, u64)>>,
     /// id -> parked chip (`usize::MAX` when nobody waits). Dense ids only.
     waiting: Vec<usize>,
     /// First id handled by the overflow maps instead of the vectors.
     dense_cap: u64,
     /// Sparse-id sends.
-    over_messages: FxHashMap<MsgId, (ChipId, u64)>,
+    over_messages: FxHashMap<MsgId, (ChipId, u64, u64)>,
     /// Sparse-id parks.
     over_waiting: FxHashMap<MsgId, usize>,
 }
@@ -117,21 +120,21 @@ impl MsgTable {
     }
 
     /// Records a send; returns `false` when the id was already used.
-    fn insert(&mut self, msg: MsgId, sender: ChipId, delivery: u64) -> bool {
+    fn insert(&mut self, msg: MsgId, sender: ChipId, delivery: u64, bytes: u64) -> bool {
         if msg.0 < self.dense_cap {
             self.ensure(msg.0 as usize);
             let slot = &mut self.messages[msg.0 as usize];
             if slot.is_some() {
                 return false;
             }
-            *slot = Some((sender, delivery));
+            *slot = Some((sender, delivery, bytes));
             true
         } else {
-            self.over_messages.insert(msg, (sender, delivery)).is_none()
+            self.over_messages.insert(msg, (sender, delivery, bytes)).is_none()
         }
     }
 
-    fn get(&self, msg: MsgId) -> Option<(ChipId, u64)> {
+    fn get(&self, msg: MsgId) -> Option<(ChipId, u64, u64)> {
         if msg.0 < self.dense_cap {
             self.messages.get(msg.0 as usize).copied().flatten()
         } else {
@@ -266,7 +269,9 @@ impl Machine {
     ) -> Result<SegmentRun> {
         let mut ex = Executor::for_segment(self, template, MakespanOnly, carry);
         ex.run_loop()?;
-        let clean = ex.state.iter().all(|s| s.done && s.dma_tags.is_empty());
+        let clean = ex.state.iter().all(|s| s.done && s.dma_tags.is_empty())
+            && ex.rx_occ.iter().all(|&occ| occ == 0);
+        ex.fold_link_stats();
         ex.sync_ids.sort_unstable();
         ex.sync_ids.dedup();
         let send_issue = (ex.send_issue_min <= ex.send_issue_max)
@@ -339,6 +344,23 @@ struct Executor<'a, S: TraceSink> {
     programs: &'a [Program],
     state: Vec<ChipState>,
     rx_free: Vec<u64>,
+    /// Per-receiver ingress-buffer occupancy in bytes (queued regimes;
+    /// stays zero under affine).
+    rx_occ: Vec<u64>,
+    /// Per-receiver peak ingress occupancy, folded into
+    /// [`ChipStats::c2c_peak_queue_bytes`] at run end.
+    rx_peak: Vec<u64>,
+    /// Per-receiver FIFO of senders parked on buffer credit.
+    credit_waiters: Vec<Vec<usize>>,
+    /// Per-sender earliest next transmit time granted by a credit wake
+    /// (reset to 0 once the send executes).
+    send_floor: Vec<u64>,
+    /// Per-sender count of credit parks since its last successful send
+    /// (drop-tail accounting: one park = one dropped+NACKed attempt).
+    stall_parks: Vec<u32>,
+    /// `true` when any chip uses a queued regime — gates all ingress
+    /// bookkeeping so the affine hot path stays untouched.
+    queued_any: bool,
     msgs: MsgTable,
     ready: BinaryHeap<Reverse<(u64, usize)>>,
     sync_ids: Vec<u32>,
@@ -409,11 +431,19 @@ impl<'a, S: TraceSink> Executor<'a, S> {
                 }
             })
             .collect();
+        let queued_any =
+            machine.chips().iter().any(|c| matches!(c.link_regime, LinkRegime::Queued { .. }));
         Executor {
             machine,
             programs,
             state: (0..n).map(|_| ChipState::new()).collect(),
             rx_free: vec![0; n],
+            rx_occ: vec![0; n],
+            rx_peak: vec![0; n],
+            credit_waiters: vec![Vec::new(); n],
+            send_floor: vec![0; n],
+            stall_parks: vec![0; n],
+            queued_any,
             msgs: MsgTable::for_programs(programs),
             ready,
             sync_ids: Vec::new(),
@@ -461,11 +491,20 @@ impl<'a, S: TraceSink> Executor<'a, S> {
         Ok(())
     }
 
+    /// Folds the executor-level ingress-queue peaks into the per-chip
+    /// stats (a no-op under affine regimes, where the peaks stay zero).
+    fn fold_link_stats(&mut self) {
+        for (st, &peak) in self.state.iter_mut().zip(&self.rx_peak) {
+            st.stats.c2c_peak_queue_bytes = st.stats.c2c_peak_queue_bytes.max(peak);
+        }
+    }
+
     fn run(mut self) -> Result<(RunStats, S)> {
         self.run_loop()?;
         if let Some(blocked) = self.deadlocked() {
             return Err(SimError::Deadlock { blocked });
         }
+        self.fold_link_stats();
         let mut per_chip = Vec::with_capacity(self.state.len());
         for st in &mut self.state {
             st.stats.finish_cycles = st.t;
@@ -601,11 +640,62 @@ impl<'a, S: TraceSink> Executor<'a, S> {
                         return Err(SimError::InvalidChip { chip: to, chips: machine.len() });
                     }
                     let t = self.state[chip].t;
+                    // Queued regimes: a message that does not fit in the
+                    // receiver's ingress buffer parks the sender until a
+                    // receive returns credit. An oversized message is
+                    // admitted alone (occupancy 0) so a single flow can
+                    // never wedge itself.
+                    if let LinkRegime::Queued { buffer_bytes, .. } = spec.link_regime {
+                        let occ = self.rx_occ[to.0];
+                        if occ > 0 && occ.saturating_add(bytes) > buffer_bytes {
+                            self.credit_waiters[to.0].push(chip);
+                            self.stall_parks[chip] += 1;
+                            return Ok(());
+                        }
+                    }
                     self.send_issue_min = self.send_issue_min.min(t);
                     self.send_issue_max = self.send_issue_max.max(t);
-                    let start = t.max(self.state[chip].tx_free).max(self.rx_free[to.0]);
-                    let done = start + spec.link.transfer_cycles(bytes);
-                    if !self.msgs.insert(msg, ChipId(chip), done) {
+                    let start = t
+                        .max(self.state[chip].tx_free)
+                        .max(self.rx_free[to.0])
+                        .max(self.send_floor[chip]);
+                    let mut done = start + spec.link.transfer_cycles(bytes);
+                    match spec.link_regime {
+                        LinkRegime::Affine => {}
+                        LinkRegime::Queued { discipline, .. } => {
+                            let parks = u64::from(std::mem::take(&mut self.stall_parks[chip]));
+                            self.send_floor[chip] = 0;
+                            let occ = self.rx_occ[to.0] + bytes;
+                            self.rx_occ[to.0] = occ;
+                            self.rx_peak[to.0] = self.rx_peak[to.0].max(occ);
+                            let ready_at = t.max(self.state[chip].tx_free);
+                            let st = &mut self.state[chip].stats;
+                            st.c2c_queue_cycles += start - ready_at;
+                            if let QueueDiscipline::DropTail { nack_cycles } = discipline {
+                                // Each park was a dropped attempt: the
+                                // retransmission pays one NACK round-trip
+                                // on top of the wait for buffer credit.
+                                done = done.saturating_add(nack_cycles.saturating_mul(parks));
+                                st.c2c_drops += parks;
+                                st.c2c_retransmits += parks;
+                            }
+                        }
+                        LinkRegime::Lossy { drop_per_mille, nack_cycles } => {
+                            let packet_cycles = spec.link.payload_cycles(LOSSY_MTU_BYTES);
+                            let loss = go_back_n_overhead(
+                                msg.0,
+                                bytes,
+                                packet_cycles,
+                                drop_per_mille,
+                                nack_cycles,
+                            );
+                            done = done.saturating_add(loss.extra_cycles);
+                            let st = &mut self.state[chip].stats;
+                            st.c2c_drops += loss.drops;
+                            st.c2c_retransmits += loss.retransmits;
+                        }
+                    }
+                    if !self.msgs.insert(msg, ChipId(chip), done, bytes) {
                         return Err(SimError::DuplicateMessage { msg });
                     }
                     self.rx_free[to.0] = done;
@@ -631,7 +721,7 @@ impl<'a, S: TraceSink> Executor<'a, S> {
                 }
                 Instr::Recv { from, msg } => {
                     match self.msgs.get(msg) {
-                        Some((sender, delivery)) => {
+                        Some((sender, delivery, bytes)) => {
                             if sender != from {
                                 return Err(SimError::SenderMismatch {
                                     msg,
@@ -647,6 +737,23 @@ impl<'a, S: TraceSink> Executor<'a, S> {
                                 self.sink.record(chip, start, delivery, || TraceKind::RecvWait {
                                     from: from.0,
                                 });
+                            }
+                            if self.queued_any {
+                                // Consuming the message returns its bytes
+                                // to this chip's ingress buffer; senders
+                                // parked on credit re-contend from their
+                                // own clocks, floored at the consumption
+                                // instant (heap order keeps this
+                                // deterministic and FIFO by arrival time).
+                                let consume_t = self.state[chip].t;
+                                self.rx_occ[chip] = self.rx_occ[chip].saturating_sub(bytes);
+                                if !self.credit_waiters[chip].is_empty() {
+                                    let waiters = std::mem::take(&mut self.credit_waiters[chip]);
+                                    for w in waiters {
+                                        self.send_floor[w] = self.send_floor[w].max(consume_t);
+                                        self.ready.push(Reverse((self.state[w].t, w)));
+                                    }
+                                }
                             }
                         }
                         None => {
@@ -931,5 +1038,154 @@ mod tests {
         let b = m.run(&programs).unwrap();
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.per_chip, b.per_chip);
+    }
+
+    fn machine_with_regime(n: usize, regime: LinkRegime) -> Machine {
+        let mut spec = ChipSpec::siracusa();
+        spec.link_regime = regime;
+        Machine::homogeneous(spec, n)
+    }
+
+    /// Two concurrent senders into one receiver that drains slowly — the
+    /// canonical contended-ingress workload the queued regimes act on.
+    fn contended_fan_in() -> Vec<Program> {
+        let p0 = Program::from_instrs([
+            Instr::compute(Kernel::gemm(64, 512, 512)),
+            Instr::recv(1, 1),
+            Instr::compute(Kernel::Add { n: 1024 }),
+            Instr::recv(2, 2),
+        ]);
+        let p1 = Program::from_instrs([Instr::send(0, 1, 10_000)]);
+        let p2 = Program::from_instrs([Instr::send(0, 2, 10_000)]);
+        vec![p0, p1, p2]
+    }
+
+    #[test]
+    fn queued_infinite_buffer_matches_affine_makespan_exactly() {
+        let programs = contended_fan_in();
+        let affine = machine(3).run(&programs).unwrap();
+        let queued = machine_with_regime(
+            3,
+            LinkRegime::Queued {
+                buffer_bytes: u64::MAX,
+                discipline: QueueDiscipline::Backpressure,
+            },
+        )
+        .run(&programs)
+        .unwrap();
+        assert_eq!(queued.makespan, affine.makespan, "infinite buffer must be affine-identical");
+        for (q, a) in queued.per_chip.iter().zip(&affine.per_chip) {
+            assert_eq!(q.finish_cycles, a.finish_cycles);
+            assert_eq!(q.c2c_exposed_cycles, a.c2c_exposed_cycles);
+            assert_eq!(q.c2c_bytes_sent, a.c2c_bytes_sent);
+            assert_eq!(q.c2c_drops, 0);
+        }
+        // The second sender waits for the shared RX port: under the
+        // queued regime that wait is reported as queueing delay.
+        assert!(queued.total_queueing_cycles() > 0, "rx-port serialization must be visible");
+        assert_eq!(queued.peak_queue_bytes(), 20_000, "both messages sit in the ingress queue");
+        assert_eq!(affine.total_queueing_cycles(), 0, "affine reports no queue metrics");
+        assert_eq!(affine.peak_queue_bytes(), 0);
+    }
+
+    #[test]
+    fn finite_buffer_backpressure_stalls_second_sender() {
+        let programs = contended_fan_in();
+        let affine = machine(3).run(&programs).unwrap();
+        // Buffer fits one 10 kB message but not two: the second sender
+        // parks until the first receive returns credit.
+        let queued = machine_with_regime(
+            3,
+            LinkRegime::Queued { buffer_bytes: 12_000, discipline: QueueDiscipline::Backpressure },
+        )
+        .run(&programs)
+        .unwrap();
+        assert!(queued.makespan >= affine.makespan, "backpressure can only delay");
+        assert!(queued.makespan > affine.makespan, "this workload must actually stall");
+        assert!(queued.total_queueing_cycles() > affine.total_queueing_cycles());
+        assert!(queued.peak_queue_bytes() <= 12_000, "occupancy respects the buffer");
+        assert_eq!(queued.total_drops(), 0, "backpressure never drops");
+        let again = machine_with_regime(
+            3,
+            LinkRegime::Queued { buffer_bytes: 12_000, discipline: QueueDiscipline::Backpressure },
+        )
+        .run(&programs)
+        .unwrap();
+        assert_eq!(queued, again, "queued timing must be deterministic");
+    }
+
+    #[test]
+    fn droptail_counts_drops_and_pays_nack() {
+        let programs = contended_fan_in();
+        let bp = machine_with_regime(
+            3,
+            LinkRegime::Queued { buffer_bytes: 12_000, discipline: QueueDiscipline::Backpressure },
+        )
+        .run(&programs)
+        .unwrap();
+        let dt = machine_with_regime(
+            3,
+            LinkRegime::Queued {
+                buffer_bytes: 12_000,
+                discipline: QueueDiscipline::DropTail { nack_cycles: 700 },
+            },
+        )
+        .run(&programs)
+        .unwrap();
+        assert!(dt.total_drops() > 0, "the parked attempt is a drop under drop-tail");
+        assert_eq!(dt.total_retransmits(), dt.total_drops());
+        assert_eq!(
+            dt.makespan,
+            bp.makespan + 700 * dt.total_drops(),
+            "drop-tail is backpressure plus one NACK round-trip per drop (tail send is critical)"
+        );
+    }
+
+    #[test]
+    fn oversized_message_passes_an_empty_buffer() {
+        // A single flow larger than the buffer is admitted alone instead
+        // of wedging forever.
+        let m = machine_with_regime(
+            2,
+            LinkRegime::Queued { buffer_bytes: 1024, discipline: QueueDiscipline::Backpressure },
+        );
+        let p0 = Program::from_instrs([Instr::send(1, 0, 1 << 20)]);
+        let p1 = Program::from_instrs([Instr::recv(0, 0)]);
+        let stats = m.run(&[p0, p1]).unwrap();
+        assert_eq!(stats.makespan, ChipSpec::siracusa().link.transfer_cycles(1 << 20));
+    }
+
+    #[test]
+    fn credit_starvation_is_reported_as_deadlock() {
+        // Chip 1 fills chip 0's buffer, then parks on credit that never
+        // comes because chip 0 is itself parked on a message nobody sends.
+        let m = machine_with_regime(
+            2,
+            LinkRegime::Queued { buffer_bytes: 4096, discipline: QueueDiscipline::Backpressure },
+        );
+        let p0 = Program::from_instrs([Instr::recv(1, 99)]);
+        let p1 = Program::from_instrs([Instr::send(0, 1, 4096), Instr::send(0, 2, 4096)]);
+        match m.run(&[p0, p1]) {
+            Err(SimError::Deadlock { blocked }) => assert_eq!(blocked.len(), 2),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lossy_regime_extends_transfers_deterministically() {
+        let m = machine(2);
+        let p0 = Program::from_instrs([Instr::send(1, 0, 1 << 16)]);
+        let p1 = Program::from_instrs([Instr::recv(0, 0)]);
+        let programs = [p0, p1];
+        let affine = m.run(&programs).unwrap();
+        let lossy =
+            machine_with_regime(2, LinkRegime::Lossy { drop_per_mille: 200, nack_cycles: 500 });
+        let a = lossy.run(&programs).unwrap();
+        let b = lossy.run(&programs).unwrap();
+        assert_eq!(a, b, "drop pattern must be a pure function of the program");
+        assert!(a.total_drops() > 0, "20% loss over 256 packets must drop");
+        assert!(a.total_retransmits() >= a.total_drops());
+        assert!(a.makespan > affine.makespan, "retransmissions extend the transfer");
+        assert_eq!(a.total_queueing_cycles(), 0, "lossy keeps affine port arbitration");
     }
 }

@@ -47,7 +47,7 @@ mod program;
 mod sink;
 mod trace;
 
-pub use chip::{ChipSpec, LinkPortSpec};
+pub use chip::{ChipSpec, LinkPortSpec, LinkRegime, QueueDiscipline};
 pub use dma::DmaSpec;
 pub use error::{Result, SimError};
 pub use exec::Machine;

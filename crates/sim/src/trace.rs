@@ -29,6 +29,20 @@ pub struct ChipStats {
     pub sync_marks: u64,
     /// Local clock when the chip finished its program.
     pub finish_cycles: u64,
+    /// Cycles this chip's sends waited for the remote ingress port or
+    /// buffer credit beyond the chip's own readiness (queued link regimes
+    /// only; a sub-category of [`Self::c2c_exposed_cycles`], so it does
+    /// not enter the breakdown or idle residual).
+    pub c2c_queue_cycles: u64,
+    /// Peak occupancy of this chip's ingress queue in bytes (queued link
+    /// regimes only).
+    pub c2c_peak_queue_bytes: u64,
+    /// Messages or packets this chip's sends had dropped (drop-tail and
+    /// lossy link regimes).
+    pub c2c_drops: u64,
+    /// Packets this chip retransmitted (drop-tail and lossy link
+    /// regimes).
+    pub c2c_retransmits: u64,
 }
 
 impl ChipStats {
@@ -159,6 +173,32 @@ impl RunStats {
     #[must_use]
     pub fn total_compute_cycles(&self) -> u64 {
         self.per_chip.iter().map(|c| c.compute_cycles).sum()
+    }
+
+    /// Total cycles sends spent waiting on remote ingress ports or buffer
+    /// credit across all chips (queued link regimes; 0 under affine).
+    #[must_use]
+    pub fn total_queueing_cycles(&self) -> u64 {
+        self.per_chip.iter().map(|c| c.c2c_queue_cycles).sum()
+    }
+
+    /// Maximum ingress-queue occupancy observed on any chip, in bytes.
+    #[must_use]
+    pub fn peak_queue_bytes(&self) -> u64 {
+        self.per_chip.iter().map(|c| c.c2c_peak_queue_bytes).max().unwrap_or(0)
+    }
+
+    /// Total dropped messages/packets across all chips (drop-tail and
+    /// lossy link regimes; 0 otherwise).
+    #[must_use]
+    pub fn total_drops(&self) -> u64 {
+        self.per_chip.iter().map(|c| c.c2c_drops).sum()
+    }
+
+    /// Total retransmitted packets across all chips.
+    #[must_use]
+    pub fn total_retransmits(&self) -> u64 {
+        self.per_chip.iter().map(|c| c.c2c_retransmits).sum()
     }
 }
 

@@ -19,6 +19,13 @@
 # subsystem falling off its request-level periodicity fast path —
 # BENCH_5.json is the first baseline carrying them; against older
 # baselines they are reported as "not in baseline" and skipped.
+#
+# Since PR 6 the suite also includes the queued link-regime entries
+# (sim/8chip_ar_block_qinf and sim/8chip_ar_block_q1m), guarding the
+# affine hot path against the packet-level arbitration work: the affine
+# entries must not slow down, and the queued entries bound the cost of
+# the queue bookkeeping itself. BENCH_6.json is the first baseline
+# carrying them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -15,7 +15,7 @@ use mtp::harness::sweep::{
 };
 use mtp::harness::{ablation, advisor, bench, fig4, fig5, fig6, headline, table1};
 use mtp::model::{InferenceMode, TransformerConfig};
-use mtp::sim::{ChipSpec, Machine};
+use mtp::sim::{ChipSpec, LinkRegime, Machine};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -27,7 +27,8 @@ USAGE:
     mtp sweep    [--deep | --batch] [--models A,B] [--modes ar,prompt]
                  [--chips 1,2,4,8] [--topologies hier4,flat]
                  [--placements auto,streamed] [--link-bw 100,50]
-                 [--span block|model] [--batches 1,4,16] [--threads N]
+                 [--link-regime affine,queued:65536,...] [--span block|model]
+                 [--batches 1,4,16] [--threads N]
                  [--csv FILE] [--json FILE] [--stream] [--serial]
                  [--compare-serial]
     mtp advise   [--model NAME] [--mode ar|prompt] [--latency-ms X] [--energy-mj X]
@@ -73,10 +74,18 @@ SWEEP:
     chips 1-8 x uniform batches of {1, 4, 16} interleaved requests per
     block — request-level periodicity reuses the single-request
     template, so batched sweeps cost about the same as batch=1 ones.
-    --batches overrides the batch-size axis on any grid. --stream
-    writes CSV row by row with flat memory (to --csv FILE, or stdout
-    when no file is given) instead of materializing the result table —
-    the mode for grids far beyond what a table is useful for.
+    --batches overrides the batch-size axis on any grid. --link-regime
+    sets the link timing-model axis: `affine` (the paper's model,
+    default), `queued[:BYTES]` (per-receiver ingress queue, infinite
+    buffer when BYTES is omitted), `droptail:BYTES[:NACK]` (finite
+    queue that drops and NACK-retransmits instead of stalling), and
+    `lossy:PERMILLE[:NACK]` (deterministic per-packet loss with
+    go-back-N retransmission). Non-affine rows tag the link column as
+    `pct@regime`, e.g. `100@q65536`. --stream writes rows one by one
+    with flat memory (CSV to --csv FILE or stdout; with --json FILE,
+    the same streamed bytes as the materialized JSON array) instead of
+    building the result table — the mode for grids far beyond what a
+    table is useful for.
 ";
 
 fn main() -> ExitCode {
@@ -242,6 +251,9 @@ fn build_sweep_grid(args: &[String]) -> Result<SweepGrid, String> {
             })
             .collect::<Result<_, _>>()?;
     }
+    if let Some(regimes) = list_flag(args, "--link-regime") {
+        grid.link_regimes = regimes.into_iter().map(LinkRegime::parse).collect::<Result<_, _>>()?;
+    }
     if let Some(span) = flag_value(args, "--span") {
         grid = grid.with_span(Span::parse(span)?);
     }
@@ -271,12 +283,19 @@ fn sweep_cmd(args: &[String]) -> CliResult {
     };
 
     if has_flag(args, "--stream") {
-        // Row-streaming mode: CSV only, flat memory, no result table.
-        if has_flag(args, "--json") {
-            return Err("--stream writes CSV only (drop --json or drop --stream)".into());
+        // Row-streaming mode: flat memory, no result table. One sink at
+        // a time (each sink consumes the rows as they are produced).
+        if has_flag(args, "--json") && has_flag(args, "--csv") {
+            return Err("--stream writes one sink at a time (drop --csv or --json)".into());
         }
         let scenarios = grid.scenarios();
-        let summary = if let Some(path) = flag_value(args, "--csv") {
+        let summary = if let Some(path) = flag_value(args, "--json") {
+            let file = std::fs::File::create(path)?;
+            let mut out = std::io::BufWriter::new(file);
+            let summary = engine.run_streamed_json(&scenarios, &mut out)?;
+            println!("JSON streamed to {path}");
+            summary
+        } else if let Some(path) = flag_value(args, "--csv") {
             let file = std::fs::File::create(path)?;
             let mut out = std::io::BufWriter::new(file);
             let summary = engine.run_streamed(&scenarios, &mut out)?;

@@ -1,0 +1,244 @@
+//! Lockstep suite for the link timing regimes (DESIGN.md §11): the
+//! queued regime with an infinite buffer must be **indistinguishable**
+//! from the closed-form affine model on every real schedule — makespan
+//! and the full compute/DMA/C2C/idle breakdown — across:
+//!
+//! 1. every valid scenario of the default sweep grid;
+//! 2. the deep-model grid (periodic extrapolation stays engaged because
+//!    an infinite buffer is contention-free);
+//! 3. the multi-request batch grid;
+//!
+//! plus the behaviors only the packet-level model can express: queueing
+//! delay under fan-in contention, head-of-line deadlock on undersized
+//! buffers (a typed error, never a hang), deterministic go-back-N loss
+//! recovery, and the zero-bandwidth / precision edge cases the regime
+//! work flushed out of the affine model.
+
+use std::collections::HashMap;
+
+use mtp::harness::sweep::{ModelPreset, Scenario, SweepEngine, SweepGrid, SweepRow, TopologySpec};
+use mtp::link::Topology;
+use mtp::model::InferenceMode;
+use mtp::sim::{DmaSpec, LinkPortSpec, LinkRegime, QueueDiscipline};
+use proptest::prelude::*;
+
+/// Queued regime with an unbounded buffer: senders never park, so the
+/// arbitration must reproduce affine timing bit-for-bit.
+const QINF: LinkRegime =
+    LinkRegime::Queued { buffer_bytes: u64::MAX, discipline: QueueDiscipline::Backpressure };
+
+/// The scenario's identity with the regime axis normalized away, for
+/// pairing each queued row with its affine twin.
+fn regime_blind_key(s: &Scenario) -> String {
+    s.clone().with_link_regime(LinkRegime::Affine).key()
+}
+
+/// Runs `grid` with both the affine and the infinite-buffer queued
+/// regime and asserts every scenario pair is timing-identical (and that
+/// both regimes skip exactly the same invalid grid points).
+fn assert_qinf_matches_affine(grid: SweepGrid, name: &str) {
+    let grid = grid.with_link_regimes(vec![LinkRegime::Affine, QINF]);
+    let results = SweepEngine::new().run(&grid);
+    assert!(!results.rows.is_empty(), "{name}: grid produced no rows");
+
+    let mut pairs: HashMap<String, Vec<&SweepRow>> = HashMap::new();
+    for row in &results.rows {
+        pairs.entry(regime_blind_key(&row.scenario)).or_default().push(row);
+    }
+    for (key, rows) in &pairs {
+        assert_eq!(rows.len(), 2, "{name} {key}: expected an affine and a qinf row");
+        let affine = rows.iter().find(|r| r.scenario.link_regime == LinkRegime::Affine).unwrap();
+        let qinf = rows.iter().find(|r| r.scenario.link_regime == QINF).unwrap();
+        assert_eq!(
+            affine.report.stats.makespan, qinf.report.stats.makespan,
+            "{name} {key}: qinf makespan diverged from affine"
+        );
+        assert_eq!(
+            affine.report.breakdown(),
+            qinf.report.breakdown(),
+            "{name} {key}: qinf cycle breakdown diverged from affine"
+        );
+        // The affine model never accrues queue statistics; an unbounded
+        // buffer never drops or retransmits.
+        assert_eq!(affine.report.queueing_delay_cycles(), 0, "{name} {key}");
+        assert_eq!(affine.report.peak_queue_bytes(), 0, "{name} {key}");
+        assert_eq!(qinf.report.drops(), 0, "{name} {key}");
+        assert_eq!(qinf.report.retransmits(), 0, "{name} {key}");
+    }
+
+    let mut skip_pairs: HashMap<String, usize> = HashMap::new();
+    for s in &results.skipped {
+        *skip_pairs.entry(regime_blind_key(&s.scenario)).or_default() += 1;
+    }
+    for (key, n) in &skip_pairs {
+        assert_eq!(*n, 2, "{name} {key}: both regimes must skip the same grid points");
+    }
+}
+
+#[test]
+fn default_grid_qinf_lockstep() {
+    assert_qinf_matches_affine(SweepGrid::paper_default(), "default");
+}
+
+#[test]
+fn deep_grid_qinf_lockstep() {
+    assert_qinf_matches_affine(SweepGrid::deep_default(), "deep");
+}
+
+#[test]
+fn batch_grid_qinf_lockstep() {
+    assert_qinf_matches_affine(SweepGrid::batch_default(), "batch");
+}
+
+/// Flat all-to-one reduction at 8 chips: seven simultaneous sends
+/// serialize through the root's ingress port. With an ample buffer the
+/// arrival *times* match affine (the affine model already serializes the
+/// port), so the makespan is preserved — but only the queued regime
+/// *accounts* the serialization as queueing delay and buffer occupancy.
+#[test]
+fn flat_fan_in_contention_accrues_queueing_delay_without_moving_makespan() {
+    let pr = InferenceMode::Prompt;
+    let base =
+        Scenario::new(ModelPreset::TinyLlama.config(pr), pr, 8).with_topology(TopologySpec::Flat);
+    let affine = base.clone().run().unwrap();
+    assert_eq!(affine.queueing_delay_cycles(), 0);
+    assert_eq!(affine.peak_queue_bytes(), 0);
+    // 1 MiB comfortably exceeds fan-in x message size, so no sender ever
+    // parks on credit (see `undersized_buffer_deadlocks_head_of_line`).
+    let ample =
+        LinkRegime::Queued { buffer_bytes: 1 << 20, discipline: QueueDiscipline::Backpressure };
+    for regime in [QINF, ample] {
+        let queued = base.clone().with_link_regime(regime).run().unwrap();
+        assert_eq!(
+            queued.stats.makespan,
+            affine.stats.makespan,
+            "{}: uncontended-buffer queueing must not move the makespan",
+            regime.label()
+        );
+        assert!(queued.queueing_delay_cycles() > 0, "{}", regime.label());
+        assert!(queued.peak_queue_bytes() > 0, "{}", regime.label());
+        assert_eq!(queued.drops(), 0, "{}", regime.label());
+    }
+}
+
+/// A buffer smaller than fan-in x message size can deadlock via
+/// head-of-line blocking: an out-of-order arrival holds the receiver's
+/// buffer while the sender the receiver is actually waiting on is parked
+/// on credit. This is faithful credit-protocol behavior (real designs
+/// size ingress buffers to the fan-in); the simulator must surface it as
+/// a typed error — and the sweep engine as a skipped row — never a hang.
+#[test]
+fn undersized_buffer_deadlocks_head_of_line() {
+    let pr = InferenceMode::Prompt;
+    let scenario = Scenario::new(ModelPreset::TinyLlama.config(pr), pr, 4).with_link_regime(
+        LinkRegime::Queued { buffer_bytes: 2048, discipline: QueueDiscipline::Backpressure },
+    );
+    let err = scenario.run().unwrap_err();
+    assert!(err.to_string().contains("deadlock"), "got: {err}");
+
+    let results = SweepEngine::new().run_scenarios(std::slice::from_ref(&scenario));
+    assert!(results.rows.is_empty());
+    assert_eq!(results.skipped.len(), 1);
+    assert!(results.skipped[0].reason.contains("deadlock"), "got: {}", results.skipped[0].reason);
+}
+
+/// Go-back-N loss recovery on a real schedule: strictly slower than
+/// affine, with non-zero drop/retransmit counters — and bit-identical
+/// across two cold engines (the drop decision is a pure hash of
+/// (message, packet, attempt), not an RNG stream).
+#[test]
+fn lossy_regime_is_deterministic_and_strictly_slower() {
+    let pr = InferenceMode::Prompt;
+    let base = Scenario::new(ModelPreset::TinyLlama.config(pr), pr, 4);
+    let affine = base.clone().run().unwrap();
+    assert_eq!(affine.drops(), 0);
+    assert_eq!(affine.retransmits(), 0);
+
+    let lossy = base.with_link_regime(LinkRegime::Lossy { drop_per_mille: 200, nack_cycles: 500 });
+    let first = lossy.clone().run().unwrap();
+    let second = SweepEngine::serial().run_one(&lossy).unwrap();
+    assert_eq!(first.stats, second.stats, "lossy replay must be byte-deterministic");
+    assert!(
+        first.stats.makespan > affine.stats.makespan,
+        "20% packet loss must cost cycles: {} vs {}",
+        first.stats.makespan,
+        affine.stats.makespan
+    );
+    assert!(first.drops() > 0);
+    assert!(first.retransmits() > 0);
+}
+
+/// A zero-bandwidth axis value is a typed validation error, reported as
+/// a skip reason for every grid point it touches — not a divide-by-zero
+/// or an unbounded transfer time (the bug this PR fixes).
+#[test]
+fn zero_bandwidth_grid_points_skip_with_a_typed_reason() {
+    let pr = InferenceMode::Prompt;
+    let grid = SweepGrid::single(ModelPreset::TinyLlama.config(pr), pr, vec![2, 4])
+        .with_link_bw_pcts(vec![0]);
+    let results = SweepEngine::new().run(&grid);
+    assert!(results.rows.is_empty());
+    assert_eq!(results.skipped.len(), 2);
+    for s in &results.skipped {
+        assert!(s.reason.contains("bandwidth"), "got: {}", s.reason);
+    }
+}
+
+/// The affine precision fix, pinned: above 2^53 bytes the historical
+/// `as f64 ... ceil()` round-trip truncates, while the `div_ceil` path
+/// taken for integral bandwidths stays exact.
+#[test]
+fn integral_bandwidth_transfer_cycles_are_exact_above_float_precision() {
+    let bytes = (1u64 << 53) + 1; // rounds to 2^53 as an f64
+    let port = LinkPortSpec { bytes_per_cycle: 1.0, ..LinkPortSpec::mipi() };
+    assert_eq!(port.payload_cycles(bytes), bytes);
+    assert_eq!(port.transfer_cycles(bytes), 500 + bytes);
+    let dma = DmaSpec::new(2.0, 16);
+    assert_eq!(dma.transfer_cycles(bytes), 16 + (1u64 << 52) + 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// In the f64-representable range the exact `div_ceil` path must
+    /// agree with the historical float formula for every integral
+    /// bandwidth, on both the link port and the DMA engines (the fix
+    /// changes behavior only where the float path was already wrong).
+    #[test]
+    fn prop_integral_bandwidth_matches_float_formula_in_representable_range(
+        bytes in 0u64..(1u64 << 50),
+        bw in prop::sample::select(vec![1u64, 2, 3, 7, 8, 64, 1000]),
+        setup in prop::sample::select(vec![0u64, 16, 500]),
+    ) {
+        let float_payload = (bytes as f64 / bw as f64).ceil() as u64;
+        let port = LinkPortSpec { bytes_per_cycle: bw as f64, ..LinkPortSpec::mipi() };
+        prop_assert_eq!(port.payload_cycles(bytes), float_payload);
+        let expect_transfer =
+            if bytes == 0 { 0 } else { port.latency_cycles + float_payload };
+        prop_assert_eq!(port.transfer_cycles(bytes), expect_transfer);
+        let dma = DmaSpec::new(bw as f64, setup);
+        let expect_dma = if bytes == 0 { 0 } else { setup + float_payload };
+        prop_assert_eq!(dma.transfer_cycles(bytes), expect_dma);
+    }
+
+    /// Every non-root chip sends exactly once per reduction, at any
+    /// group size — the structural invariant behind the "n-1 messages
+    /// per reduce" claim (paper §III).
+    #[test]
+    fn prop_every_non_root_chip_sends_exactly_once_per_reduction(
+        n_chips in 1usize..200,
+        group_size in 2usize..9,
+    ) {
+        let t = Topology::hierarchical(n_chips, group_size).unwrap();
+        let mut sends = vec![0usize; n_chips];
+        for s in t.reduce_steps() {
+            sends[s.from] += 1;
+            prop_assert!(s.to < n_chips);
+            prop_assert!(s.from != s.to);
+        }
+        prop_assert_eq!(sends[t.root()], 0, "the root never sends during reduce");
+        for (chip, &n) in sends.iter().enumerate().skip(1) {
+            prop_assert_eq!(n, 1, "chip {} must send exactly once", chip);
+        }
+    }
+}

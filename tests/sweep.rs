@@ -270,6 +270,7 @@ proptest! {
                  TopologySpec::Hierarchical { group_size: 2 }][topo_i],
             )
             .with_link_bw_pct(bw)
+            .unwrap()
             .with_batch(batch);
         if streamed {
             base = base.with_placement(PlacementPolicy::ForceStreamed);
@@ -294,10 +295,20 @@ proptest! {
             prop_assert!(deep_key != key, "residency-changing depth must not share");
         }
 
-        // Bandwidth, span, and uniform batch size are non-structural:
-        // never split.
+        // Bandwidth, link regime, span, and uniform batch size are
+        // non-structural: never split.
         prop_assert_eq!(base.clone().with_link_bw_pct(if bw == 100 { 50 } else { 100 })
-            .schedule_key().unwrap(), key.clone());
+            .unwrap().schedule_key().unwrap(), key.clone());
+        prop_assert_eq!(
+            base.clone()
+                .with_link_regime(mtp::sim::LinkRegime::Queued {
+                    buffer_bytes: u64::MAX,
+                    discipline: mtp::sim::QueueDiscipline::Backpressure,
+                })
+                .schedule_key()
+                .unwrap(),
+            key.clone()
+        );
         prop_assert_eq!(
             base.clone().with_span(if model_span { Span::Block } else { Span::Model })
                 .schedule_key().unwrap(),
