@@ -55,11 +55,13 @@ pub mod placement;
 pub mod quantized;
 pub mod report;
 pub mod schedule;
+pub mod serve;
 pub mod slicing;
 pub mod system;
 
 pub use error::{CoreError, Result};
 pub use placement::{MemoryPlan, WeightResidency};
 pub use report::SystemReport;
+pub use serve::{BatchPolicy, Billing, PassRecord, RequestLatency, ServeReport, SlotPhase};
 pub use slicing::{slice_block, PartitionSpec, SlicedBlockWeights};
 pub use system::DistributedSystem;

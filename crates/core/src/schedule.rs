@@ -610,6 +610,57 @@ impl CompiledSchedule {
         ))
     }
 
+    /// Runs the periodic engine's warmup once for this template on a
+    /// machine of `chip`s and captures the proven steady state
+    /// ([`mtp_sim::Machine::warmup`]); [`CompiledSchedule::simulate_from`]
+    /// then answers any depth on the same `(template, chip)` pair in O(1).
+    ///
+    /// This is the cross-depth half of the sweep engine's reuse story:
+    /// d96 and d192 scenarios share one compiled template *and* — per
+    /// link-bandwidth setting — one warmup trajectory, so each extra
+    /// depth variant costs one extrapolation instead of a re-simulated
+    /// warmup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`mtp_sim::SimError::ProgramCountMismatch`] only;
+    /// template problems surface from the fallback inside
+    /// [`CompiledSchedule::simulate_from`].
+    pub fn warmup(&self, chip: &ChipSpec) -> Result<mtp_sim::WarmupCheckpoint> {
+        let machine = Machine::homogeneous(*chip, self.n_chips);
+        Ok(machine.warmup(&self.template)?)
+    }
+
+    /// [`CompiledSchedule::simulate`], resuming from a checkpoint taken
+    /// by [`CompiledSchedule::warmup`] on the **same chip spec** —
+    /// bit-identical results, with the warmup segments skipped whenever
+    /// the checkpoint applies (and an exact fallback whenever it does
+    /// not).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledSchedule::simulate`].
+    pub fn simulate_from(
+        &self,
+        chip: &ChipSpec,
+        n_blocks: usize,
+        ckpt: &mtp_sim::WarmupCheckpoint,
+    ) -> Result<crate::SystemReport> {
+        if n_blocks == 0 {
+            return Err(CoreError::InvalidConfig("n_blocks must be at least 1".into()));
+        }
+        let machine = Machine::homogeneous(*chip, self.n_chips);
+        let stats = machine.run_periodic_from(&self.template, n_blocks, ckpt)?;
+        Ok(crate::report::from_stats(
+            chip,
+            self.n_chips,
+            self.mode,
+            n_blocks,
+            self.residency,
+            stats,
+        ))
+    }
+
     /// Simulates `n_blocks` blocks each serving a uniform batch of
     /// `n_requests` interleaved requests through the periodic engine's
     /// request-level fixed point ([`mtp_sim::Machine::run_batched`]): the

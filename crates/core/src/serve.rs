@@ -1,0 +1,680 @@
+//! Open-loop serving: continuous batching of arriving requests with
+//! per-request latency accounting.
+//!
+//! PR 5's batch path answers "how fast does a *saturated* batch run?";
+//! this module answers the serving question the roadmap's
+//! "millions of users" axis actually needs: requests arrive on their own
+//! clock ([`mtp_model::ServeWorkload`]), join the fleet's batch when a
+//! slot frees up, decode token by token, and leave — and what we measure
+//! is each request's time-to-first-token and time-per-output-token, not
+//! one makespan.
+//!
+//! The engine is *iteration-level*: the unit of simulated time is one
+//! full model pass over every active slot (the granularity real
+//! continuous-batching servers schedule at). Each pass maps to exactly
+//! the timing machinery PRs 4–6 proved out:
+//!
+//! - a **uniform** pass (every slot in the same phase with the same
+//!   billed context) lowers to one request-slot template and runs through
+//!   the periodic engine's request-level fixed point
+//!   ([`crate::schedule::CompiledSchedule::simulate_batched`]) — so the
+//!   saturated-arrival limit reproduces the PR 5 batch path bit for bit,
+//!   by construction;
+//! - a **mixed** pass (slots in different phases, or per-request billing
+//!   diverging) lowers each slot from its own scheduler and interleaves
+//!   the streams block-major with disjoint identifier spaces, exactly as
+//!   [`crate::DistributedSystem::simulate_batch`]'s heterogeneous
+//!   fallback does.
+//!
+//! Billing is the context length a decode slot pays attention over:
+//! [`Billing::FullContext`] charges the model's full `seq_len` every step
+//! (PR 5's steady-state convention), [`Billing::PerRequest`] charges
+//! `prompt_len + decoded` — the KV positions the request has actually
+//! filled — which is what makes short requests cheap and the SLO cliff
+//! move with load. See `DESIGN.md` §12 for the slot lifecycle and the
+//! latency definitions, and `tests/serving_lockstep.rs` for the proof
+//! suite.
+
+use std::collections::HashMap;
+
+use crate::schedule::{CompiledSchedule, Scheduler};
+use crate::{CoreError, DistributedSystem, Result};
+use mtp_model::{InferenceMode, ServeWorkload};
+use mtp_sim::{Instr, Machine, MsgId, Program};
+
+/// How arriving requests are admitted into the fleet's batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchPolicy {
+    /// Gang scheduling: wait until the current batch fully drains, then
+    /// admit up to `batch` arrived requests as the next gang. The
+    /// classic static-batching server.
+    Static {
+        /// Maximum requests per gang (at least 1).
+        batch: usize,
+    },
+    /// Continuous batching: at every pass boundary, fill any free slot
+    /// (up to `max_slots`) with the oldest arrived request — requests
+    /// join and leave mid-flight.
+    Continuous {
+        /// Maximum concurrently active requests (at least 1).
+        max_slots: usize,
+    },
+}
+
+impl BatchPolicy {
+    /// Parses a CLI spelling: `static:BATCH` or `continuous:SLOTS`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending field.
+    pub fn parse(s: &str) -> std::result::Result<Self, String> {
+        if let Some(b) = s.strip_prefix("static:") {
+            let batch = b
+                .parse()
+                .ok()
+                .filter(|&v| v > 0)
+                .ok_or_else(|| format!("bad batch size `{b}` (need a positive integer)"))?;
+            return Ok(BatchPolicy::Static { batch });
+        }
+        if let Some(m) = s.strip_prefix("continuous:") {
+            let max_slots = m
+                .parse()
+                .ok()
+                .filter(|&v| v > 0)
+                .ok_or_else(|| format!("bad slot count `{m}` (need a positive integer)"))?;
+            return Ok(BatchPolicy::Continuous { max_slots });
+        }
+        Err(format!("unknown batch policy `{s}` (expected static:BATCH or continuous:SLOTS)"))
+    }
+
+    /// Compact label for CSV/JSON rows: `static4`, `cont8`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            BatchPolicy::Static { batch } => format!("static{batch}"),
+            BatchPolicy::Continuous { max_slots } => format!("cont{max_slots}"),
+        }
+    }
+
+    /// The concurrency cap the policy enforces.
+    #[must_use]
+    pub fn max_slots(&self) -> usize {
+        match *self {
+            BatchPolicy::Static { batch } => batch,
+            BatchPolicy::Continuous { max_slots } => max_slots,
+        }
+    }
+}
+
+/// The context length a decode step is billed for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Billing {
+    /// Every decode step attends over the model's full `seq_len` — the
+    /// saturated steady-state convention of the batch path (PR 5), and
+    /// the setting under which serving reproduces it bit for bit.
+    FullContext,
+    /// A decode step attends over `prompt_len + decoded` positions — the
+    /// KV entries the request has actually written (capped at
+    /// `seq_len`). Early tokens are cheaper than late ones.
+    PerRequest,
+}
+
+impl Billing {
+    /// Parses a CLI spelling: `full` or `per-request`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending spelling.
+    pub fn parse(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "full" => Ok(Billing::FullContext),
+            "per-request" => Ok(Billing::PerRequest),
+            other => Err(format!("unknown billing model `{other}` (expected full or per-request)")),
+        }
+    }
+
+    /// Compact label for CSV/JSON rows: `full`, `perreq`.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Billing::FullContext => "full",
+            Billing::PerRequest => "perreq",
+        }
+    }
+}
+
+/// What a slot is doing during one pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotPhase {
+    /// Processing the request's whole prompt (and, when the request
+    /// decodes at all, emitting its first output token).
+    Prefill,
+    /// One autoregressive decode step: one token in, one out.
+    Decode,
+}
+
+/// Per-request latency record, all in simulated cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestLatency {
+    /// Cycle the request arrived at the fleet.
+    pub arrival: u64,
+    /// Cycle the request was admitted into a batch slot.
+    pub admitted: u64,
+    /// Cycle the first output token left the model (end of the prefill
+    /// pass; equals `finish` for prefill-only requests).
+    pub first_token: u64,
+    /// Cycle the last output token left the model.
+    pub finish: u64,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Decoded tokens.
+    pub decode_len: usize,
+}
+
+impl RequestLatency {
+    /// Time to first token: queueing delay plus prefill.
+    #[must_use]
+    pub fn ttft(&self) -> u64 {
+        self.first_token - self.arrival
+    }
+
+    /// Mean time per output token after the first (0 for requests that
+    /// decode at most one token — there is no inter-token gap to
+    /// average).
+    #[must_use]
+    pub fn tpot(&self) -> u64 {
+        if self.decode_len >= 2 {
+            (self.finish - self.first_token) / (self.decode_len as u64 - 1)
+        } else {
+            0
+        }
+    }
+
+    /// End-to-end latency from arrival to last token.
+    #[must_use]
+    pub fn e2e(&self) -> u64 {
+        self.finish - self.arrival
+    }
+}
+
+/// One model pass over the active slots: when it ran, how long it took,
+/// and which request occupied each slot in what phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassRecord {
+    /// Cycle the pass started.
+    pub start: u64,
+    /// Pass makespan in cycles.
+    pub cycles: u64,
+    /// `(request index, phase)` per active slot, in slot order.
+    pub slots: Vec<(usize, SlotPhase)>,
+}
+
+/// The outcome of one open-loop serving simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Per-request latency records, in workload (arrival) order.
+    pub requests: Vec<RequestLatency>,
+    /// Every executed pass, in time order — the full slot-membership
+    /// trace the KV-isolation proof replays.
+    pub passes: Vec<PassRecord>,
+    /// Cycle the last request finished.
+    pub makespan: u64,
+    /// Chips in the fleet.
+    pub n_chips: usize,
+}
+
+impl ServeReport {
+    /// The largest number of concurrently active slots any pass saw.
+    #[must_use]
+    pub fn peak_concurrency(&self) -> usize {
+        self.passes.iter().map(|p| p.slots.len()).max().unwrap_or(0)
+    }
+}
+
+/// A request currently holding a batch slot.
+struct Slot {
+    req: usize,
+    /// Output tokens emitted so far.
+    emitted: usize,
+    prefilled: bool,
+}
+
+/// The `(mode, billed context)` shape one slot contributes to the
+/// current pass: prefill slots process their whole prompt in prompt
+/// mode; decode slots take one autoregressive step billed at the chosen
+/// context length.
+fn slot_shape(
+    spec: &mtp_model::ServeRequest,
+    slot: &Slot,
+    billing: Billing,
+    seq_len: usize,
+) -> (InferenceMode, usize) {
+    if slot.prefilled {
+        let billed = match billing {
+            Billing::FullContext => seq_len,
+            Billing::PerRequest => (spec.prompt_len + slot.emitted).min(seq_len),
+        };
+        (InferenceMode::Autoregressive, billed)
+    } else {
+        (InferenceMode::Prompt, spec.prompt_len)
+    }
+}
+
+impl DistributedSystem {
+    /// Serves an open-loop workload under the given admission policy and
+    /// billing model, one iteration-level pass at a time, and returns
+    /// per-request latencies plus the full pass trace.
+    ///
+    /// Deterministic: the workload fixes the arrivals, admission is
+    /// oldest-first, and every pass makespan comes from the same
+    /// deterministic simulators the batch path uses. In the saturated
+    /// limit (all requests pre-arrived, [`BatchPolicy::Static`] with the
+    /// batch size equal to the request count,
+    /// [`Billing::FullContext`]) the pass sequence is one uniform prefill
+    /// pass plus `decode_len - 1` uniform decode passes whose makespans
+    /// are exactly [`DistributedSystem::simulate_batch`]'s — the
+    /// serving-lockstep suite pins this bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Rejects workloads exceeding the model's KV capacity and
+    /// propagates partitioning and simulation errors.
+    pub fn simulate_serve(
+        &self,
+        workload: &ServeWorkload,
+        policy: BatchPolicy,
+        billing: Billing,
+    ) -> Result<ServeReport> {
+        workload.validate_for(self.config()).map_err(CoreError::InvalidConfig)?;
+        let requests = workload.requests();
+        let mut pending: std::collections::VecDeque<usize> = (0..requests.len()).collect();
+        let mut active: Vec<Slot> = Vec::new();
+        let mut latencies: Vec<RequestLatency> = requests
+            .iter()
+            .map(|r| RequestLatency {
+                arrival: r.arrival_cycles,
+                admitted: 0,
+                first_token: 0,
+                finish: 0,
+                prompt_len: r.prompt_len,
+                decode_len: r.decode_len,
+            })
+            .collect();
+        let mut passes: Vec<PassRecord> = Vec::new();
+        let mut caches = PassCaches::default();
+        let mut t: u64 = 0;
+
+        while !pending.is_empty() || !active.is_empty() {
+            // Admission at the pass boundary. An idle fleet fast-forwards
+            // to the next arrival (simulated time is request-driven).
+            let may_admit = match policy {
+                BatchPolicy::Static { .. } => active.is_empty(),
+                BatchPolicy::Continuous { .. } => true,
+            };
+            if may_admit {
+                if active.is_empty() {
+                    if let Some(&next) = pending.front() {
+                        t = t.max(requests[next].arrival_cycles);
+                    }
+                }
+                while active.len() < policy.max_slots() {
+                    let Some(&next) = pending.front() else { break };
+                    if requests[next].arrival_cycles > t {
+                        break;
+                    }
+                    pending.pop_front();
+                    latencies[next].admitted = t;
+                    active.push(Slot { req: next, emitted: 0, prefilled: false });
+                }
+            }
+            if active.is_empty() {
+                // Nothing arrived yet; the loop condition guarantees
+                // pending work, and the fast-forward above will admit it
+                // next iteration.
+                continue;
+            }
+
+            // One pass over the active slots.
+            let shapes: Vec<(InferenceMode, usize)> = active
+                .iter()
+                .map(|s| slot_shape(&requests[s.req], s, billing, self.config().seq_len))
+                .collect();
+            let cycles = self.pass_makespan(&shapes, &mut caches)?;
+            passes.push(PassRecord {
+                start: t,
+                cycles,
+                slots: active
+                    .iter()
+                    .map(|s| {
+                        (s.req, if s.prefilled { SlotPhase::Decode } else { SlotPhase::Prefill })
+                    })
+                    .collect(),
+            });
+            t += cycles;
+
+            // Advance every slot by one pass and retire finished
+            // requests (their slots free up at this boundary).
+            active.retain_mut(|slot| {
+                let lat = &mut latencies[slot.req];
+                if slot.prefilled {
+                    slot.emitted += 1;
+                } else {
+                    slot.prefilled = true;
+                    // The prefill pass emits the first output token
+                    // (greedy argmax over the last prompt position) —
+                    // prefill-only requests just fill their KV cache.
+                    slot.emitted = usize::from(lat.decode_len >= 1);
+                    lat.first_token = t;
+                }
+                if slot.emitted >= lat.decode_len {
+                    lat.finish = t;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
+        Ok(ServeReport { requests: latencies, passes, makespan: t, n_chips: self.n_chips() })
+    }
+
+    /// Pass makespan for a slot-shape vector, memoized: uniform shapes
+    /// run through the periodic batched path, mixed shapes through the
+    /// block-major interleave.
+    fn pass_makespan(
+        &self,
+        shapes: &[(InferenceMode, usize)],
+        caches: &mut PassCaches,
+    ) -> Result<u64> {
+        if let Some(&cycles) = caches.passes.get(shapes) {
+            return Ok(cycles);
+        }
+        let uniform = shapes.iter().all(|s| s == &shapes[0]);
+        let cycles = if uniform {
+            let (mode, seq) = shapes[0];
+            let compiled = caches.template(self, mode, seq)?;
+            compiled
+                .simulate_batched(self.chip(), self.config().n_layers, shapes.len())?
+                .stats
+                .makespan
+        } else {
+            self.mixed_pass_makespan(shapes)?
+        };
+        caches.passes.insert(shapes.to_vec(), cycles);
+        Ok(cycles)
+    }
+
+    /// A heterogeneous pass: every slot lowers its own block body from a
+    /// scheduler at its billed context, and the streams interleave
+    /// block-major with disjoint identifier spaces — the serving
+    /// counterpart of [`DistributedSystem::simulate_batch`]'s mixed
+    /// fallback, generalized to slots in different inference modes.
+    fn mixed_pass_makespan(&self, shapes: &[(InferenceMode, usize)]) -> Result<u64> {
+        let n_layers = self.config().n_layers;
+        let mut bodies: Vec<Vec<Vec<Program>>> = Vec::with_capacity(shapes.len());
+        let mut strides: Vec<(u64, u32)> = Vec::with_capacity(shapes.len());
+        for &(mode, seq) in shapes {
+            let cfg = self.config().clone().with_seq_len(seq);
+            let mut scheduler = Scheduler::new(&cfg, self.n_chips(), self.chip())?;
+            if let Some(t) = self.topology() {
+                scheduler = scheduler.with_topology(t.clone());
+            }
+            let mut per_block = Vec::with_capacity(n_layers);
+            for _ in 0..n_layers {
+                per_block.push(scheduler.block_programs(mode));
+            }
+            let (mut max_msg, mut max_sync) = (0u64, 0u32);
+            for progs in &per_block {
+                for p in progs {
+                    for i in p.instrs() {
+                        match *i {
+                            Instr::Send { msg, .. } | Instr::Recv { msg, .. } => {
+                                max_msg = max_msg.max(msg.0 + 1);
+                            }
+                            Instr::Sync(id) => max_sync = max_sync.max(id + 1),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            bodies.push(per_block);
+            strides.push((max_msg, max_sync));
+        }
+        let mut bases = Vec::with_capacity(strides.len());
+        let (mut msg_base, mut sync_base) = (0u64, 0u32);
+        for &(dm, ds) in &strides {
+            bases.push((msg_base, sync_base));
+            msg_base += dm;
+            sync_base += ds;
+        }
+        let mut progs = vec![Program::new(); self.n_chips()];
+        for block in 0..n_layers {
+            for (per_block, &(dm, ds)) in bodies.iter().zip(&bases) {
+                for (out, body) in progs.iter_mut().zip(&per_block[block]) {
+                    out.extend(body.instrs().iter().map(|&instr| match instr {
+                        Instr::Send { to, msg, bytes } => {
+                            Instr::Send { to, msg: MsgId(msg.0 + dm), bytes }
+                        }
+                        Instr::Recv { from, msg } => Instr::Recv { from, msg: MsgId(msg.0 + dm) },
+                        Instr::Sync(id) => Instr::Sync(id + ds),
+                        other => other,
+                    }));
+                }
+            }
+        }
+        let machine = Machine::homogeneous(*self.chip(), self.n_chips());
+        Ok(machine.run(&progs)?.makespan)
+    }
+}
+
+/// Within-run memoization: compiled templates per `(mode, billed
+/// context)` and pass makespans per slot-shape vector. A serving run
+/// re-executes the same pass shapes thousands of times; both caches make
+/// its cost scale with the number of *distinct* shapes.
+#[derive(Default)]
+struct PassCaches {
+    templates: HashMap<(InferenceMode, usize), CompiledSchedule>,
+    passes: HashMap<Vec<(InferenceMode, usize)>, u64>,
+}
+
+impl PassCaches {
+    fn template(
+        &mut self,
+        sys: &DistributedSystem,
+        mode: InferenceMode,
+        seq: usize,
+    ) -> Result<&CompiledSchedule> {
+        use std::collections::hash_map::Entry;
+        match self.templates.entry((mode, seq)) {
+            Entry::Occupied(e) => Ok(e.into_mut()),
+            Entry::Vacant(e) => {
+                let cfg = sys.config().clone().with_seq_len(seq);
+                let compiled = CompiledSchedule::compile(
+                    &cfg,
+                    sys.n_chips(),
+                    sys.chip(),
+                    sys.topology().cloned(),
+                    mode,
+                )?;
+                Ok(e.insert(compiled))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtp_model::{BatchWorkload, ServeRequest, ServeWorkload, TransformerConfig};
+
+    fn sys(n_chips: usize) -> DistributedSystem {
+        DistributedSystem::paper_default(TransformerConfig::tiny_llama_42m(), n_chips).unwrap()
+    }
+
+    fn saturated(n: usize, prompt_len: usize, decode_len: usize) -> ServeWorkload {
+        ServeWorkload::new(vec![ServeRequest { prompt_len, decode_len, arrival_cycles: 0 }; n])
+            .unwrap()
+    }
+
+    #[test]
+    fn policy_and_billing_parse() {
+        assert_eq!(BatchPolicy::parse("static:4"), Ok(BatchPolicy::Static { batch: 4 }));
+        assert_eq!(
+            BatchPolicy::parse("continuous:8"),
+            Ok(BatchPolicy::Continuous { max_slots: 8 })
+        );
+        assert_eq!(BatchPolicy::Static { batch: 4 }.label(), "static4");
+        assert_eq!(BatchPolicy::Continuous { max_slots: 8 }.label(), "cont8");
+        assert!(BatchPolicy::parse("static:0").is_err());
+        assert!(BatchPolicy::parse("rolling:4").is_err());
+        assert_eq!(Billing::parse("full"), Ok(Billing::FullContext));
+        assert_eq!(Billing::parse("per-request"), Ok(Billing::PerRequest));
+        assert!(Billing::parse("flat").is_err());
+    }
+
+    #[test]
+    fn saturated_static_full_context_composes_batch_passes() {
+        // All requests pre-arrived, gang-admitted, full-context billing:
+        // the serve makespan must be exactly one uniform prefill batch
+        // pass plus decode_len-1 uniform decode batch passes, each bit-
+        // equal to the PR 5 batch path.
+        let sys = sys(4);
+        let (n, prompt, decode) = (4usize, 16usize, 4usize);
+        let report = sys
+            .simulate_serve(
+                &saturated(n, prompt, decode),
+                BatchPolicy::Static { batch: n },
+                Billing::FullContext,
+            )
+            .unwrap();
+        let prefill = sys
+            .simulate_batch(InferenceMode::Prompt, &BatchWorkload::uniform(n, prompt, 0))
+            .unwrap()
+            .stats
+            .makespan;
+        let ar = sys
+            .simulate_batch(InferenceMode::Autoregressive, &BatchWorkload::uniform(n, prompt, 0))
+            .unwrap()
+            .stats
+            .makespan;
+        assert_eq!(report.makespan, prefill + (decode as u64 - 1) * ar);
+        assert_eq!(report.passes.len(), decode); // 1 prefill + (decode-1) decodes
+        assert!(report.passes.iter().all(|p| p.slots.len() == n));
+        for r in &report.requests {
+            assert_eq!(r.ttft(), prefill);
+            assert_eq!(r.tpot(), ar);
+            assert_eq!(r.finish, report.makespan);
+        }
+        assert_eq!(report.peak_concurrency(), n);
+    }
+
+    #[test]
+    fn idle_fleet_fast_forwards_to_arrival() {
+        let sys = sys(4);
+        let w = ServeWorkload::new(vec![ServeRequest {
+            prompt_len: 16,
+            decode_len: 1,
+            arrival_cycles: 123_456,
+        }])
+        .unwrap();
+        let report = sys
+            .simulate_serve(&w, BatchPolicy::Continuous { max_slots: 2 }, Billing::FullContext)
+            .unwrap();
+        let r = report.requests[0];
+        assert_eq!(r.admitted, 123_456);
+        assert_eq!(r.first_token, r.finish); // decode_len 1: prefill emits it
+        assert_eq!(r.ttft(), r.finish - 123_456);
+        assert_eq!(report.passes.len(), 1);
+    }
+
+    #[test]
+    fn prefill_only_request_finishes_at_prefill() {
+        let sys = sys(4);
+        let w = ServeWorkload::new(vec![ServeRequest {
+            prompt_len: 16,
+            decode_len: 0,
+            arrival_cycles: 0,
+        }])
+        .unwrap();
+        let report =
+            sys.simulate_serve(&w, BatchPolicy::Static { batch: 1 }, Billing::FullContext).unwrap();
+        assert_eq!(report.passes.len(), 1);
+        assert_eq!(report.requests[0].first_token, report.requests[0].finish);
+        assert_eq!(report.requests[0].tpot(), 0);
+    }
+
+    #[test]
+    fn continuous_joins_mid_flight_static_waits() {
+        // Request 1 arrives while request 0 decodes: continuous batching
+        // admits it at the next pass boundary (mixed prefill+decode
+        // pass); static batching makes it wait for the gang to drain.
+        let sys = sys(4);
+        let w = ServeWorkload::new(vec![
+            ServeRequest { prompt_len: 16, decode_len: 6, arrival_cycles: 0 },
+            ServeRequest { prompt_len: 16, decode_len: 1, arrival_cycles: 1 },
+        ])
+        .unwrap();
+        let cont = sys
+            .simulate_serve(&w, BatchPolicy::Continuous { max_slots: 2 }, Billing::FullContext)
+            .unwrap();
+        let stat =
+            sys.simulate_serve(&w, BatchPolicy::Static { batch: 2 }, Billing::FullContext).unwrap();
+        // Continuous: some pass holds both requests at once.
+        assert!(cont.passes.iter().any(|p| p.slots.len() == 2));
+        assert!(cont.passes.iter().any(|p| p.slots.contains(&(0, SlotPhase::Decode))
+            && p.slots.contains(&(1, SlotPhase::Prefill))));
+        // Static: request 1 is admitted only after request 0 finished.
+        assert_eq!(stat.peak_concurrency(), 1);
+        assert_eq!(stat.requests[1].admitted, stat.requests[0].finish);
+        // Continuous serves request 1 strictly earlier.
+        assert!(cont.requests[1].finish < stat.requests[1].finish);
+    }
+
+    #[test]
+    fn per_request_billing_is_never_dearer_than_full_context() {
+        let sys = sys(4);
+        let w = saturated(2, 16, 5);
+        let full =
+            sys.simulate_serve(&w, BatchPolicy::Static { batch: 2 }, Billing::FullContext).unwrap();
+        let per =
+            sys.simulate_serve(&w, BatchPolicy::Static { batch: 2 }, Billing::PerRequest).unwrap();
+        // prompt_len + decoded <= seq_len, so every per-request decode
+        // pass attends over no more context than the full-context pass.
+        assert!(per.makespan <= full.makespan);
+        assert_eq!(per.passes.len(), full.passes.len());
+    }
+
+    #[test]
+    fn serve_is_deterministic() {
+        let sys = sys(4);
+        let w = ServeWorkload::new(vec![
+            ServeRequest { prompt_len: 8, decode_len: 3, arrival_cycles: 0 },
+            ServeRequest { prompt_len: 16, decode_len: 2, arrival_cycles: 500 },
+            ServeRequest { prompt_len: 8, decode_len: 1, arrival_cycles: 90_000 },
+        ])
+        .unwrap();
+        let a = sys
+            .simulate_serve(&w, BatchPolicy::Continuous { max_slots: 2 }, Billing::PerRequest)
+            .unwrap();
+        let b = sys
+            .simulate_serve(&w, BatchPolicy::Continuous { max_slots: 2 }, Billing::PerRequest)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oversized_context_is_rejected() {
+        let sys = sys(4);
+        let seq = sys.config().seq_len;
+        let w = ServeWorkload::new(vec![ServeRequest {
+            prompt_len: seq,
+            decode_len: 1,
+            arrival_cycles: 0,
+        }])
+        .unwrap();
+        let err = sys
+            .simulate_serve(&w, BatchPolicy::Static { batch: 1 }, Billing::FullContext)
+            .unwrap_err();
+        assert!(err.to_string().contains("context"), "{err}");
+    }
+}

@@ -80,6 +80,11 @@ impl DistributedSystem {
         &self.chip
     }
 
+    /// The reduction-topology override, if any.
+    pub(crate) fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
     /// The memory plan this system's scheduler will use.
     ///
     /// # Errors

@@ -247,6 +247,42 @@ pub fn run(quick: bool) -> BenchReport {
         s_reps,
     );
 
+    // --- Warm-resume across depths (PR 7): the d96 warmup checkpoint
+    // replayed for a 192-block pass vs. a cold run_periodic of the same
+    // depth. Resume skips the whole warmup loop, so it should be near
+    // free next to the cold path.
+    let ckpt = machine.warmup(&template).expect("warmup");
+    assert!(ckpt.converged(), "deep template must converge in warmup");
+    push(
+        "sim/8chip_ar_d192_periodic_cold",
+        best_of(s_reps, || {
+            std::hint::black_box(machine.run_periodic(&template, 192).expect("run_periodic"));
+        }),
+        s_reps,
+    );
+    push(
+        "sim/8chip_ar_d192_periodic_warm",
+        best_of(s_reps, || {
+            std::hint::black_box(
+                machine.run_periodic_from(&template, 192, &ckpt).expect("run_periodic_from"),
+            );
+        }),
+        s_reps,
+    );
+
+    // --- Serving: the default `mtp serve` grid, cold engine (and cold
+    // per-scenario pass caches) every iteration — the open-loop
+    // continuous-batching frontend end to end.
+    let serve_grid = crate::serve::ServeGrid::paper_default();
+    push(
+        "serve/default_grid_cold",
+        best_of(g_reps, || {
+            let mut engine = crate::serve::ServeEngine::new();
+            std::hint::black_box(engine.run(&serve_grid).rows.len());
+        }),
+        g_reps,
+    );
+
     BenchReport { profile, results }
 }
 
@@ -433,7 +469,7 @@ mod tests {
     fn quick_profile_runs_every_bench() {
         let report = run(true);
         assert_eq!(report.profile, "quick");
-        assert_eq!(report.results.len(), 13);
+        assert_eq!(report.results.len(), 16);
         for r in &report.results {
             assert!(r.min_ns > 0, "{} measured nothing", r.name);
         }
@@ -454,6 +490,14 @@ mod tests {
             "batched periodic {} ns vs full {} ns",
             ns("sim/8chip_ar_8blk_b8_periodic"),
             ns("sim/8chip_ar_8blk_b8_full")
+        );
+        // Resuming from a warmup checkpoint skips the whole warmup loop,
+        // so the warm path must clearly beat the cold periodic run.
+        assert!(
+            ns("sim/8chip_ar_d192_periodic_warm") * 2 <= ns("sim/8chip_ar_d192_periodic_cold"),
+            "warm resume {} ns vs cold periodic {} ns",
+            ns("sim/8chip_ar_d192_periodic_warm"),
+            ns("sim/8chip_ar_d192_periodic_cold")
         );
         // The batched deep sweep shares templates and warmups with the
         // single-request deep sweep, so it must land within a small

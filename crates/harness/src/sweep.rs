@@ -901,7 +901,7 @@ pub const CSV_HEADER: &str = "model,mode,chips,topology,placement,link_bw_pct,sp
                               dma_l3_l2_cycles,dma_l2_l1_cycles,c2c_cycles,idle_cycles,\
                               l3_l2_bytes,l2_l1_bytes,c2c_bytes,energy_mj,edp_mj_ms";
 
-fn csv_field(s: &str) -> String {
+pub(crate) fn csv_field(s: &str) -> String {
     if s.contains(',') || s.contains('"') || s.contains('\n') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
@@ -909,7 +909,7 @@ fn csv_field(s: &str) -> String {
     }
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -1303,6 +1303,42 @@ impl SweepEngine {
             .collect();
         let sim_slots: Vec<OnceLock<SimOutcome>> =
             (0..sims.len()).map(|_| OnceLock::new()).collect();
+
+        // Depth variants of one template at one (bandwidth, regime)
+        // setting differ only in their block count, so they can share a
+        // single warmup trajectory: the first worker to reach the group
+        // runs `CompiledSchedule::warmup` once, and every member resumes
+        // from the proven fixed point in O(1)
+        // (`CompiledSchedule::simulate_from`, bit-identical by the
+        // periodic engine's resume contract). A warm slot is only
+        // allocated for groups with at least two distinct depths — a
+        // lone depth gains nothing from checkpointing — and only where
+        // the periodic engine could extrapolate at all (more than the
+        // full-run threshold of 4 blocks, contention-free link regime).
+        let mut warm_groups: HashMap<(usize, u32, LinkRegime), usize> = HashMap::new();
+        for &(slot, bw, _n_blocks, regime) in sims.keys() {
+            *warm_groups.entry((slot, bw, regime)).or_insert(0) += 1;
+        }
+        let mut warms: HashMap<(usize, u32, LinkRegime), usize> = HashMap::new();
+        let warm_of: Vec<Option<usize>> = to_run
+            .iter()
+            .zip(&slot_of)
+            .map(|(s, slot)| {
+                slot.and_then(|slot| {
+                    let key = (slot, s.link_bw_pct, s.link_regime);
+                    let shared = warm_groups.get(&key).copied().unwrap_or(0) >= 2;
+                    if shared && s.n_blocks() > 4 && s.link_regime.contention_free() {
+                        let w = warms.len();
+                        Some(*warms.entry(key).or_insert(w))
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect();
+        let warm_slots: Vec<OnceLock<Option<mtp_sim::WarmupCheckpoint>>> =
+            (0..warms.len()).map(|_| OnceLock::new()).collect();
+        drop(warms);
         drop(sims);
 
         // Phase 3: simulate unique points in parallel. Workers claim
@@ -1325,10 +1361,29 @@ impl SweepEngine {
                             .get_or_init(|| scenario.compile_schedule().ok().map(Arc::new))
                             .as_ref();
                         match compiled {
-                            Some(compiled) => compiled
-                                .simulate(&scenario.chip(), scenario.n_blocks())
-                                .map(Arc::new)
-                                .map_err(|e| e.to_string()),
+                            Some(compiled) => {
+                                let chip = scenario.chip();
+                                // A group of depth variants shares one
+                                // warmup; checkpoint failures fall back
+                                // to the cold path inside
+                                // `simulate_from` (exact either way).
+                                let report = match warm_of[i] {
+                                    Some(w) => {
+                                        let ckpt = warm_slots[w]
+                                            .get_or_init(|| compiled.warmup(&chip).ok());
+                                        match ckpt {
+                                            Some(ckpt) => compiled.simulate_from(
+                                                &chip,
+                                                scenario.n_blocks(),
+                                                ckpt,
+                                            ),
+                                            None => compiled.simulate(&chip, scenario.n_blocks()),
+                                        }
+                                    }
+                                    None => compiled.simulate(&chip, scenario.n_blocks()),
+                                };
+                                report.map(Arc::new).map_err(|e| e.to_string())
+                            }
                             None => scenario.run().map(Arc::new).map_err(|e| e.to_string()),
                         }
                     })

@@ -36,10 +36,12 @@ mod infer;
 mod kv_cache;
 mod weights;
 
+pub mod arrivals;
 pub mod batch;
 pub mod generate;
 pub mod reference;
 
+pub use arrivals::{ArrivalProcess, ServeRequest, ServeWorkload};
 pub use batch::{generate_greedy_batch, BatchDecoder, BatchWorkload, RequestSpec};
 pub use config::{Activation, AttentionKind, InferenceMode, NormKind, TransformerConfig};
 pub use generate::{generate_greedy, Embedding, TokenId};

@@ -53,6 +53,7 @@ pub use error::{Result, SimError};
 pub use exec::Machine;
 pub use gantt::{Trace, TraceEvent, TraceKind};
 pub use memory::{MemPath, MemorySpec};
+pub use periodic::WarmupCheckpoint;
 pub use program::{ChipId, DmaTag, Instr, MsgId, Program};
 pub use sink::{MakespanOnly, TraceCollector, TraceSink};
 pub use trace::{Breakdown, ChipStats, RunStats};

@@ -169,6 +169,64 @@ fn add_assign(into: &mut ChipStats, from: &ChipStats) {
     into.c2c_retransmits += from.c2c_retransmits;
 }
 
+/// A proven uniform-delta fixed point of one `(machine, template)` pair,
+/// reusable across every block count simulated on that pair.
+///
+/// [`Machine::warmup`] runs the warmup segments once and captures the
+/// steady state; [`Machine::run_periodic_from`] then answers any depth in
+/// O(1) from the checkpoint instead of re-simulating the warmup. The
+/// sweep engine uses this to make depth variants (d96, d192, ...) of one
+/// schedule share a single warmup trajectory per link bandwidth.
+///
+/// A checkpoint is only meaningful for the exact machine and template it
+/// was taken from — resuming with a different pair is a contract
+/// violation (the result would be deterministic nonsense). The resume
+/// path re-checks every cheap precondition (chip count, block count,
+/// contention-free regime) and falls back to [`Machine::run_periodic`]
+/// whenever the checkpoint does not apply, so results are always exact.
+#[derive(Debug, Clone)]
+pub struct WarmupCheckpoint {
+    n_chips: usize,
+    fixed: Option<FixedPoint>,
+}
+
+/// The captured steady state: everything the extrapolation arm of
+/// [`Machine::run_periodic`] reads after its fixed-point test passes.
+#[derive(Debug, Clone)]
+struct FixedPoint {
+    /// Warmup segments simulated before the fixed point held.
+    segments: usize,
+    /// Per-chip counters accumulated over those segments.
+    totals: Vec<ChipStats>,
+    /// The steady-state segment's own counters (the per-block delta).
+    last: Vec<ChipStats>,
+    /// Chip clocks at the fixed-point boundary...
+    t_now: Vec<u64>,
+    /// ...and one segment earlier (their difference is the per-block
+    /// clock advance of each chip; inactive chips advance by zero).
+    t_prev: Vec<u64>,
+    /// Distinct sync ids per segment.
+    distinct_syncs: usize,
+}
+
+impl WarmupCheckpoint {
+    /// `true` when the warmup proved a fixed point; a non-converged
+    /// checkpoint makes [`Machine::run_periodic_from`] fall back to
+    /// [`Machine::run_periodic`] (aperiodic template, contention-bearing
+    /// link regime, or a template error).
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.fixed.is_some()
+    }
+
+    /// Number of warmup segments the proof consumed (`None` when not
+    /// converged) — the per-depth simulation cost the checkpoint saves.
+    #[must_use]
+    pub fn warmup_segments(&self) -> Option<usize> {
+        self.fixed.as_ref().map(|f| f.segments)
+    }
+}
+
 /// Builds the concatenated programs the periodic contract is defined
 /// against: `n_blocks` copies of the template with per-block message and
 /// sync identifier shifts (stride = largest template id + 1), exactly the
@@ -351,6 +409,156 @@ impl Machine {
         }
         // No fixed point within the warmup bound: aperiodic workload.
         self.run(&concat_shifted(template, n_blocks))
+    }
+
+    /// Runs the warmup phase of [`Machine::run_periodic`] once —
+    /// independent of any block count — and captures the proven
+    /// uniform-delta fixed point as a reusable [`WarmupCheckpoint`].
+    ///
+    /// The warmup loop is exactly `run_periodic`'s: segment-by-segment
+    /// execution with clean-boundary and send-order-separation checks,
+    /// stopping at the first segment whose state advance is a uniform
+    /// delta that also keeps future sends separated. Because that loop
+    /// never reads the block count, one checkpoint answers *every* depth:
+    /// [`Machine::run_periodic_from`] replays only the O(1) extrapolation
+    /// arm. Any proof failure (contention-bearing link regime, unclean
+    /// boundary, aperiodic state, segment error) yields a non-converged
+    /// checkpoint whose resume path falls back to the full engine.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SimError::ProgramCountMismatch`] when `template` does not
+    /// provide one program per chip. All other template problems are
+    /// deferred: they surface from the fallback inside
+    /// [`Machine::run_periodic_from`], which reproduces the exact error
+    /// [`Machine::run_periodic`] would report.
+    pub fn warmup(&self, template: &[Program]) -> Result<WarmupCheckpoint> {
+        if template.len() != self.len() {
+            return Err(crate::SimError::ProgramCountMismatch {
+                chips: self.len(),
+                programs: template.len(),
+            });
+        }
+        let unconverged = || Ok(WarmupCheckpoint { n_chips: self.len(), fixed: None });
+        if self.chips().iter().any(|c| !c.link_regime.contention_free()) {
+            return unconverged();
+        }
+        let n = self.len();
+        let mut carry = MachineState::zero(n);
+        let mut totals: Vec<ChipStats> = vec![ChipStats::default(); n];
+        let mut prev_send_issue: Option<Option<(u64, u64)>> = None;
+        for seg in 1..=MAX_WARMUP_SEGMENTS {
+            let Ok(run) = self.run_segment(template, &carry) else {
+                return unconverged();
+            };
+            if !run.clean {
+                return unconverged();
+            }
+            if let Some(prev) = prev_send_issue {
+                let separated = match (prev, run.send_issue) {
+                    (Some((_, prev_max)), Some((next_min, _))) => prev_max < next_min,
+                    _ => true,
+                };
+                if !separated {
+                    return unconverged();
+                }
+            }
+            for (total, seg_stats) in totals.iter_mut().zip(&run.stats) {
+                add_assign(total, seg_stats);
+            }
+            if let Some(delta) = uniform_delta(&carry, &run.state) {
+                let separated_forever = match run.send_issue {
+                    Some((min, max)) => max < min.saturating_add(delta),
+                    None => true,
+                };
+                if separated_forever {
+                    return Ok(WarmupCheckpoint {
+                        n_chips: n,
+                        fixed: Some(FixedPoint {
+                            segments: seg,
+                            totals,
+                            last: run.stats,
+                            t_now: run.state.t.clone(),
+                            t_prev: carry.t.clone(),
+                            distinct_syncs: run.distinct_syncs,
+                        }),
+                    });
+                }
+            }
+            prev_send_issue = Some(run.send_issue);
+            carry = run.state;
+        }
+        unconverged()
+    }
+
+    /// [`Machine::run_periodic`], resuming from a [`WarmupCheckpoint`]
+    /// taken by [`Machine::warmup`] on the **same machine and template**:
+    /// when the checkpoint applies, the answer is one multiply-add per
+    /// counter with zero simulation.
+    ///
+    /// Falls back to [`Machine::run_periodic`] — same result, only slower
+    /// — whenever the checkpoint cannot prove the extrapolation:
+    /// non-converged warmup, chip-count mismatch, `n_blocks` at or below
+    /// the full-run threshold, fewer blocks than warmup segments (the
+    /// engine would have finished exactly before reaching the fixed
+    /// point), or a contention-bearing link regime.
+    ///
+    /// ```
+    /// use mtp_sim::{ChipSpec, Instr, Machine, Program};
+    /// use mtp_kernels::Kernel;
+    ///
+    /// let machine = Machine::homogeneous(ChipSpec::siracusa(), 1);
+    /// let block = Program::from_instrs([Instr::compute(Kernel::gemv(64, 64))]);
+    /// let ckpt = machine.warmup(std::slice::from_ref(&block))?;
+    /// let warm = machine.run_periodic_from(std::slice::from_ref(&block), 192, &ckpt)?;
+    /// let cold = machine.run_periodic(std::slice::from_ref(&block), 192)?;
+    /// assert_eq!(warm, cold);
+    /// # Ok::<(), mtp_sim::SimError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Machine::run_periodic`]; the extrapolation arm
+    /// itself is infallible.
+    pub fn run_periodic_from(
+        &self,
+        template: &[Program],
+        n_blocks: usize,
+        ckpt: &WarmupCheckpoint,
+    ) -> Result<RunStats> {
+        if template.len() != self.len() {
+            return Err(crate::SimError::ProgramCountMismatch {
+                chips: self.len(),
+                programs: template.len(),
+            });
+        }
+        let Some(fixed) = &ckpt.fixed else {
+            return self.run_periodic(template, n_blocks);
+        };
+        if ckpt.n_chips != self.len()
+            || n_blocks <= FULL_RUN_THRESHOLD
+            || n_blocks < fixed.segments
+            || self.chips().iter().any(|c| !c.link_regime.contention_free())
+        {
+            return self.run_periodic(template, n_blocks);
+        }
+        // From here on this is `run_periodic`'s extrapolation arm
+        // verbatim, with the loop-carried values read from the
+        // checkpoint instead of recomputed.
+        let reps = (n_blocks - fixed.segments) as u64;
+        let per_chip = fixed
+            .totals
+            .iter()
+            .zip(&fixed.last)
+            .zip(fixed.t_now.iter().zip(&fixed.t_prev))
+            .map(|((total, seg_stats), (&t_now, &t_prev))| {
+                let mut chip = total.clone();
+                add_assign(&mut chip, &scaled(seg_stats, reps));
+                chip.finish_cycles = t_now + reps * (t_now - t_prev);
+                chip
+            })
+            .collect();
+        Ok(RunStats::new(per_chip, fixed.distinct_syncs * n_blocks))
     }
 
     /// Executes `n_blocks` Transformer blocks each serving a uniform
@@ -606,6 +814,69 @@ mod tests {
                 assert_eq!(fast, full, "{regime:?} n_blocks={n_blocks}");
             }
         }
+    }
+
+    #[test]
+    fn warm_resume_matches_cold_periodic_across_depths() {
+        // One warmup checkpoint answers every depth bit-identically.
+        let m = machine(2);
+        let template = ping_pong_template();
+        let ckpt = m.warmup(&template).unwrap();
+        assert!(ckpt.converged());
+        assert!(ckpt.warmup_segments().unwrap() <= MAX_WARMUP_SEGMENTS);
+        for n_blocks in [1usize, 3, 5, 9, 40, 96, 192, 10_000] {
+            let warm = m.run_periodic_from(&template, n_blocks, &ckpt).unwrap();
+            let cold = m.run_periodic(&template, n_blocks).unwrap();
+            assert_eq!(warm, cold, "n_blocks={n_blocks}");
+        }
+    }
+
+    #[test]
+    fn warmup_on_aperiodic_template_resumes_via_fallback() {
+        // The in-flight-DMA template never proves a clean boundary: the
+        // checkpoint is unconverged and the resume path must reproduce
+        // the full simulation exactly.
+        let m = machine(1);
+        let template = [Program::from_instrs([
+            Instr::DmaAsync { path: MemPath::L3ToL2, bytes: 1 << 20, tag: DmaTag(0) },
+            Instr::compute(Kernel::Add { n: 64 }),
+        ])];
+        let ckpt = m.warmup(&template).unwrap();
+        assert!(!ckpt.converged());
+        assert_eq!(ckpt.warmup_segments(), None);
+        let warm = m.run_periodic_from(&template, 7, &ckpt).unwrap();
+        let cold = m.run_periodic(&template, 7).unwrap();
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn warmup_under_contention_regime_is_unconverged() {
+        let template = ping_pong_template();
+        let m = machine_with_regime(
+            2,
+            crate::LinkRegime::Lossy { drop_per_mille: 100, nack_cycles: 500 },
+        );
+        let ckpt = m.warmup(&template).unwrap();
+        assert!(!ckpt.converged());
+        for n_blocks in [5usize, 40] {
+            let warm = m.run_periodic_from(&template, n_blocks, &ckpt).unwrap();
+            let cold = m.run_periodic(&template, n_blocks).unwrap();
+            assert_eq!(warm, cold, "n_blocks={n_blocks}");
+        }
+    }
+
+    #[test]
+    fn warmup_program_count_mismatch_detected() {
+        let m = machine(2);
+        assert!(matches!(
+            m.warmup(&[Program::new()]),
+            Err(crate::SimError::ProgramCountMismatch { chips: 2, programs: 1 })
+        ));
+        let ckpt = m.warmup(&ping_pong_template()).unwrap();
+        assert!(matches!(
+            m.run_periodic_from(&[Program::new()], 10, &ckpt),
+            Err(crate::SimError::ProgramCountMismatch { chips: 2, programs: 1 })
+        ));
     }
 
     #[test]

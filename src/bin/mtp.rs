@@ -10,11 +10,13 @@
 //! ```
 
 use mtp::core::{schedule::Scheduler, DistributedSystem};
+use mtp::core::{BatchPolicy, Billing};
+use mtp::harness::serve::{ServeEngine, ServeGrid};
 use mtp::harness::sweep::{
     ModelPreset, PlacementPolicy, Span, SweepEngine, SweepGrid, TopologySpec,
 };
 use mtp::harness::{ablation, advisor, bench, fig4, fig5, fig6, headline, table1};
-use mtp::model::{InferenceMode, TransformerConfig};
+use mtp::model::{ArrivalProcess, InferenceMode, TransformerConfig};
 use mtp::sim::{ChipSpec, LinkRegime, Machine};
 use std::process::ExitCode;
 
@@ -31,6 +33,10 @@ USAGE:
                  [--batches 1,4,16] [--threads N]
                  [--csv FILE] [--json FILE] [--stream] [--serial]
                  [--compare-serial]
+    mtp serve    [--models A,B] [--chips 4,8] [--arrivals poisson:0.5;bursty:2:8]
+                 [--policies static:8,continuous:8] [--billing full,per-request]
+                 [--requests N] [--prompt-len P] [--decode-len D] [--seed S]
+                 [--csv FILE] [--json FILE]
     mtp advise   [--model NAME] [--mode ar|prompt] [--latency-ms X] [--energy-mj X]
                  [--max-chips N]
     mtp figures
@@ -86,6 +92,25 @@ SWEEP:
     the same streamed bytes as the materialized JSON array) instead of
     building the result table — the mode for grids far beyond what a
     table is useful for.
+
+SERVE:
+    `mtp serve` runs the open-loop serving study: requests arrive on
+    their own clock, join the fleet's batch when the admission policy
+    lets them, decode token by token, and leave. Arrival processes are
+    seeded and replayable — `poisson:RATE` and `bursty:RATE:BURST`
+    (RATE in requests per megacycle), or `trace:C1,C2,...` (explicit
+    arrival cycles). --arrivals separates specs with `;` (trace specs
+    embed commas). Policies: `static:BATCH` gang-schedules (a batch
+    drains fully before the next is admitted); `continuous:SLOTS`
+    fills free slots at every pass boundary. Billing: `full` charges
+    every decode step the model's full context (the saturated batch
+    convention, bit-identical to the batch path in the saturated
+    limit); `per-request` charges prompt_len + decoded tokens. Each
+    grid point reports per-request TTFT/TPOT percentiles (p50/p95/p99),
+    SLO attainment (TTFT within 3x the unloaded solo prefill), and
+    goodput (within-SLO completions per second) — sweep --arrivals to
+    trace the goodput-vs-offered-load curve and the SLO cliff. Output
+    is deterministic: same seed, same rows, byte for byte.
 ";
 
 fn main() -> ExitCode {
@@ -93,6 +118,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("simulate") => simulate(&args[1..]),
         Some("sweep") => sweep_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
         Some("advise") => advise(&args[1..]),
         Some("figures") => figures(),
         Some("headline") => headline_cmd(),
@@ -341,6 +367,96 @@ fn sweep_cmd(args: &[String]) -> CliResult {
         );
     }
 
+    if let Some(path) = flag_value(args, "--csv") {
+        std::fs::write(path, results.to_csv())?;
+        println!("CSV written to {path}");
+    }
+    if let Some(path) = flag_value(args, "--json") {
+        std::fs::write(path, results.to_json())?;
+        println!("JSON written to {path}");
+    }
+    Ok(())
+}
+
+/// Builds the serving grid from CLI flags (each axis flag overrides the
+/// default grid's axis; shared request-shape flags override in place).
+fn build_serve_grid(args: &[String]) -> Result<ServeGrid, String> {
+    let mut grid = ServeGrid::paper_default();
+    if let Some(models) = list_flag(args, "--models") {
+        grid.models = models.into_iter().map(ModelPreset::parse).collect::<Result<_, _>>()?;
+    }
+    if let Some(chips) = list_flag(args, "--chips") {
+        grid.chip_counts = chips
+            .into_iter()
+            .map(|c| c.parse::<usize>().map_err(|_| format!("bad chip count `{c}`")))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(arrivals) = list_flag_semicolon(args, "--arrivals") {
+        grid.arrivals =
+            arrivals.into_iter().map(ArrivalProcess::parse).collect::<Result<_, _>>()?;
+    }
+    if let Some(policies) = list_flag(args, "--policies") {
+        grid.policies = policies.into_iter().map(BatchPolicy::parse).collect::<Result<_, _>>()?;
+    }
+    if let Some(billings) = list_flag(args, "--billing") {
+        grid.billings = billings.into_iter().map(Billing::parse).collect::<Result<_, _>>()?;
+    }
+    let positive = |name: &str, v: &str| {
+        v.parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("bad {name} `{v}` (need a positive integer)"))
+    };
+    if let Some(n) = flag_value(args, "--requests") {
+        grid.n_requests = positive("request count", n)?;
+    }
+    if let Some(p) = flag_value(args, "--prompt-len") {
+        grid.prompt_len = positive("prompt length", p)?;
+    }
+    if let Some(d) = flag_value(args, "--decode-len") {
+        grid.decode_len = d
+            .parse::<usize>()
+            .map_err(|_| format!("bad decode length `{d}` (need a non-negative integer)"))?;
+    }
+    if let Some(s) = flag_value(args, "--seed") {
+        grid.seed = s.parse::<u64>().map_err(|_| format!("bad seed `{s}`"))?;
+    }
+    if grid.models.is_empty()
+        || grid.chip_counts.is_empty()
+        || grid.arrivals.is_empty()
+        || grid.policies.is_empty()
+        || grid.billings.is_empty()
+    {
+        return Err("the serving grid is empty (every axis needs at least one value)".to_owned());
+    }
+    Ok(grid)
+}
+
+/// Like [`list_flag`] but splits on `;` — arrival specs embed commas
+/// (`trace:100,200`), so the axis separator must be something else.
+fn list_flag_semicolon<'a>(args: &'a [String], name: &str) -> Option<Vec<&'a str>> {
+    flag_value(args, name).map(|v| v.split(';').filter(|s| !s.is_empty()).collect())
+}
+
+fn serve_cmd(args: &[String]) -> CliResult {
+    let grid = build_serve_grid(args)?;
+    let mut engine = ServeEngine::new();
+    let results = engine.run(&grid);
+    print!("{}", results.render());
+    if !results.skipped.is_empty() {
+        println!("\nskipped scenarios:");
+        for s in &results.skipped {
+            println!(
+                "  {} x{} {} {}: {}",
+                s.scenario.model.cli_name(),
+                s.scenario.n_chips,
+                s.scenario.process.label(),
+                s.scenario.policy.label(),
+                s.reason
+            );
+        }
+    }
+    println!("\n{}", results.summary());
     if let Some(path) = flag_value(args, "--csv") {
         std::fs::write(path, results.to_csv())?;
         println!("CSV written to {path}");

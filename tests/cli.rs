@@ -1,0 +1,243 @@
+//! Table-driven coverage of the `mtp` CLI surface: every flag spelling
+//! of `mtp sweep`, `mtp serve`, and `mtp bench` that parses, and every
+//! rejection path with its exact exit code and error message. The
+//! messages are part of the CLI contract — scripts grep them — so each
+//! invalid case locks the wording, not just the failure.
+
+use std::process::{Command, Output};
+
+fn mtp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mtp")).args(args).output().expect("spawn mtp")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+// ---------------------------------------------------------------------
+// Rejection paths: exit code 1, `error: ` prefix, exact wording.
+// ---------------------------------------------------------------------
+
+/// Every invalid spelling the three subcommands reject, with the exact
+/// message fragment the CLI must print. All of these fail during
+/// argument parsing, so they are cheap no matter the subcommand.
+#[test]
+fn invalid_flags_exit_nonzero_with_exact_messages() {
+    let cases: &[(&[&str], &str)] = &[
+        (&["bogus"], "unknown command `bogus`"),
+        // sweep: base-grid and sink conflicts
+        (
+            &["sweep", "--deep", "--batch"],
+            "--deep and --batch are mutually exclusive base grids \
+             (use --deep --batches N,M for a batched deep sweep)",
+        ),
+        (
+            &["sweep", "--stream", "--csv", "a.csv", "--json", "b.json"],
+            "--stream writes one sink at a time (drop --csv or --json)",
+        ),
+        // sweep: axis vocabulary
+        (&["sweep", "--models", "nope"], "unknown model `nope`"),
+        (&["sweep", "--modes", "fast"], "unknown mode `fast` (ar|prompt)"),
+        (&["sweep", "--chips", "two"], "bad chip count `two`"),
+        (&["sweep", "--link-bw", "0"], "bad link bandwidth percentage `0`"),
+        (&["sweep", "--batches", "0"], "bad batch size `0` (need a positive integer)"),
+        (&["sweep", "--chips", ","], "the grid is empty (every axis needs at least one value)"),
+        // sweep: link-regime spellings
+        (
+            &["sweep", "--link-regime", "warp"],
+            "unknown link regime 'warp' (expected affine, queued[:BYTES], \
+             droptail:BYTES[:NACK], or lossy:PERMILLE[:NACK])",
+        ),
+        (
+            &["sweep", "--link-regime", "queued:0"],
+            "queued buffer wants a positive byte count, got '0'",
+        ),
+        (
+            &["sweep", "--link-regime", "droptail:4096:soon"],
+            "droptail NACK wants cycles, got 'soon'",
+        ),
+        (
+            &["sweep", "--link-regime", "lossy:1000"],
+            "lossy rate must be 1..=999 per mille, got 1000 (use 'affine' for a lossless link)",
+        ),
+        // serve: arrival processes
+        (
+            &["serve", "--arrivals", "bogus"],
+            "unknown arrival process `bogus` (expected poisson:RATE, bursty:RATE:BURST, or \
+             trace:C1,C2,...)",
+        ),
+        (
+            &["serve", "--arrivals", "poisson:0"],
+            "bad arrival rate `0` (need a finite rate > 0 in requests per megacycle)",
+        ),
+        (
+            &["serve", "--arrivals", "poisson:inf"],
+            "bad arrival rate `inf` (need a finite rate > 0 in requests per megacycle)",
+        ),
+        (&["serve", "--arrivals", "bursty:2"], "bad bursty spec `2` (expected bursty:RATE:BURST)"),
+        (&["serve", "--arrivals", "bursty:2:0"], "bad burst size `0` (need a positive integer)"),
+        (
+            &["serve", "--arrivals", "trace:10,soon"],
+            "bad trace cycle `soon` (need a non-negative integer)",
+        ),
+        (
+            &["serve", "--arrivals", ";"],
+            "the serving grid is empty (every axis needs at least one value)",
+        ),
+        // serve: policies, billing, shape
+        (
+            &["serve", "--policies", "lru:4"],
+            "unknown batch policy `lru:4` (expected static:BATCH or continuous:SLOTS)",
+        ),
+        (&["serve", "--policies", "static:0"], "bad batch size `0` (need a positive integer)"),
+        (&["serve", "--policies", "continuous:0"], "bad slot count `0` (need a positive integer)"),
+        (
+            &["serve", "--billing", "half"],
+            "unknown billing model `half` (expected full or per-request)",
+        ),
+        (&["serve", "--requests", "0"], "bad request count `0` (need a positive integer)"),
+        (&["serve", "--prompt-len", "0"], "bad prompt length `0` (need a positive integer)"),
+        (&["serve", "--decode-len", "-1"], "bad decode length `-1` (need a non-negative integer)"),
+        (&["serve", "--seed", "-1"], "bad seed `-1`"),
+        (&["serve", "--models", "nope"], "unknown model `nope`"),
+        (&["serve", "--chips", "two"], "bad chip count `two`"),
+    ];
+    for (args, fragment) in cases {
+        let out = mtp(args);
+        assert_eq!(out.status.code(), Some(1), "{args:?} must exit 1");
+        let err = stderr(&out);
+        assert!(err.starts_with("error: "), "{args:?}: stderr `{err}` lacks the error prefix");
+        assert!(err.contains(fragment), "{args:?}: stderr `{err}` lacks `{fragment}`");
+    }
+}
+
+/// `mtp bench --check` without a baseline is rejected (after the quick
+/// run — the flag is validated where the comparison would happen).
+#[test]
+fn bench_check_without_compare_is_rejected() {
+    let out = mtp(&["bench", "--quick", "--check"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("--check requires --compare <BENCH_N.json>"));
+}
+
+// ---------------------------------------------------------------------
+// Accepted spellings: exit 0 and the expected output shape.
+// ---------------------------------------------------------------------
+
+#[test]
+fn help_and_bare_invocation_print_usage() {
+    for args in [&[][..], &["--help"][..], &["-h"][..]] {
+        let out = mtp(args);
+        assert_eq!(out.status.code(), Some(0), "{args:?}");
+        let text = stdout(&out);
+        assert!(text.contains("mtp simulate"), "{args:?}");
+        assert!(text.contains("mtp serve"), "{args:?}");
+        assert!(text.contains("mtp sweep"), "{args:?}");
+    }
+}
+
+/// A small sweep accepting every link-regime spelling in one grid.
+#[test]
+fn sweep_accepts_every_link_regime_spelling() {
+    let out = mtp(&[
+        "sweep",
+        "--models",
+        "tinyllama",
+        "--modes",
+        "ar",
+        "--chips",
+        "2",
+        "--topologies",
+        "hier4",
+        "--serial",
+        "--link-regime",
+        "affine,queued,queued:65536,droptail:65536:700,lossy:5:700",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for label in ["@q65536", "@qdrop65536n700", "@loss5n700"] {
+        assert!(text.contains(label), "missing regime-tagged row `{label}` in:\n{text}");
+    }
+    assert!(text.contains("5 scenario(s)"), "{text}");
+}
+
+/// A small serving grid across both policies and billing models, with
+/// every shape flag exercised and CSV/JSON sinks written.
+#[test]
+fn serve_runs_a_small_grid_and_writes_sinks() {
+    let dir = std::env::temp_dir().join(format!("mtp-cli-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv_path = dir.join("serve.csv");
+    let json_path = dir.join("serve.json");
+    let out = mtp(&[
+        "serve",
+        "--models",
+        "tinyllama",
+        "--chips",
+        "2",
+        "--arrivals",
+        "trace:0,0,0;poisson:2",
+        "--policies",
+        "static:2,continuous:2",
+        "--billing",
+        "full,per-request",
+        "--requests",
+        "3",
+        "--prompt-len",
+        "8",
+        "--decode-len",
+        "2",
+        "--seed",
+        "7",
+        "--csv",
+        csv_path.to_str().unwrap(),
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("ttft_p50"), "{text}");
+    assert!(text.contains("8 serving scenario(s)"), "{text}");
+
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    let header = csv.lines().next().unwrap();
+    for col in ["ttft_p50", "ttft_p95", "ttft_p99", "tpot_p99", "slo_ok", "goodput_rps"] {
+        assert!(header.contains(col), "CSV header misses `{col}`: {header}");
+    }
+    assert_eq!(csv.lines().count(), 9, "8 rows + header");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"ttft_p99\":"));
+
+    // Determinism across processes: a second run writes identical bytes.
+    let csv2_path = dir.join("serve2.csv");
+    let out2 = mtp(&[
+        "serve",
+        "--models",
+        "tinyllama",
+        "--chips",
+        "2",
+        "--arrivals",
+        "trace:0,0,0;poisson:2",
+        "--policies",
+        "static:2,continuous:2",
+        "--billing",
+        "full,per-request",
+        "--requests",
+        "3",
+        "--prompt-len",
+        "8",
+        "--decode-len",
+        "2",
+        "--seed",
+        "7",
+        "--csv",
+        csv2_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out2.status.code(), Some(0));
+    assert_eq!(csv, std::fs::read_to_string(&csv2_path).unwrap(), "serve CSV not reproducible");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,179 @@
+//! Loss-accounting invariants for the packet-level link regimes
+//! (DESIGN.md §11), as property tests:
+//!
+//! - **Drop-tail**: every drop is NACKed and retransmitted exactly once
+//!   per dropped attempt, so `retransmits == drops` — the
+//!   `retransmits >= drops` invariant holds with equality, across
+//!   randomized message sizes, buffer slack, and NACK penalties on the
+//!   canonical contended fan-in workload.
+//! - **Lossy go-back-N**: one drop retransmits up to a full window, so
+//!   `retransmits >= drops` on every chip of real sweep scenarios.
+//! - **Contention-free regimes**: affine rows keep all four queue/loss
+//!   counters at zero; an infinite-buffer queued row may observe queue
+//!   occupancy and port-serialization delay, but can never drop or
+//!   retransmit.
+//! - **Reproducibility**: the counters are pure functions of the
+//!   scenario — cold reruns agree bit for bit.
+
+use mtp::harness::sweep::{ModelPreset, SweepGrid};
+use mtp::kernels::Kernel;
+use mtp::model::InferenceMode;
+use mtp::sim::{ChipSpec, Instr, LinkRegime, Machine, Program, QueueDiscipline, RunStats};
+use proptest::prelude::*;
+
+/// A small pool of real scenario shapes (model, mode, chip count) the
+/// regimes are exercised on. Chip counts above 1 so the link is used.
+fn shape(ix: usize) -> (ModelPreset, InferenceMode, usize) {
+    let pool = [
+        (ModelPreset::TinyLlama, InferenceMode::Autoregressive, 2),
+        (ModelPreset::TinyLlama, InferenceMode::Autoregressive, 4),
+        (ModelPreset::TinyLlama, InferenceMode::Prompt, 8),
+        (ModelPreset::MobileBert, InferenceMode::Prompt, 4),
+    ];
+    pool[ix % pool.len()]
+}
+
+/// Builds a single scenario from the pool with the given regime, runs
+/// it, and returns its stats.
+fn run_with_regime(ix: usize, regime: LinkRegime) -> RunStats {
+    let (preset, mode, n_chips) = shape(ix);
+    let grid = SweepGrid::new(vec![(preset.config(mode), mode)], vec![n_chips])
+        .with_link_regimes(vec![regime]);
+    let scenario = grid.scenarios().remove(0);
+    scenario.run().expect("pool scenarios are valid").stats
+}
+
+/// Two concurrent senders into one receiver that drains slowly — the
+/// canonical contended-ingress workload (the same shape the simulator's
+/// own regime unit tests use). Chip 1 always wins the shared RX port,
+/// so a buffer holding one message but not two forces chip 2's message
+/// to drop and retry — never a head-of-line deadlock.
+fn contended_fan_in(bytes: u64) -> Vec<Program> {
+    let p0 = Program::from_instrs([
+        Instr::compute(Kernel::gemm(64, 512, 512)),
+        Instr::recv(1, 1),
+        Instr::compute(Kernel::Add { n: 1024 }),
+        Instr::recv(2, 2),
+    ]);
+    let p1 = Program::from_instrs([Instr::send(0, 1, bytes)]);
+    let p2 = Program::from_instrs([Instr::send(0, 2, bytes)]);
+    vec![p0, p1, p2]
+}
+
+fn machine_with_regime(n: usize, regime: LinkRegime) -> Machine {
+    let mut spec = ChipSpec::siracusa();
+    spec.link_regime = regime;
+    Machine::homogeneous(spec, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Drop-tail retransmits exactly what it drops — one NACKed
+    /// retransmission per dropped attempt, whatever the message size,
+    /// buffer slack, and NACK penalty.
+    #[test]
+    fn prop_droptail_retransmits_equal_drops(
+        msg_kb in 2u64..20,
+        slack_pct in 0u64..100,
+        nack in 100u64..2000,
+    ) {
+        let bytes = msg_kb * 1024;
+        // Buffer holds the first message but not both: chip 2's send is
+        // dropped until the first receive returns credit.
+        let buffer_bytes = bytes + bytes * slack_pct / 100;
+        let regime = LinkRegime::Queued {
+            buffer_bytes,
+            discipline: QueueDiscipline::DropTail { nack_cycles: nack },
+        };
+        let stats = machine_with_regime(3, regime).run(&contended_fan_in(bytes)).unwrap();
+        prop_assert!(stats.total_drops() > 0, "the parked attempt must drop");
+        prop_assert_eq!(stats.total_retransmits(), stats.total_drops());
+        for chip in &stats.per_chip {
+            prop_assert_eq!(chip.c2c_retransmits, chip.c2c_drops);
+        }
+    }
+
+    /// Go-back-N retransmits at least one packet per drop (a drop can
+    /// resend a whole window, never less than itself) — on real sweep
+    /// scenarios across loss rates.
+    #[test]
+    fn prop_lossy_retransmits_cover_drops(
+        ix in 0usize..4,
+        per_mille in 1u32..400,
+        nack in 100u64..2000,
+    ) {
+        let regime = LinkRegime::Lossy { drop_per_mille: per_mille, nack_cycles: nack };
+        let stats = run_with_regime(ix, regime);
+        prop_assert!(stats.total_drops() > 0, "a lossy run at {}permille must drop", per_mille);
+        prop_assert!(
+            stats.total_retransmits() >= stats.total_drops(),
+            "retransmits {} < drops {}",
+            stats.total_retransmits(),
+            stats.total_drops()
+        );
+        for chip in &stats.per_chip {
+            prop_assert!(chip.c2c_retransmits >= chip.c2c_drops);
+        }
+    }
+
+    /// The affine model has no queue and no loss: all four counters stay
+    /// zero on every chip of every real scenario.
+    #[test]
+    fn prop_affine_counters_are_all_zero(ix in 0usize..4) {
+        let stats = run_with_regime(ix, LinkRegime::Affine);
+        for chip in &stats.per_chip {
+            prop_assert_eq!(chip.c2c_drops, 0);
+            prop_assert_eq!(chip.c2c_retransmits, 0);
+            prop_assert_eq!(chip.c2c_queue_cycles, 0);
+            prop_assert_eq!(chip.c2c_peak_queue_bytes, 0);
+        }
+    }
+
+    /// An infinite buffer can hold bytes and serialize the shared RX
+    /// port (occupancy and queueing delay may be positive) but can never
+    /// drop or retransmit.
+    #[test]
+    fn prop_qinf_never_drops_or_retransmits(ix in 0usize..4) {
+        let regime = LinkRegime::Queued {
+            buffer_bytes: u64::MAX,
+            discipline: QueueDiscipline::Backpressure,
+        };
+        let stats = run_with_regime(ix, regime);
+        prop_assert_eq!(stats.total_drops(), 0);
+        prop_assert_eq!(stats.total_retransmits(), 0);
+    }
+
+    /// Loss accounting is a pure function of the scenario: two cold runs
+    /// agree on every counter of every chip.
+    #[test]
+    fn prop_counters_are_stable_across_cold_reruns(
+        ix in 0usize..4,
+        per_mille in 1u32..400,
+    ) {
+        let regime = LinkRegime::Lossy {
+            drop_per_mille: per_mille,
+            nack_cycles: LinkRegime::DEFAULT_NACK_CYCLES,
+        };
+        let a = run_with_regime(ix, regime);
+        let b = run_with_regime(ix, regime);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Deterministic spot check: a buffer one message wide under two-way
+/// fan-in drops, recovers, and pays exactly one retransmission per
+/// drop — bit-identically on a rerun.
+#[test]
+fn droptail_on_contended_fan_in_drops_and_recovers() {
+    let regime = LinkRegime::Queued {
+        buffer_bytes: 12_000,
+        discipline: QueueDiscipline::DropTail { nack_cycles: 500 },
+    };
+    let programs = contended_fan_in(10_000);
+    let stats = machine_with_regime(3, regime).run(&programs).unwrap();
+    assert!(stats.total_drops() > 0, "a 12 kB buffer under 2x10 kB fan-in must drop");
+    assert_eq!(stats.total_retransmits(), stats.total_drops());
+    let again = machine_with_regime(3, regime).run(&programs).unwrap();
+    assert_eq!(stats, again, "drop-tail accounting must be deterministic");
+}

@@ -212,6 +212,27 @@ fn default_cli_grid_runs_at_least_48_scenarios() {
     }
 }
 
+/// The deep grid is where the warmup-checkpoint reuse engages (its
+/// depth variants share one block template per chip count, so the
+/// engine warms up once and resumes every depth from the checkpoint).
+/// Every engine row must still equal the direct, uncached simulation of
+/// its scenario — warm resume is an optimization, never a semantic.
+#[test]
+fn deep_grid_warm_resume_rows_equal_direct_simulation() {
+    let results = SweepEngine::serial().run(&SweepGrid::deep_default());
+    assert!(!results.rows.is_empty());
+    for row in &results.rows {
+        let direct = row.scenario.run().unwrap();
+        assert_eq!(
+            row.report.stats, direct.stats,
+            "{} x{} diverged from its cold run",
+            row.scenario.config.name, row.scenario.n_chips
+        );
+        assert_eq!(row.report.n_blocks, direct.n_blocks);
+        assert_eq!(row.report.residency, direct.residency);
+    }
+}
+
 #[test]
 fn model_span_scenarios_simulate_all_layers() {
     let engine = SweepEngine::new();
