@@ -14,16 +14,16 @@
 use crate::{slice_block, CoreError, PartitionSpec, Result, SlicedBlockWeights};
 use mtp_link::Topology;
 use mtp_model::reference::{self, AttnMask, AttnScratch};
-use mtp_model::{AttentionKind, KvCache, ModelWeights, TransformerConfig};
+use mtp_model::{Activation, AttentionKind, KvCache, ModelWeights, TransformerConfig};
 use mtp_tensor::Tensor;
 
-/// Reusable buffers for the distributed forward pass: per-chip
-/// projections, staged KV-cache views, attention output, the FFN
-/// intermediate, per-chip partial sums, and the post-reduce accumulator.
-/// After the first call every [`FunctionalSystem::block_forward`] runs
-/// allocation-free except for the returned output tensor.
+/// One chip's reusable buffers: its projections, staged KV-cache views,
+/// attention output, FFN intermediate, and partial block output. Keeping
+/// the whole set per chip (instead of sharing one across the chip loop)
+/// is what lets chips run on worker threads without any shared mutable
+/// state — each worker owns its chip's scratch exclusively.
 #[derive(Debug, Clone, Default)]
-struct StepScratch {
+struct ChipScratch {
     q: Tensor,
     k: Tensor,
     v: Tensor,
@@ -31,9 +31,91 @@ struct StepScratch {
     values: Tensor,
     attn: Tensor,
     ffn_h: Tensor,
-    sum: Tensor,
-    partials: Vec<Tensor>,
+    partial: Tensor,
     attn_scratch: AttnScratch,
+}
+
+/// Reusable buffers for the distributed forward pass: per-chip scratch
+/// sets plus the post-reduce accumulator. After the first call every
+/// [`FunctionalSystem::block_forward`] runs allocation-free except for
+/// the returned output tensor.
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    chips: Vec<ChipScratch>,
+    sum: Tensor,
+}
+
+/// One chip's MHSA contribution: Q/K/V projection on its head slice,
+/// optional RoPE and KV-cache append, attention over its heads, and the
+/// output projection into `s.partial`. Pure function of the broadcast
+/// `x`, the chip's weights/cache, and the chip's own scratch — the unit
+/// the thread-parallel path distributes.
+fn chip_mhsa(
+    x: &Tensor,
+    w: &SlicedBlockWeights,
+    cache: Option<&mut KvCache>,
+    s: &mut ChipScratch,
+    attention: AttentionKind,
+    head_dim: usize,
+    pos0: usize,
+) -> Result<()> {
+    x.matmul_into(&w.wq, &mut s.q)?;
+    x.matmul_into(&w.wk, &mut s.k)?;
+    x.matmul_into(&w.wv, &mut s.v)?;
+    if attention == AttentionKind::CausalRope {
+        mtp_kernels::rope_heads_inplace(&mut s.q, head_dim, pos0);
+        mtp_kernels::rope_heads_inplace(&mut s.k, head_dim, pos0);
+    }
+    match cache {
+        Some(cache) => {
+            cache.append(s.k.row(0), s.v.row(0));
+            let mask = AttnMask::Causal { q_offset: cache.len() - 1 };
+            cache.keys_into(&mut s.keys);
+            cache.values_into(&mut s.values);
+            reference::attention_heads_into(
+                &s.q,
+                &s.keys,
+                &s.values,
+                head_dim,
+                mask,
+                &mut s.attn_scratch,
+                &mut s.attn,
+            );
+        }
+        None => {
+            let mask = match attention {
+                AttentionKind::Bidirectional => AttnMask::None,
+                AttentionKind::CausalRope => AttnMask::Causal { q_offset: 0 },
+            };
+            reference::attention_heads_into(
+                &s.q,
+                &s.k,
+                &s.v,
+                head_dim,
+                mask,
+                &mut s.attn_scratch,
+                &mut s.attn,
+            );
+        }
+    }
+    s.attn.matmul_into(&w.wo, &mut s.partial)?;
+    Ok(())
+}
+
+/// One chip's FFN contribution from the broadcast `y` into `s.partial`.
+fn chip_ffn(
+    y: &Tensor,
+    w: &SlicedBlockWeights,
+    activation: Activation,
+    s: &mut ChipScratch,
+) -> Result<()> {
+    y.matmul_into(&w.w1, &mut s.ffn_h)?;
+    match activation {
+        Activation::Gelu => mtp_kernels::gelu_inplace(&mut s.ffn_h),
+        Activation::Silu => mtp_kernels::silu_inplace(&mut s.ffn_h),
+    }
+    s.ffn_h.matmul_into(&w.w2, &mut s.partial)?;
+    Ok(())
 }
 
 /// A value-level simulation of the distributed system.
@@ -47,6 +129,8 @@ pub struct FunctionalSystem {
     /// `caches[layer][chip]`, each of width `H_kv·P/N`
     caches: Vec<Vec<KvCache>>,
     scratch: StepScratch,
+    /// Worker threads the per-chip loops fan out over (1 = sequential).
+    threads: usize,
 }
 
 impl FunctionalSystem {
@@ -74,7 +158,22 @@ impl FunctionalSystem {
             sliced,
             caches,
             scratch: StepScratch::default(),
+            threads: 1,
         })
+    }
+
+    /// Sets how many worker threads the per-chip loops fan out over.
+    /// Chips are data-independent between sync points and the all-reduce
+    /// order is fixed by the topology, so any thread count produces
+    /// bit-identical output to `threads == 1` (tested).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Current worker-thread setting (1 = sequential).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The partition specification.
@@ -137,18 +236,18 @@ impl FunctionalSystem {
     /// at construction by [`Self::validate_reduce_tree`], so this
     /// steady-state path touches no allocator and performs no per-call
     /// validation beyond bounds safety.
-    fn all_reduce_in_place(topology: &Topology, partials: &mut [Tensor]) -> Result<usize> {
+    fn all_reduce_in_place(topology: &Topology, chips: &mut [ChipScratch]) -> Result<usize> {
         for step in topology.reduce_steps() {
             let (from, to) = (step.from, step.to);
-            if from == to || from >= partials.len() || to >= partials.len() {
+            if from == to || from >= chips.len() || to >= chips.len() {
                 return Err(CoreError::InvalidConfig("malformed reduce step".into()));
             }
             if from < to {
-                let (left, right) = partials.split_at_mut(to);
-                right[0].accumulate(&left[from])?;
+                let (left, right) = chips.split_at_mut(to);
+                right[0].partial.accumulate(&left[from].partial)?;
             } else {
-                let (left, right) = partials.split_at_mut(from);
-                left[to].accumulate(&right[0])?;
+                let (left, right) = chips.split_at_mut(from);
+                left[to].partial.accumulate(&right[0].partial)?;
             }
         }
         Ok(topology.root())
@@ -167,87 +266,94 @@ impl FunctionalSystem {
     pub fn block_forward(&mut self, x: &Tensor, layer: usize, use_cache: bool) -> Result<Tensor> {
         let n = self.spec.n_chips();
         let head_dim = self.spec.head_dim();
-        let rope = self.cfg.attention == AttentionKind::CausalRope;
+        let attention = self.cfg.attention;
+        let activation = self.cfg.activation;
         let pos0 = if use_cache { self.caches[layer][0].len() } else { 0 };
-        if self.scratch.partials.len() != n {
-            self.scratch.partials = vec![Tensor::default(); n];
+        if self.scratch.chips.len() != n {
+            self.scratch.chips = vec![ChipScratch::default(); n];
         }
+        let threads = self.threads.min(n);
+        let chunk = n.div_ceil(threads);
+        let sliced = &self.sliced[layer];
+        let StepScratch { chips, sum } = &mut self.scratch;
+        let caches = &mut self.caches[layer][..];
 
         // --- MHSA: every chip computes its own heads on the broadcast x.
-        // All per-chip intermediates live in the step scratch; after the
-        // first pass this loop performs no allocation.
-        for chip in 0..n {
-            let s = &mut self.scratch;
-            let w = &self.sliced[layer][chip];
-            x.matmul_into(&w.wq, &mut s.q)?;
-            x.matmul_into(&w.wk, &mut s.k)?;
-            x.matmul_into(&w.wv, &mut s.v)?;
-            if rope {
-                mtp_kernels::rope_heads_inplace(&mut s.q, head_dim, pos0);
-                mtp_kernels::rope_heads_inplace(&mut s.k, head_dim, pos0);
+        // All per-chip intermediates live in that chip's scratch; after the
+        // first pass this loop performs no allocation. Chips share nothing
+        // mutable, so the work distributes over scoped threads unchanged —
+        // every chip runs the exact same instruction sequence either way,
+        // which is what makes the parallel path bit-identical.
+        if threads > 1 {
+            std::thread::scope(|sc| -> Result<()> {
+                let mut handles = Vec::with_capacity(threads);
+                for ((sch, cch), wch) in
+                    chips.chunks_mut(chunk).zip(caches.chunks_mut(chunk)).zip(sliced.chunks(chunk))
+                {
+                    handles.push(sc.spawn(move || -> Result<()> {
+                        for ((s, cache), w) in sch.iter_mut().zip(cch.iter_mut()).zip(wch) {
+                            chip_mhsa(
+                                x,
+                                w,
+                                use_cache.then_some(cache),
+                                s,
+                                attention,
+                                head_dim,
+                                pos0,
+                            )?;
+                        }
+                        Ok(())
+                    }));
+                }
+                for h in handles {
+                    h.join()
+                        .map_err(|_| CoreError::InvalidConfig("chip worker panicked".into()))??;
+                }
+                Ok(())
+            })?;
+        } else {
+            for ((s, cache), w) in chips.iter_mut().zip(caches.iter_mut()).zip(sliced) {
+                chip_mhsa(x, w, use_cache.then_some(cache), s, attention, head_dim, pos0)?;
             }
-            if use_cache {
-                let cache = &mut self.caches[layer][chip];
-                cache.append(s.k.row(0), s.v.row(0));
-                let mask = AttnMask::Causal { q_offset: cache.len() - 1 };
-                cache.keys_into(&mut s.keys);
-                cache.values_into(&mut s.values);
-                reference::attention_heads_into(
-                    &s.q,
-                    &s.keys,
-                    &s.values,
-                    head_dim,
-                    mask,
-                    &mut s.attn_scratch,
-                    &mut s.attn,
-                );
-            } else {
-                let mask = match self.cfg.attention {
-                    AttentionKind::Bidirectional => AttnMask::None,
-                    AttentionKind::CausalRope => AttnMask::Causal { q_offset: 0 },
-                };
-                reference::attention_heads_into(
-                    &s.q,
-                    &s.k,
-                    &s.v,
-                    head_dim,
-                    mask,
-                    &mut s.attn_scratch,
-                    &mut s.attn,
-                );
-            }
-            s.attn.matmul_into(&w.wo, &mut s.partials[chip])?;
         }
 
         // --- Sync 1: hierarchical all-reduce + skip + norm on root,
         // then broadcast (value-wise: everyone sees y).
-        let root = Self::all_reduce_in_place(&self.topology, &mut self.scratch.partials)?;
-        let w0 = &self.sliced[layer][0];
-        x.add_into(&self.scratch.partials[root], &mut self.scratch.sum)?;
-        reference::normalize_inplace(
-            &mut self.scratch.sum,
-            self.cfg.norm,
-            &w0.norm1_gamma,
-            &w0.norm1_beta,
-        );
+        let root = Self::all_reduce_in_place(&self.topology, chips)?;
+        let w0 = &sliced[0];
+        x.add_into(&chips[root].partial, sum)?;
+        reference::normalize_inplace(sum, self.cfg.norm, &w0.norm1_gamma, &w0.norm1_beta);
 
         // --- FFN: every chip computes its F/N slice of the intermediate
         // from the broadcast y (held in `scratch.sum`).
-        for chip in 0..n {
-            let s = &mut self.scratch;
-            let w = &self.sliced[layer][chip];
-            s.sum.matmul_into(&w.w1, &mut s.ffn_h)?;
-            match self.cfg.activation {
-                mtp_model::Activation::Gelu => mtp_kernels::gelu_inplace(&mut s.ffn_h),
-                mtp_model::Activation::Silu => mtp_kernels::silu_inplace(&mut s.ffn_h),
+        let y: &Tensor = sum;
+        if threads > 1 {
+            std::thread::scope(|sc| -> Result<()> {
+                let mut handles = Vec::with_capacity(threads);
+                for (sch, wch) in chips.chunks_mut(chunk).zip(sliced.chunks(chunk)) {
+                    handles.push(sc.spawn(move || -> Result<()> {
+                        for (s, w) in sch.iter_mut().zip(wch) {
+                            chip_ffn(y, w, activation, s)?;
+                        }
+                        Ok(())
+                    }));
+                }
+                for h in handles {
+                    h.join()
+                        .map_err(|_| CoreError::InvalidConfig("chip worker panicked".into()))??;
+                }
+                Ok(())
+            })?;
+        } else {
+            for (s, w) in chips.iter_mut().zip(sliced) {
+                chip_ffn(y, w, activation, s)?;
             }
-            s.ffn_h.matmul_into(&w.w2, &mut s.partials[chip])?;
         }
 
         // --- Sync 2: all-reduce + skip + norm + broadcast. The returned
         // output is the one tensor this pass allocates.
-        let root = Self::all_reduce_in_place(&self.topology, &mut self.scratch.partials)?;
-        let mut out = self.scratch.sum.try_add(&self.scratch.partials[root])?;
+        let root = Self::all_reduce_in_place(&self.topology, chips)?;
+        let mut out = sum.try_add(&chips[root].partial)?;
         reference::normalize_inplace(&mut out, self.cfg.norm, &w0.norm2_gamma, &w0.norm2_beta);
         Ok(out)
     }
@@ -376,13 +482,40 @@ mod tests {
         };
         let weights = ModelWeights::seeded(&cfg, 31);
         let sys = FunctionalSystem::new(cfg, &weights, 8).unwrap();
-        let mut parts: Vec<Tensor> = (0..8).map(|i| synthetic_input(2, 4, i as u64)).collect();
-        let mut plain = Tensor::zeros(parts[0].shape());
+        let mut parts: Vec<ChipScratch> = (0..8)
+            .map(|i| ChipScratch { partial: synthetic_input(2, 4, i as u64), ..Default::default() })
+            .collect();
+        let mut plain = Tensor::zeros(parts[0].partial.shape());
         for p in &parts {
-            plain.accumulate(p).unwrap();
+            plain.accumulate(&p.partial).unwrap();
         }
         let root = FunctionalSystem::all_reduce_in_place(&sys.topology, &mut parts).unwrap();
-        assert!(parts[root].approx_eq(&plain, 1e-5).unwrap());
+        assert!(parts[root].partial.approx_eq(&plain, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn threaded_chips_bit_match_single_thread() {
+        let cfg = small_cfg();
+        let weights = ModelWeights::seeded(&cfg, 43);
+        let mut solo = FunctionalSystem::new(cfg.clone(), &weights, 4).unwrap();
+        let mut par = FunctionalSystem::new(cfg.clone(), &weights, 4).unwrap();
+        par.set_threads(3); // uneven chunking: chips split 2/2 over 3→2 workers
+        assert_eq!(par.threads(), 3);
+        let x = synthetic_input(6, cfg.embed_dim, 7);
+        assert_eq!(solo.prompt(&x).unwrap(), par.prompt(&x).unwrap(), "prompt path");
+        for i in 0..4u64 {
+            let t = synthetic_input(1, cfg.embed_dim, 50 + i);
+            assert_eq!(solo.step(&t).unwrap(), par.step(&t).unwrap(), "cached step {i}");
+        }
+    }
+
+    #[test]
+    fn set_threads_clamps_to_one() {
+        let cfg = small_cfg();
+        let weights = ModelWeights::seeded(&cfg, 47);
+        let mut sys = FunctionalSystem::new(cfg, &weights, 2).unwrap();
+        sys.set_threads(0);
+        assert_eq!(sys.threads(), 1);
     }
 
     #[test]

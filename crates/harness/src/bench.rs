@@ -18,9 +18,11 @@
 
 use crate::sweep::{SweepEngine, SweepGrid};
 use mtp_core::schedule::Scheduler;
+use mtp_kernels::{CalibratedCostModel, ClusterCostModel, Kernel};
+use mtp_model::reference::{AttnMask, AttnScratch};
 use mtp_model::{reference, InferenceMode, TransformerConfig};
 use mtp_sim::{ChipSpec, LinkRegime, Machine, QueueDiscipline};
-use mtp_tensor::Tensor;
+use mtp_tensor::{quantize_symmetric, Backend, ScalarBackend, Tensor};
 use std::time::Instant;
 
 /// Benchmark schema identifier emitted into the JSON document.
@@ -62,7 +64,11 @@ fn best_of<F: FnMut()>(reps: usize, mut f: F) -> u64 {
 #[must_use]
 pub fn run(quick: bool) -> BenchReport {
     let profile = if quick { "quick" } else { "full" };
-    let (k_reps, s_reps, g_reps) = if quick { (5, 20, 2) } else { (20, 200, 8) };
+    // Kernel reps are deliberately the highest: single-iteration GEMM
+    // timings on shared hosts swing by 2-3x under interference, and
+    // best-of-N only converges to the true cost once N outlasts the
+    // noise bursts (see DESIGN.md §8).
+    let (k_reps, s_reps, g_reps) = if quick { (12, 20, 2) } else { (60, 200, 8) };
     let mut results = Vec::new();
     let mut push = |name: &str, min_ns: u64, reps: usize| {
         results.push(BenchResult { name: name.to_owned(), min_ns, reps });
@@ -91,6 +97,64 @@ pub fn run(quick: bool) -> BenchReport {
         best_of(k_reps, || {
             x.matmul_into(&w, &mut scratch).expect("matmul_into");
             std::hint::black_box(&scratch);
+        }),
+        k_reps,
+    );
+
+    // --- Backend/dtype axes (PR 8): the same GEMM shape through the
+    // always-available scalar backend (the SIMD speedup's denominator),
+    // the f16 storage path (widen + f32 accumulate), and the int8
+    // quantized path; the entries above measure whatever backend
+    // `mtp_tensor::active()` selected (SIMD where the host supports it,
+    // `MTP_BACKEND=scalar` to force the fallback).
+    let scalar = ScalarBackend;
+    let mut scalar_out = vec![0.0f32; 64 * 512];
+    push(
+        "kernel/matmul_scalar_64x512x512",
+        best_of(k_reps, || {
+            scalar.matmul_f32(x.as_slice(), w.as_slice(), &mut scalar_out, 64, 512, 512);
+            std::hint::black_box(&scalar_out);
+        }),
+        k_reps,
+    );
+    let (xh, wh) = (x.to_f16(), w.to_f16());
+    push(
+        "kernel/matmul_f16_64x512x512",
+        best_of(k_reps, || {
+            std::hint::black_box(xh.try_matmul(&wh).expect("f16 matmul"));
+        }),
+        k_reps,
+    );
+    let (xq, wq) = (quantize_symmetric(&x), quantize_symmetric(&w));
+    push(
+        "kernel/matmul_i8_64x512x512",
+        best_of(k_reps, || {
+            std::hint::black_box(xq.matmul_i32(&wq).expect("i8 matmul"));
+        }),
+        k_reps,
+    );
+
+    // --- Fused attention hot path: 8 heads of dim 64 over 64 causal
+    // positions — scores GEMM + softmax + value GEMM exactly as the
+    // model layer runs them (backend-routed since PR 8).
+    let aq = reference::synthetic_input(64, 512, 3);
+    let ak = reference::synthetic_input(64, 512, 4);
+    let av = reference::synthetic_input(64, 512, 5);
+    let mut attn_scratch = AttnScratch::default();
+    let mut attn_out = Tensor::default();
+    push(
+        "kernel/attention_64t_h8_d64",
+        best_of(k_reps, || {
+            reference::attention_heads_into(
+                &aq,
+                &ak,
+                &av,
+                64,
+                AttnMask::Causal { q_offset: 0 },
+                &mut attn_scratch,
+                &mut attn_out,
+            );
+            std::hint::black_box(&attn_out);
         }),
         k_reps,
     );
@@ -360,14 +424,34 @@ impl Comparison {
     /// 1.0 means the current tree is faster).
     #[must_use]
     pub fn render(&self) -> String {
+        self.render_table(None)
+    }
+
+    /// Renders the speedup table with an explicit per-row verdict against
+    /// `tolerance`: every matched row ends in `ok (within <tol>x)` or
+    /// `REGRESSION`. The CI guard prints this form so a log reader (or a
+    /// grep) never has to re-derive which rows the gate actually flagged —
+    /// noisy-but-in-tolerance rows are marked ok, not left ambiguous.
+    #[must_use]
+    pub fn render_checked(&self, tolerance: f64) -> String {
+        self.render_table(Some(tolerance))
+    }
+
+    fn render_table(&self, tolerance: Option<f64>) -> String {
         let mut out = String::from("vs baseline (speedup = baseline/current; >1 is faster):\n");
         for (name, base, cur) in &self.rows {
+            let verdict = match tolerance {
+                Some(tol) if *cur as f64 > tol * (*base).max(1) as f64 => "   REGRESSION".into(),
+                Some(tol) => format!("   ok (within {tol}x)"),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "  {:<34} {:>12} -> {:>12} ns   {:>6.2}x\n",
+                "  {:<34} {:>12} -> {:>12} ns   {:>6.2}x{}\n",
                 name,
                 base,
                 cur,
                 *base as f64 / (*cur).max(1) as f64,
+                verdict,
             ));
         }
         for name in &self.unmatched {
@@ -461,6 +545,40 @@ impl BenchReport {
     }
 }
 
+/// Runs the host-timing calibration (`mtp bench --calibrate`): measures
+/// the real kernels best-of-N, fits a [`CalibratedCostModel`] at the
+/// Siracusa 500 MHz clock, and renders the fitted cycle counts next to
+/// the analytic model's for representative kernels. The two columns are
+/// *expected* to differ — host SIMD throughput is not an MCU cluster —
+/// but their relative shape across kernels is the sanity check the
+/// calibrated [`mtp_kernels::CostSource`] variant exists for.
+#[must_use]
+pub fn render_calibration(quick: bool) -> String {
+    let reps = if quick { 5 } else { 20 };
+    let clock_hz = 500e6;
+    let calibrated = CalibratedCostModel::measure(clock_hz, reps);
+    let analytic = ClusterCostModel::siracusa();
+    let mut out =
+        format!("calibrated cost model ({reps} reps, clock {:.0} MHz):\n", clock_hz / 1e6);
+    out.push_str(&format!("  {:<26} {:>16} {:>18}\n", "kernel", "analytic_cyc", "calibrated_cyc"));
+    let kernels = [
+        Kernel::gemm(64, 512, 512),
+        Kernel::gemv(512, 512),
+        Kernel::Softmax { rows: 64, cols: 512 },
+        Kernel::LayerNorm { rows: 64, cols: 512 },
+        Kernel::Gelu { n: 64 * 512 },
+    ];
+    for k in &kernels {
+        out.push_str(&format!(
+            "  {:<26} {:>16} {:>18}\n",
+            k.to_string(),
+            analytic.cycles(k),
+            calibrated.cycles(k)
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,7 +587,7 @@ mod tests {
     fn quick_profile_runs_every_bench() {
         let report = run(true);
         assert_eq!(report.profile, "quick");
-        assert_eq!(report.results.len(), 16);
+        assert_eq!(report.results.len(), 20);
         for r in &report.results {
             assert!(r.min_ns > 0, "{} measured nothing", r.name);
         }
@@ -553,6 +671,37 @@ mod tests {
         // rather than pass vacuously.
         let disjoint = report.compare(&[("kernel/renamed".to_owned(), 1)]);
         assert!(disjoint.check(10.0).unwrap_err().contains("no benchmark matches"));
+    }
+
+    #[test]
+    fn checked_render_marks_every_row_explicitly() {
+        let report = BenchReport {
+            profile: "quick",
+            results: vec![
+                BenchResult { name: "kernel/noisy".into(), min_ns: 180, reps: 1 },
+                BenchResult { name: "kernel/bad".into(), min_ns: 5000, reps: 1 },
+            ],
+        };
+        let baseline = vec![("kernel/noisy".to_owned(), 100), ("kernel/bad".to_owned(), 100)];
+        let rendered = report.compare(&baseline).render_checked(10.0);
+        // The 1.8x-slower row is explicitly in tolerance; only the 50x
+        // row is flagged — a log grep for REGRESSION matches exactly the
+        // rows the gate would fail on.
+        let noisy = rendered.lines().find(|l| l.contains("kernel/noisy")).unwrap();
+        assert!(noisy.contains("ok (within 10x)"), "{noisy}");
+        assert!(!noisy.contains("REGRESSION"), "{noisy}");
+        let bad = rendered.lines().find(|l| l.contains("kernel/bad")).unwrap();
+        assert!(bad.contains("REGRESSION"), "{bad}");
+        // The unchecked render carries no verdict column at all.
+        assert!(!report.compare(&baseline).render().contains("ok (within"));
+    }
+
+    #[test]
+    fn calibration_renders_all_op_classes() {
+        let rendered = render_calibration(true);
+        for label in ["gemm[64x512x512]", "gemv[512x512]", "softmax", "layernorm", "gelu"] {
+            assert!(rendered.contains(label), "missing {label} in:\n{rendered}");
+        }
     }
 
     #[test]

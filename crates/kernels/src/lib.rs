@@ -32,7 +32,9 @@ pub mod cost;
 pub mod linear;
 pub mod ops;
 
-pub use cost::{ClusterCostModel, CostParams};
+pub use cost::{
+    CalibratedCostModel, CalibrationSample, ClusterCostModel, CostParams, CostSource, OpClass,
+};
 pub use linear::{gemm, gemm_bias, gemv};
 pub use ops::{
     gelu, gelu_inplace, layer_norm, layer_norm_inplace, rms_norm, rms_norm_inplace,

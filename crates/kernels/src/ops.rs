@@ -23,20 +23,28 @@ pub fn softmax_rows(t: &Tensor) -> Tensor {
 
 /// In-place [`softmax_rows`]: the scratch-friendly variant the zero-alloc
 /// attention path uses (identical arithmetic, no output allocation).
+///
+/// The max-reduction and the final divide go through the active
+/// [`mtp_tensor::Backend`]; `exp` and the ascending-index sum stay scalar.
+/// Every step is backend-bit-identical: max over finite values is
+/// order-free, and the divide is one IEEE division per element on every
+/// backend.
 pub fn softmax_rows_inplace(t: &mut Tensor) {
     let cols = t.shape().cols();
+    let be = mtp_tensor::active();
     for r in 0..t.shape().rows() {
         let row = &mut t.as_mut_slice()[r * cols..(r + 1) * cols];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        if row.is_empty() {
+            continue;
+        }
+        let max = be.row_max(row);
         let mut sum = 0.0f32;
         for v in row.iter_mut() {
             *v = (*v - max).exp();
             sum += *v;
         }
         if sum > 0.0 {
-            for v in row.iter_mut() {
-                *v /= sum;
-            }
+            be.div_inplace(row, sum);
         }
     }
 }
@@ -62,14 +70,16 @@ pub fn layer_norm_inplace(t: &mut Tensor, gamma: &[f32], beta: &[f32], eps: f32)
     let cols = t.shape().cols();
     assert_eq!(gamma.len(), cols, "gamma length must equal row width");
     assert_eq!(beta.len(), cols, "beta length must equal row width");
+    let be = mtp_tensor::active();
     for r in 0..t.shape().rows() {
         let row = &mut t.as_mut_slice()[r * cols..(r + 1) * cols];
+        // The mean/variance reductions stay scalar (ascending-index sums fix
+        // the rounding order); the apply step vectorizes freely because it
+        // is element-wise with the scalar operation order on every backend.
         let mean = row.iter().sum::<f32>() / cols as f32;
         let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
         let inv = 1.0 / (var + eps).sqrt();
-        for (v, (&g, &b)) in row.iter_mut().zip(gamma.iter().zip(beta)) {
-            *v = (*v - mean) * inv * g + b;
-        }
+        be.norm_apply(row, mean, inv, gamma, beta);
     }
 }
 
@@ -93,13 +103,12 @@ pub fn rms_norm(t: &Tensor, gamma: &[f32], eps: f32) -> Tensor {
 pub fn rms_norm_inplace(t: &mut Tensor, gamma: &[f32], eps: f32) {
     let cols = t.shape().cols();
     assert_eq!(gamma.len(), cols, "gamma length must equal row width");
+    let be = mtp_tensor::active();
     for r in 0..t.shape().rows() {
         let row = &mut t.as_mut_slice()[r * cols..(r + 1) * cols];
         let ms = row.iter().map(|v| v * v).sum::<f32>() / cols as f32;
         let inv = 1.0 / (ms + eps).sqrt();
-        for (v, &g) in row.iter_mut().zip(gamma) {
-            *v = *v * inv * g;
-        }
+        be.rms_apply(row, inv, gamma);
     }
 }
 
@@ -267,6 +276,55 @@ mod tests {
                 assert!((n0 - n1).abs() < 1e-4);
             }
         }
+    }
+
+    #[test]
+    fn routed_ops_bit_match_scalar_backend_composition() {
+        // Recompose each backend-routed op from the always-available
+        // scalar backend and demand bit equality with the public entry
+        // point (which may be running SIMD) — the ops-level face of the
+        // backend bit-identity contract.
+        let scalar = mtp_tensor::ScalarBackend;
+        use mtp_tensor::Backend as _;
+        let t = Tensor::from_fn(Shape::mat(5, 37), |(r, c)| ((r * 37 + c) as f32).sin() * 3.0);
+        let cols = t.shape().cols();
+
+        let got = softmax_rows(&t);
+        let mut want = t.clone();
+        for r in 0..want.shape().rows() {
+            let row = &mut want.as_mut_slice()[r * cols..(r + 1) * cols];
+            let max = scalar.row_max(row);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            scalar.div_inplace(row, sum);
+        }
+        assert_eq!(got.as_slice(), want.as_slice(), "softmax bit mismatch");
+
+        let gamma: Vec<f32> = (0..cols).map(|i| 0.5 + i as f32 * 0.01).collect();
+        let beta: Vec<f32> = (0..cols).map(|i| i as f32 * 0.02 - 0.3).collect();
+        let got = layer_norm(&t, &gamma, &beta, 1e-5);
+        let mut want = t.clone();
+        for r in 0..want.shape().rows() {
+            let row = &mut want.as_mut_slice()[r * cols..(r + 1) * cols];
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let inv = 1.0 / (var + 1e-5f32).sqrt();
+            scalar.norm_apply(row, mean, inv, &gamma, &beta);
+        }
+        assert_eq!(got.as_slice(), want.as_slice(), "layer_norm bit mismatch");
+
+        let got = rms_norm(&t, &gamma, 1e-6);
+        let mut want = t.clone();
+        for r in 0..want.shape().rows() {
+            let row = &mut want.as_mut_slice()[r * cols..(r + 1) * cols];
+            let ms = row.iter().map(|v| v * v).sum::<f32>() / cols as f32;
+            let inv = 1.0 / (ms + 1e-6f32).sqrt();
+            scalar.rms_apply(row, inv, &gamma);
+        }
+        assert_eq!(got.as_slice(), want.as_slice(), "rms_norm bit mismatch");
     }
 
     #[test]

@@ -277,11 +277,65 @@ impl BatchDecoder {
     /// Propagates tensor shape mismatches.
     pub fn step(&mut self, request: usize, x: &Tensor) -> Result<Tensor> {
         assert!(request < self.caches.len(), "request index out of range");
-        let mut h = x.clone();
-        for (layer, cache) in self.caches[request].iter_mut().enumerate() {
-            h = reference::block_forward(&h, self.weights.block(layer), &self.cfg, Some(cache))?;
+        run_request(&self.cfg, &self.weights, &mut self.caches[request], x)
+    }
+
+    /// One synchronized decode round over all request slots: entry `r`
+    /// of `xs` is request `r`'s `[1 x E]` embedding row, or `None` when
+    /// the slot is idle this round. Returns one output row per active
+    /// slot, in slot order.
+    ///
+    /// With `threads > 1` active slots run concurrently under
+    /// [`std::thread::scope`]; because stepping a request touches only
+    /// that request's caches (weights are shared read-only), the result
+    /// is bit-identical to stepping the slots sequentially (tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs.len()` differs from [`Self::n_requests`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape mismatches.
+    pub fn step_batch(
+        &mut self,
+        xs: &[Option<Tensor>],
+        threads: usize,
+    ) -> Result<Vec<Option<Tensor>>> {
+        assert_eq!(xs.len(), self.caches.len(), "one optional input row per request slot");
+        let (cfg, weights) = (&self.cfg, &self.weights);
+        let threads = threads.clamp(1, xs.len());
+        if threads == 1 {
+            return xs
+                .iter()
+                .zip(&mut self.caches)
+                .map(|(x, caches)| {
+                    x.as_ref().map(|x| run_request(cfg, weights, caches, x)).transpose()
+                })
+                .collect();
         }
-        Ok(h)
+        let chunk = xs.len().div_ceil(threads);
+        let mut out: Vec<Option<Tensor>> = vec![None; xs.len()];
+        std::thread::scope(|sc| -> Result<()> {
+            let mut handles = Vec::with_capacity(threads);
+            for ((cch, xch), och) in
+                self.caches.chunks_mut(chunk).zip(xs.chunks(chunk)).zip(out.chunks_mut(chunk))
+            {
+                handles.push(sc.spawn(move || -> Result<()> {
+                    for ((caches, x), o) in cch.iter_mut().zip(xch).zip(och.iter_mut()) {
+                        if let Some(x) = x {
+                            *o = Some(run_request(cfg, weights, caches, x)?);
+                        }
+                    }
+                    Ok(())
+                }));
+            }
+            for h in handles {
+                h.join().expect("batch worker panicked")?;
+            }
+            Ok(())
+        })?;
+        Ok(out)
     }
 
     /// Resets every request's KV-caches.
@@ -292,6 +346,22 @@ impl BatchDecoder {
             }
         }
     }
+}
+
+/// One request's autoregressive step against the shared weights: the
+/// per-slot unit of work [`BatchDecoder::step_batch`] distributes over
+/// threads. `caches` is that request's per-layer stack.
+fn run_request(
+    cfg: &TransformerConfig,
+    weights: &ModelWeights,
+    caches: &mut [KvCache],
+    x: &Tensor,
+) -> Result<Tensor> {
+    let mut h = x.clone();
+    for (layer, cache) in caches.iter_mut().enumerate() {
+        h = reference::block_forward(&h, weights.block(layer), cfg, Some(cache))?;
+    }
+    Ok(h)
 }
 
 /// Errors of [`generate_greedy_batch`].
@@ -440,6 +510,7 @@ pub fn generate_greedy_batch<E>(
 mod tests {
     use super::*;
     use crate::generate::generate_greedy;
+    use crate::reference::synthetic_input;
     use crate::Decoder;
 
     fn small_cfg() -> TransformerConfig {
@@ -569,6 +640,45 @@ mod tests {
             few,
             Err(BatchGenerateError::RequestCountMismatch { expected: 2, actual: 1 })
         ));
+    }
+
+    #[test]
+    fn step_batch_threads_bit_match_sequential() {
+        let cfg = small_cfg();
+        let weights = ModelWeights::seeded(&cfg, 9);
+        let mut seq = BatchDecoder::new(cfg.clone(), weights.clone(), 5);
+        let mut par = BatchDecoder::new(cfg, weights, 5);
+        for round in 0..3u64 {
+            // Slot 2 idles every round; slot 4 idles on round 1 — exercises
+            // sparse batches and uneven chunking (5 slots over 3 workers).
+            let xs: Vec<Option<Tensor>> = (0..5)
+                .map(|r| {
+                    (r != 2 && !(round == 1 && r == 4))
+                        .then(|| synthetic_input(1, seq.config().embed_dim, 10 * round + r as u64))
+                })
+                .collect();
+            let a = seq.step_batch(&xs, 1).unwrap();
+            let b = par.step_batch(&xs, 3).unwrap();
+            assert_eq!(a, b, "round {round}");
+            assert!(a[2].is_none());
+        }
+        assert_eq!(seq.cached_len(0), 3);
+        assert_eq!(seq.cached_len(2), 0);
+        assert_eq!(seq.cached_len(4), 2);
+        assert_eq!(par.cached_len(4), 2);
+    }
+
+    #[test]
+    fn step_batch_matches_single_step() {
+        let cfg = small_cfg();
+        let weights = ModelWeights::seeded(&cfg, 13);
+        let mut batch = BatchDecoder::new(cfg.clone(), weights.clone(), 2);
+        let mut solo = BatchDecoder::new(cfg, weights, 2);
+        let x0 = synthetic_input(1, batch.config().embed_dim, 1);
+        let x1 = synthetic_input(1, batch.config().embed_dim, 2);
+        let out = batch.step_batch(&[Some(x0.clone()), Some(x1.clone())], 2).unwrap();
+        assert_eq!(out[0].as_ref().unwrap(), &solo.step(0, &x0).unwrap());
+        assert_eq!(out[1].as_ref().unwrap(), &solo.step(1, &x1).unwrap());
     }
 
     #[test]

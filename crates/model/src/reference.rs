@@ -88,7 +88,6 @@ pub fn attention_heads_into(
     scratch: &mut AttnScratch,
     out: &mut Tensor,
 ) {
-    use mtp_tensor::madd;
     let width = q.shape().cols();
     let kv_width = k.shape().cols();
     assert_eq!(k.shape(), v.shape(), "k and v must share one [S_kv x width] shape");
@@ -107,25 +106,28 @@ pub fn attention_heads_into(
     // fully overwritten every head, so its resize skips the memset.
     out.resize_to(Shape::mat(sq, width));
     scratch.scores.resize_for_overwrite(Shape::mat(sq, skv));
+    if sq == 0 || skv == 0 {
+        return;
+    }
+    let be = mtp_tensor::active();
     for h in 0..n_heads {
         let q_off = h * head_dim;
         let kv_off = (h / group) * head_dim;
-        // scores = scale * (q_h @ k_h^T), head columns addressed in place.
-        {
-            let (qd, kd) = (q.as_slice(), k.as_slice());
-            let sd = scratch.scores.as_mut_slice();
-            for i in 0..sq {
-                let q_row = &qd[i * width + q_off..][..head_dim];
-                for j in 0..skv {
-                    let k_row = &kd[j * kv_width + kv_off..][..head_dim];
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in q_row.iter().zip(k_row) {
-                        acc = madd(acc, a, b);
-                    }
-                    sd[i * skv + j] = acc * scale;
-                }
-            }
-        }
+        // scores = scale * (q_h @ k_h^T): head slabs addressed in place
+        // (strided), dispatched to the active backend. Chains stay in
+        // ascending key order on every backend, so this is bit-identical
+        // to the scalar loop it replaced.
+        be.scaled_dot_t(
+            &q.as_slice()[q_off..],
+            width,
+            &k.as_slice()[kv_off..],
+            kv_width,
+            scale,
+            scratch.scores.as_mut_slice(),
+            sq,
+            head_dim,
+            skv,
+        );
         if let AttnMask::Causal { q_offset } = mask {
             for i in 0..sq {
                 for j in (q_offset + i + 1)..skv {
@@ -134,21 +136,20 @@ pub fn attention_heads_into(
             }
         }
         kernels::softmax_rows_inplace(&mut scratch.scores);
-        // out_h = probs @ v_h, accumulated in ascending key order.
-        {
-            let (pd, vd) = (scratch.scores.as_slice(), v.as_slice());
-            let od = out.as_mut_slice();
-            for i in 0..sq {
-                let o_row = &mut od[i * width + q_off..][..head_dim];
-                for p in 0..skv {
-                    let prob = pd[i * skv + p];
-                    let v_row = &vd[p * kv_width + kv_off..][..head_dim];
-                    for (o, &vv) in o_row.iter_mut().zip(v_row) {
-                        *o = madd(*o, prob, vv);
-                    }
-                }
-            }
-        }
+        // out_h += probs @ v_h, accumulated in ascending key order via the
+        // backend's strided GEMM (accumulate = true onto the zeroed out).
+        be.gemm_strided(
+            scratch.scores.as_slice(),
+            skv,
+            &v.as_slice()[kv_off..],
+            kv_width,
+            &mut out.as_mut_slice()[q_off..],
+            width,
+            sq,
+            skv,
+            head_dim,
+            true,
+        );
     }
 }
 

@@ -1,0 +1,534 @@
+//! Compute backends: scalar reference kernels and the runtime-selected
+//! SIMD implementation.
+//!
+//! A [`Backend`] supplies the hot numeric kernels (`matmul` flavours, the
+//! strided attention primitives, element-wise norm/softmax helpers) for
+//! every dtype the workspace carries. Two implementations exist:
+//!
+//! - [`ScalarBackend`] — portable, allocation-free, always available.
+//!   Its f32 kernels are the blocked loops that are property-proven
+//!   bit-identical to [`crate::naive`].
+//! - `SimdBackend` (x86-64 only) — explicit AVX2(+FMA) kernels. Each
+//!   output element still accumulates its reduction terms in ascending-`k`
+//!   order in its own SIMD lane, so f32 results are **bit-identical** to
+//!   the scalar backend and therefore to [`crate::naive`]; integer (i8)
+//!   kernels are exact by construction; f16 kernels widen exactly and
+//!   reuse the f32 chains, so they match the scalar f16 kernels bit for
+//!   bit as well.
+//!
+//! The active backend is chosen once per process by runtime CPU-feature
+//! detection (AVX2), overridable with the `MTP_BACKEND` environment
+//! variable (`scalar` | `simd`) or programmatically with [`set_backend`].
+//! Because both backends produce bit-identical results, switching is a
+//! pure performance decision — never a numerics one.
+
+use crate::element::F16;
+use crate::tensor::madd;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The kernel set a compute backend must provide.
+///
+/// All matrix arguments are row-major slices. Methods panic (never UB)
+/// when a slice is too short for the dimensions it is claimed to hold;
+/// the SIMD implementation asserts bounds up front, the scalar one relies
+/// on slice indexing.
+pub trait Backend: Sync {
+    /// A short human-readable backend name (`"scalar"`, `"avx2"`).
+    fn name(&self) -> &'static str;
+
+    /// `out = a @ b` for contiguous `[m x k] @ [k x n]` operands,
+    /// overwriting `out` (`m*n` elements). Bit-identical to
+    /// [`crate::naive::matmul`].
+    fn matmul_f32(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize);
+
+    /// `out = a @ b^T` for contiguous `a: [m x k]`, `b: [n x k]`,
+    /// overwriting `out`. Bit-identical to [`crate::naive::matmul_t`].
+    fn matmul_t_f32(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize);
+
+    /// Strided general matrix product: for `i < m`, `j < n`,
+    /// `out[i*out_stride + j] (+)= sum_p a[i*a_stride + p] * b[p*b_stride + j]`
+    /// with the sum accumulated in ascending-`p` [`madd`] order (starting
+    /// from the existing `out` value when `accumulate` is set, else from
+    /// zero). This is the attention-context primitive: row slabs can be
+    /// addressed in place inside wider matrices.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_strided(
+        &self,
+        a: &[f32],
+        a_stride: usize,
+        b: &[f32],
+        b_stride: usize,
+        out: &mut [f32],
+        out_stride: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+        accumulate: bool,
+    );
+
+    /// Attention-score primitive: `out[i*n + j] = dot(a_i, b_j) * scale`
+    /// where `a_i` is row `i` of a strided `[m x k]` slab and `b_j` is row
+    /// `j` of a strided `[n x k]` slab; each dot accumulates in
+    /// ascending-`k` [`madd`] order and is scaled by one final multiply
+    /// (`out` is contiguous `m x n`).
+    #[allow(clippy::too_many_arguments)]
+    fn scaled_dot_t(
+        &self,
+        a: &[f32],
+        a_stride: usize,
+        b: &[f32],
+        b_stride: usize,
+        scale: f32,
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    );
+
+    /// Half-precision `out = a @ b` for contiguous `[m x k] @ [k x n]`
+    /// operands: elements widen exactly to `f32` and accumulate in the
+    /// same ascending-`k` chains as [`Backend::matmul_f32`], so scalar and
+    /// SIMD agree bit for bit and the error versus an f32 matmul is the
+    /// bounded f16 representation error (asserted in the lockstep suite).
+    fn matmul_f16(&self, a: &[F16], b: &[F16], out: &mut [f32], m: usize, k: usize, n: usize);
+
+    /// Integer `out = a @ b` for contiguous int8 `[m x k] @ [k x n]`
+    /// operands with `i32` accumulation — exact (order-independent), so
+    /// all backends agree bit for bit.
+    fn matmul_i8_i32(&self, a: &[i8], b: &[i8], out: &mut [i32], m: usize, k: usize, n: usize);
+
+    /// Maximum element of `row` (`-inf` for an empty row). Max is
+    /// associative and commutative over non-NaN values, so the vectorized
+    /// reduction matches the scalar fold for the finite inputs the
+    /// softmax path feeds it.
+    fn row_max(&self, row: &[f32]) -> f32;
+
+    /// `v /= denom` for every element — one correctly-rounded IEEE divide
+    /// per element, identical under any vectorization (the softmax
+    /// normalization step).
+    fn div_inplace(&self, row: &mut [f32], denom: f32);
+
+    /// The LayerNorm apply step: `v = (v - mean) * inv_std * gamma + beta`
+    /// element-wise, in exactly that operation order (no FMA contraction),
+    /// so scalar and SIMD agree bit for bit. The order-sensitive mean and
+    /// variance reductions stay with the caller.
+    fn norm_apply(&self, row: &mut [f32], mean: f32, inv_std: f32, gamma: &[f32], beta: &[f32]);
+
+    /// The RMSNorm apply step: `v = v * inv_rms * gamma` element-wise, in
+    /// exactly that operation order.
+    fn rms_apply(&self, row: &mut [f32], inv_rms: f32, gamma: &[f32]);
+}
+
+/// The portable scalar backend — the always-available fallback and the
+/// reference the SIMD backend is tested bit-identical against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarBackend;
+
+impl Backend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn matmul_f32(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        matmul_kernel(a, b, out, m, k, n);
+    }
+
+    fn matmul_t_f32(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        matmul_t_kernel(a, b, out, m, k, n);
+    }
+
+    fn gemm_strided(
+        &self,
+        a: &[f32],
+        a_stride: usize,
+        b: &[f32],
+        b_stride: usize,
+        out: &mut [f32],
+        out_stride: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+        accumulate: bool,
+    ) {
+        for i in 0..m {
+            if !accumulate {
+                out[i * out_stride..][..n].fill(0.0);
+            }
+            for p in 0..k {
+                let x = a[i * a_stride + p];
+                let b_row = &b[p * b_stride..][..n];
+                let o_row = &mut out[i * out_stride..][..n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o = madd(*o, x, bv);
+                }
+            }
+        }
+    }
+
+    fn scaled_dot_t(
+        &self,
+        a: &[f32],
+        a_stride: usize,
+        b: &[f32],
+        b_stride: usize,
+        scale: f32,
+        out: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        for i in 0..m {
+            let a_row = &a[i * a_stride..][..k];
+            for j in 0..n {
+                let b_row = &b[j * b_stride..][..k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc = madd(acc, x, y);
+                }
+                out[i * n + j] = acc * scale;
+            }
+        }
+    }
+
+    fn matmul_f16(&self, a: &[F16], b: &[F16], out: &mut [f32], m: usize, k: usize, n: usize) {
+        out[..m * n].fill(0.0);
+        for i in 0..m {
+            let o_row = &mut out[i * n..][..n];
+            for p in 0..k {
+                let x = a[i * k + p].to_f32();
+                let b_row = &b[p * n..][..n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o = madd(*o, x, bv.to_f32());
+                }
+            }
+        }
+    }
+
+    fn matmul_i8_i32(&self, a: &[i8], b: &[i8], out: &mut [i32], m: usize, k: usize, n: usize) {
+        out[..m * n].fill(0);
+        for i in 0..m {
+            for p in 0..k {
+                let x = i32::from(a[i * k + p]);
+                if x == 0 {
+                    continue; // adds nothing; integer sums are order-free
+                }
+                let b_row = &b[p * n..][..n];
+                let o_row = &mut out[i * n..][..n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += x * i32::from(bv);
+                }
+            }
+        }
+    }
+
+    fn row_max(&self, row: &[f32]) -> f32 {
+        row.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    fn div_inplace(&self, row: &mut [f32], denom: f32) {
+        for v in row {
+            *v /= denom;
+        }
+    }
+
+    fn norm_apply(&self, row: &mut [f32], mean: f32, inv_std: f32, gamma: &[f32], beta: &[f32]) {
+        for (v, (&g, &b)) in row.iter_mut().zip(gamma.iter().zip(beta)) {
+            *v = (*v - mean) * inv_std * g + b;
+        }
+    }
+
+    fn rms_apply(&self, row: &mut [f32], inv_rms: f32, gamma: &[f32]) {
+        for (v, &g) in row.iter_mut().zip(gamma) {
+            *v = *v * inv_rms * g;
+        }
+    }
+}
+
+/// Which backend implementation is (or should be) active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Portable scalar kernels.
+    Scalar,
+    /// Runtime-detected SIMD kernels (AVX2 on x86-64).
+    Simd,
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::Scalar => write!(f, "scalar"),
+            BackendKind::Simd => write!(f, "simd"),
+        }
+    }
+}
+
+/// `true` when this host supports the SIMD backend (AVX2 on x86-64;
+/// always `false` elsewhere — the scalar fallback is selected).
+#[must_use]
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+// 0 = undecided, 1 = scalar, 2 = simd.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+fn decide() -> BackendKind {
+    if let Ok(v) = std::env::var("MTP_BACKEND") {
+        match v.as_str() {
+            "scalar" => return BackendKind::Scalar,
+            // An unsupported "simd" request falls back to scalar rather
+            // than failing: the env var expresses a preference, the
+            // always-available path keeps the process running.
+            "simd" if simd_available() => return BackendKind::Simd,
+            _ => {}
+        }
+    }
+    if simd_available() {
+        BackendKind::Simd
+    } else {
+        BackendKind::Scalar
+    }
+}
+
+/// The backend kind currently in effect (decides on first use: the
+/// `MTP_BACKEND` environment variable if set and valid, else CPU-feature
+/// detection).
+#[must_use]
+pub fn active_kind() -> BackendKind {
+    match ACTIVE.load(Ordering::Relaxed) {
+        1 => BackendKind::Scalar,
+        2 => BackendKind::Simd,
+        _ => {
+            let kind = decide();
+            ACTIVE.store(if kind == BackendKind::Scalar { 1 } else { 2 }, Ordering::Relaxed);
+            kind
+        }
+    }
+}
+
+/// Forces the active backend for this process. Returns `false` (leaving
+/// the selection unchanged) when the requested backend is unavailable on
+/// this host. Safe to call at any time: both backends produce
+/// bit-identical results, so a mid-run switch changes speed only.
+pub fn set_backend(kind: BackendKind) -> bool {
+    if kind == BackendKind::Simd && !simd_available() {
+        return false;
+    }
+    ACTIVE.store(if kind == BackendKind::Scalar { 1 } else { 2 }, Ordering::Relaxed);
+    true
+}
+
+/// The active [`Backend`] implementation.
+#[must_use]
+pub fn active() -> &'static dyn Backend {
+    match active_kind() {
+        BackendKind::Scalar => &ScalarBackend,
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Simd => crate::simd::backend_static(),
+        #[cfg(not(target_arch = "x86_64"))]
+        BackendKind::Simd => unreachable!("SIMD backend is never selected off x86-64"),
+    }
+}
+
+/// Blocked `[m x k] @ [k x n]` kernel: branch-free (no per-element zero
+/// test), register-blocked over four output rows with a 4-wide unrolled
+/// reduction (2 k-steps x the madd pair), so each `b` row is loaded once
+/// per four output rows and each output row is loaded/stored once per two
+/// reduction steps.
+///
+/// Each output element still accumulates its terms in ascending-`k` order,
+/// which keeps the result bit-identical to [`crate::naive::matmul`].
+pub(crate) fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    out[..m * n].fill(0.0);
+    let mut i = 0;
+    while i + 4 <= m {
+        let (o0, rest) = out[i * n..].split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, rest) = rest.split_at_mut(n);
+        let o3 = &mut rest[..n];
+        let a0r = &a[i * k..][..k];
+        let a1r = &a[(i + 1) * k..][..k];
+        let a2r = &a[(i + 2) * k..][..k];
+        let a3r = &a[(i + 3) * k..][..k];
+        let mut p = 0;
+        while p + 2 <= k {
+            let bp0 = &b[p * n..][..n];
+            let bp1 = &b[(p + 1) * n..][..n];
+            let (a00, a01) = (a0r[p], a0r[p + 1]);
+            let (a10, a11) = (a1r[p], a1r[p + 1]);
+            let (a20, a21) = (a2r[p], a2r[p + 1]);
+            let (a30, a31) = (a3r[p], a3r[p + 1]);
+            for j in 0..n {
+                let (b0, b1) = (bp0[j], bp1[j]);
+                o0[j] = madd(madd(o0[j], a00, b0), a01, b1);
+                o1[j] = madd(madd(o1[j], a10, b0), a11, b1);
+                o2[j] = madd(madd(o2[j], a20, b0), a21, b1);
+                o3[j] = madd(madd(o3[j], a30, b0), a31, b1);
+            }
+            p += 2;
+        }
+        while p < k {
+            let bp = &b[p * n..][..n];
+            let (x0, x1, x2, x3) = (a0r[p], a1r[p], a2r[p], a3r[p]);
+            for j in 0..n {
+                let bv = bp[j];
+                o0[j] = madd(o0[j], x0, bv);
+                o1[j] = madd(o1[j], x1, bv);
+                o2[j] = madd(o2[j], x2, bv);
+                o3[j] = madd(o3[j], x3, bv);
+            }
+            p += 1;
+        }
+        i += 4;
+    }
+    while i < m {
+        let o_row = &mut out[i * n..][..n];
+        for p in 0..k {
+            let x = a[i * k + p];
+            let bp = &b[p * n..][..n];
+            for (o, &bv) in o_row.iter_mut().zip(bp) {
+                *o = madd(*o, x, bv);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Blocked `[m x k] @ [n x k]^T` kernel: eight output columns per pass,
+/// each with its own sequential accumulator chain. The eight chains are
+/// independent (enough instruction-level parallelism to cover the
+/// multiply-accumulate latency, which a single-chain dot product cannot)
+/// while each chain adds in ascending-`k` order — bit-identical to
+/// [`crate::naive::matmul_t`].
+pub(crate) fn matmul_t_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..][..k];
+        let o_row = &mut out[i * n..][..n];
+        let mut j = 0;
+        while j + 8 <= n {
+            let b0 = &b[j * k..][..k];
+            let b1 = &b[(j + 1) * k..][..k];
+            let b2 = &b[(j + 2) * k..][..k];
+            let b3 = &b[(j + 3) * k..][..k];
+            let b4 = &b[(j + 4) * k..][..k];
+            let b5 = &b[(j + 5) * k..][..k];
+            let b6 = &b[(j + 6) * k..][..k];
+            let b7 = &b[(j + 7) * k..][..k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            let (mut s4, mut s5, mut s6, mut s7) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (p, &av) in a_row.iter().enumerate() {
+                s0 = madd(s0, av, b0[p]);
+                s1 = madd(s1, av, b1[p]);
+                s2 = madd(s2, av, b2[p]);
+                s3 = madd(s3, av, b3[p]);
+                s4 = madd(s4, av, b4[p]);
+                s5 = madd(s5, av, b5[p]);
+                s6 = madd(s6, av, b6[p]);
+                s7 = madd(s7, av, b7[p]);
+            }
+            o_row[j] = s0;
+            o_row[j + 1] = s1;
+            o_row[j + 2] = s2;
+            o_row[j + 3] = s3;
+            o_row[j + 4] = s4;
+            o_row[j + 5] = s5;
+            o_row[j + 6] = s6;
+            o_row[j + 7] = s7;
+            j += 8;
+        }
+        while j < n {
+            let b_row = &b[j * k..][..k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc = madd(acc, av, bv);
+            }
+            o_row[j] = acc;
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_backend_name_and_selection_api() {
+        assert_eq!(ScalarBackend.name(), "scalar");
+        assert!(set_backend(BackendKind::Scalar));
+        assert_eq!(active_kind(), BackendKind::Scalar);
+        assert_eq!(active().name(), "scalar");
+        if simd_available() {
+            assert!(set_backend(BackendKind::Simd));
+            assert_eq!(active_kind(), BackendKind::Simd);
+            assert_ne!(active().name(), "scalar");
+        } else {
+            assert!(!set_backend(BackendKind::Simd));
+            assert_eq!(active_kind(), BackendKind::Scalar);
+        }
+        assert_eq!(BackendKind::Scalar.to_string(), "scalar");
+        assert_eq!(BackendKind::Simd.to_string(), "simd");
+        // Leave the process in the auto-detected state for other tests.
+        set_backend(if simd_available() { BackendKind::Simd } else { BackendKind::Scalar });
+    }
+
+    #[test]
+    fn gemm_strided_matches_matmul_on_contiguous_operands() {
+        let be = ScalarBackend;
+        let (m, k, n) = (3, 5, 4);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32).cos()).collect();
+        let mut want = vec![0.0; m * n];
+        be.matmul_f32(&a, &b, &mut want, m, k, n);
+        let mut got = vec![7.0; m * n];
+        be.gemm_strided(&a, k, &b, n, &mut got, n, m, k, n, false);
+        assert_eq!(got, want);
+        // Accumulate mode continues the chain from the existing contents:
+        // starting from zeros it reproduces the overwrite result exactly.
+        let mut acc = vec![0.0; m * n];
+        be.gemm_strided(&a, k, &b, n, &mut acc, n, m, k, n, true);
+        assert_eq!(acc, want);
+        // And from a non-zero base it actually adds (spot check).
+        let mut acc2 = vec![1.0; m * n];
+        be.gemm_strided(&a, k, &b, n, &mut acc2, n, m, k, n, true);
+        assert!(acc2.iter().zip(&want).all(|(x, w)| (x - w - 1.0).abs() < 1e-5));
+    }
+
+    #[test]
+    fn scaled_dot_t_matches_matmul_t_scaled() {
+        let be = ScalarBackend;
+        let (m, k, n) = (2, 6, 3);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32) * 0.1 - 0.5).collect();
+        let b: Vec<f32> = (0..n * k).map(|i| (i as f32) * 0.2 - 1.0).collect();
+        let mut mt = vec![0.0; m * n];
+        be.matmul_t_f32(&a, &b, &mut mt, m, k, n);
+        let mut got = vec![0.0; m * n];
+        be.scaled_dot_t(&a, k, &b, k, 0.25, &mut got, m, k, n);
+        for (g, w) in got.iter().zip(&mt) {
+            assert_eq!(*g, w * 0.25);
+        }
+    }
+
+    #[test]
+    fn elementwise_helpers_match_reference_loops() {
+        let be = ScalarBackend;
+        assert_eq!(be.row_max(&[-3.0, 7.5, 2.0]), 7.5);
+        assert_eq!(be.row_max(&[]), f32::NEG_INFINITY);
+        let mut row = [2.0f32, 5.0, -4.0];
+        be.div_inplace(&mut row, 2.0);
+        assert_eq!(row, [1.0, 2.5, -2.0]);
+        let mut r2 = [1.0f32, 2.0];
+        be.norm_apply(&mut r2, 0.5, 2.0, &[1.0, 3.0], &[0.0, 1.0]);
+        assert_eq!(r2, [(1.0 - 0.5) * 2.0 * 1.0 + 0.0, (2.0 - 0.5) * 2.0 * 3.0 + 1.0]);
+        let mut r3 = [3.0f32, -1.0];
+        be.rms_apply(&mut r3, 0.5, &[2.0, 2.0]);
+        assert_eq!(r3, [3.0, -1.0]);
+    }
+}

@@ -1,13 +1,21 @@
 //! Minimal tensor substrate for MCU transformer-inference simulation.
 //!
 //! This crate provides the small, dependency-light tensor types used by the
-//! rest of the workspace: dense row-major [`Tensor`]s of `f32`, quantized
-//! [`QTensor`]s of `i8` with per-tensor scale, and [`Shape`] bookkeeping.
+//! rest of the workspace: dense row-major [`TensorBase`] containers generic
+//! over [`TensorElement`] (`f32` [`Tensor`]s, vendored IEEE-754 half [`F16`],
+//! int8), quantized [`QTensor`]s of `i8` with per-tensor scale, and
+//! [`Shape`] bookkeeping — plus the [`backend`] layer that dispatches the
+//! hot kernels to either portable scalar code or runtime-detected AVX2, and
+//! the pooled [`workspace`] allocator that keeps kernel scratch off the
+//! steady-state allocation path.
 //!
 //! The goal is *not* to compete with ndarray: transformer inference on a
 //! micro-controller uses a handful of dense 2-D operations, and keeping the
 //! type surface small makes the partitioning logic in `mtp-core` easy to
-//! audit. Everything is row-major `Vec`-backed and deterministic.
+//! audit. Everything is row-major `Vec`-backed and deterministic: scalar
+//! and SIMD backends produce **bit-identical** f32 results (the SIMD lanes
+//! preserve each output element's ascending-`k` accumulation chain), so
+//! backend selection is purely a performance knob.
 //!
 //! # Examples
 //!
@@ -20,28 +28,50 @@
 //! assert_eq!(c, a);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD backend module is the single
+// opted-in exception (file-level `allow` with runtime feature detection
+// and asserted bounds); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod backend;
+mod element;
 mod error;
 pub mod naive;
 mod quant;
 mod shape;
+#[cfg(target_arch = "x86_64")]
+mod simd;
 mod tensor;
+pub mod workspace;
 
+pub use backend::{
+    active, active_kind, set_backend, simd_available, Backend, BackendKind, ScalarBackend,
+};
+pub use element::{TensorElement, F16};
 pub use error::{Result, TensorError};
 pub use quant::{dequantize, quantize_symmetric, QTensor, Quantization};
 pub use shape::Shape;
-pub use tensor::{madd, Tensor};
+#[cfg(target_arch = "x86_64")]
+pub use simd::SimdBackend;
+pub use tensor::{madd, Tensor, TensorBase};
+pub use workspace::{
+    reset_thread_workspace, thread_workspace_stats, with_scratch, with_workspace, Workspace,
+    WorkspaceStats,
+};
 
 /// Numeric precision used to store a tensor when it is placed in MCU memory.
 ///
 /// The simulator only needs the *byte width*; the functional executor always
-/// computes in `f32` (with an `i32` accumulator path for the int8 pipeline).
+/// computes in `f32` (with an `i32` accumulator path for the int8 pipeline
+/// and exact-widening half-precision storage via [`F16`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Dtype {
     /// 8-bit signed integer (the deployment dtype used in the paper).
     Int8,
+    /// 16-bit IEEE float (half-precision storage; compute still widens to
+    /// `f32`).
+    Float16,
     /// 32-bit IEEE float (reference/golden dtype).
     Float32,
 }
@@ -51,12 +81,14 @@ impl Dtype {
     ///
     /// ```
     /// assert_eq!(mtp_tensor::Dtype::Int8.size_bytes(), 1);
+    /// assert_eq!(mtp_tensor::Dtype::Float16.size_bytes(), 2);
     /// assert_eq!(mtp_tensor::Dtype::Float32.size_bytes(), 4);
     /// ```
     #[must_use]
     pub const fn size_bytes(self) -> usize {
         match self {
             Dtype::Int8 => 1,
+            Dtype::Float16 => 2,
             Dtype::Float32 => 4,
         }
     }
@@ -66,6 +98,7 @@ impl std::fmt::Display for Dtype {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Dtype::Int8 => write!(f, "int8"),
+            Dtype::Float16 => write!(f, "f16"),
             Dtype::Float32 => write!(f, "f32"),
         }
     }

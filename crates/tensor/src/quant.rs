@@ -5,7 +5,8 @@
 //! verification we also provide a faithful symmetric-quantization round trip
 //! so the int8 pipeline can be exercised end to end.
 
-use crate::{Result, Shape, Tensor, TensorError};
+use crate::element::TensorElement;
+use crate::{Result, Shape, Tensor, TensorBase, TensorError};
 
 /// Parameters of a symmetric linear quantizer `real = scale * q`.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -25,11 +26,11 @@ impl Quantization {
     }
 }
 
-/// A quantized int8 tensor with its per-tensor [`Quantization`].
+/// A quantized int8 tensor: a [`TensorBase<i8>`] container paired with its
+/// per-tensor [`Quantization`].
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct QTensor {
-    shape: Shape,
-    data: Vec<i8>,
+    values: TensorBase<i8>,
     quant: Quantization,
 }
 
@@ -37,7 +38,7 @@ impl QTensor {
     /// Shape of the tensor.
     #[must_use]
     pub const fn shape(&self) -> Shape {
-        self.shape
+        self.values.shape()
     }
 
     /// The quantization parameters.
@@ -49,40 +50,45 @@ impl QTensor {
     /// The raw int8 values.
     #[must_use]
     pub fn as_slice(&self) -> &[i8] {
-        &self.data
+        self.values.as_slice()
+    }
+
+    /// The underlying int8 tensor container.
+    #[must_use]
+    pub fn tensor(&self) -> &TensorBase<i8> {
+        &self.values
     }
 
     /// Byte footprint (one byte per element).
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        self.data.len()
+        self.values.storage_bytes()
     }
 
     /// Integer matrix product with `i32` accumulation, the arithmetic an MCU
-    /// DSP extension performs. Returns the `i32` accumulator matrix and the
-    /// combined output scale.
+    /// DSP extension performs — dispatched to the active
+    /// [`crate::backend::Backend`] (exact on every backend: integer sums are
+    /// order-free). Returns the `i32` accumulator matrix and the combined
+    /// output scale.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::MatmulMismatch`] when inner dims disagree.
     pub fn matmul_i32(&self, rhs: &QTensor) -> Result<(Vec<i32>, Shape, f32)> {
-        let (m, k) = (self.shape.rows(), self.shape.cols());
-        let (k2, n) = (rhs.shape.rows(), rhs.shape.cols());
+        let (m, k) = (self.shape().rows(), self.shape().cols());
+        let (k2, n) = (rhs.shape().rows(), rhs.shape().cols());
         if k != k2 {
-            return Err(TensorError::MatmulMismatch { left: self.shape, right: rhs.shape });
+            return Err(TensorError::MatmulMismatch { left: self.shape(), right: rhs.shape() });
         }
         let mut out = vec![0i32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = i32::from(self.data[i * k + p]);
-                if a == 0 {
-                    continue;
-                }
-                for j in 0..n {
-                    out[i * n + j] += a * i32::from(rhs.data[p * n + j]);
-                }
-            }
-        }
+        crate::backend::active().matmul_i8_i32(
+            self.values.as_slice(),
+            rhs.values.as_slice(),
+            &mut out,
+            m,
+            k,
+            n,
+        );
         Ok((out, Shape::mat(m, n), self.quant.scale * rhs.quant.scale))
     }
 }
@@ -100,22 +106,19 @@ impl QTensor {
 #[must_use]
 pub fn quantize_symmetric(t: &Tensor) -> QTensor {
     let quant = Quantization::for_max_abs(t.max_abs());
-    let data = t
-        .as_slice()
-        .iter()
-        .map(|&v| {
-            let q = (v / quant.scale).round();
-            q.clamp(-127.0, 127.0) as i8
-        })
-        .collect();
-    QTensor { shape: t.shape(), data, quant }
+    // `i8::from_f32` rounds to nearest and saturates to the symmetric
+    // [-127, 127] range the scale was chosen for.
+    let data: Vec<i8> = t.as_slice().iter().map(|&v| i8::from_f32(v / quant.scale)).collect();
+    let values = TensorBase::from_vec(t.shape(), data)
+        .expect("element count is preserved by the per-element map");
+    QTensor { values, quant }
 }
 
 /// Reconstructs the real-valued tensor from a quantized one.
 #[must_use]
 pub fn dequantize(q: &QTensor) -> Tensor {
-    let data = q.data.iter().map(|&v| f32::from(v) * q.quant.scale).collect();
-    Tensor::from_vec(q.shape, data).expect("shape/data consistency is a QTensor invariant")
+    let data = q.values.as_slice().iter().map(|&v| f32::from(v) * q.quant.scale).collect();
+    Tensor::from_vec(q.shape(), data).expect("shape/data consistency is a QTensor invariant")
 }
 
 #[cfg(test)]
@@ -171,5 +174,6 @@ mod tests {
     fn size_bytes_is_element_count() {
         let q = quantize_symmetric(&Tensor::zeros(Shape::mat(5, 7)));
         assert_eq!(q.size_bytes(), 35);
+        assert_eq!(q.tensor().dtype(), crate::Dtype::Int8);
     }
 }

@@ -1,6 +1,22 @@
-//! Dense row-major `f32` tensor and the operations the workspace needs.
+//! Dense row-major tensors, generic over [`TensorElement`], and the
+//! operations the workspace needs.
 
+use crate::element::{TensorElement, F16};
 use crate::{Result, Shape, TensorError};
+
+/// A dense, row-major tensor over any [`TensorElement`] (`f32`, [`F16`],
+/// `i8`).
+///
+/// The container (construction, shape bookkeeping, slicing, splitting) is
+/// element-generic; the numeric kernels live on the concrete aliases —
+/// [`Tensor`] (= `TensorBase<f32>`, the golden-model type every
+/// functional path computes in) and the half/int8 storage forms that
+/// widen into it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TensorBase<E: TensorElement> {
+    shape: Shape,
+    data: Vec<E>,
+}
 
 /// A dense, row-major tensor of `f32` values.
 ///
@@ -15,33 +31,29 @@ use crate::{Result, Shape, TensorError};
 /// assert_eq!(x, y);
 /// # Ok::<(), mtp_tensor::TensorError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
-pub struct Tensor {
-    shape: Shape,
-    data: Vec<f32>,
-}
+pub type Tensor = TensorBase<f32>;
 
-impl Tensor {
+impl<E: TensorElement> TensorBase<E> {
     /// A tensor of zeros with the given shape.
     #[must_use]
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        Tensor { data: vec![0.0; shape.len()], shape }
+        TensorBase { data: vec![E::ZERO; shape.len()], shape }
     }
 
     /// The `n x n` identity matrix.
     #[must_use]
     pub fn eye(n: usize) -> Self {
-        let mut t = Tensor::zeros(Shape::mat(n, n));
+        let mut t = Self::zeros(Shape::mat(n, n));
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            t.data[i * n + i] = E::ONE;
         }
         t
     }
 
     /// Builds a matrix by evaluating `f` at each `(row, col)` index.
     #[must_use]
-    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut((usize, usize)) -> f32) -> Self {
+    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut((usize, usize)) -> E) -> Self {
         let shape = shape.into();
         let (rows, cols) = (shape.rows(), shape.cols().max(1));
         let mut data = Vec::with_capacity(shape.len());
@@ -58,7 +70,7 @@ impl Tensor {
             let v = data[idx - base_len];
             data.push(v);
         }
-        Tensor { shape, data }
+        TensorBase { shape, data }
     }
 
     /// Wraps an existing buffer.
@@ -67,12 +79,12 @@ impl Tensor {
     ///
     /// Returns [`TensorError::LengthMismatch`] when `data.len()` differs from
     /// the element count implied by `shape`.
-    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self> {
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<E>) -> Result<Self> {
         let shape = shape.into();
         if data.len() != shape.len() {
             return Err(TensorError::LengthMismatch { expected: shape.len(), actual: data.len() });
         }
-        Ok(Tensor { shape, data })
+        Ok(TensorBase { shape, data })
     }
 
     /// The tensor's shape.
@@ -95,19 +107,19 @@ impl Tensor {
 
     /// Read-only view of the backing buffer (row-major).
     #[must_use]
-    pub fn as_slice(&self) -> &[f32] {
+    pub fn as_slice(&self) -> &[E] {
         &self.data
     }
 
     /// Mutable view of the backing buffer (row-major).
     #[must_use]
-    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+    pub fn as_mut_slice(&mut self) -> &mut [E] {
         &mut self.data
     }
 
     /// Consumes the tensor, returning the backing buffer.
     #[must_use]
-    pub fn into_vec(self) -> Vec<f32> {
+    pub fn into_vec(self) -> Vec<E> {
         self.data
     }
 
@@ -117,7 +129,7 @@ impl Tensor {
     ///
     /// Panics if the index is out of bounds.
     #[must_use]
-    pub fn at(&self, row: usize, col: usize) -> f32 {
+    pub fn at(&self, row: usize, col: usize) -> E {
         debug_assert!(row < self.shape.rows() && col < self.shape.cols());
         self.data[row * self.shape.cols() + col]
     }
@@ -127,7 +139,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the index is out of bounds.
-    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+    pub fn set(&mut self, row: usize, col: usize, value: E) {
         let cols = self.shape.cols();
         self.data[row * cols + col] = value;
     }
@@ -138,11 +150,173 @@ impl Tensor {
     ///
     /// Panics if `r` is out of bounds.
     #[must_use]
-    pub fn row(&self, r: usize) -> &[f32] {
+    pub fn row(&self, r: usize) -> &[E] {
         let cols = self.shape.cols();
         &self.data[r * cols..(r + 1) * cols]
     }
 
+    /// Transposed copy of a matrix.
+    #[must_use]
+    pub fn transposed(&self) -> Self {
+        let (m, n) = (self.shape.rows(), self.shape.cols());
+        let mut out = vec![E::ZERO; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        TensorBase { shape: Shape::mat(n, m), data: out }
+    }
+
+    /// Reshapes this tensor to `shape` and zero-fills it, reusing its
+    /// allocation (growing only when the new element count exceeds the
+    /// current capacity). This is the setup step of the `_into`
+    /// scratch-buffer kernels and of hand-rolled scratch loops.
+    pub fn resize_to(&mut self, shape: impl Into<Shape>) {
+        self.shape = shape.into();
+        self.data.clear();
+        self.data.resize(self.shape.len(), E::ZERO);
+    }
+
+    /// Like [`TensorBase::resize_to`] but skips the zero-fill when the
+    /// element count is unchanged — for kernels that overwrite every
+    /// output element anyway (the `_into` matmul family, the attention
+    /// score scratch), where a preparatory memset on the steady-state
+    /// path would be pure waste. Element values after the call are
+    /// unspecified; callers **must** write every element before reading.
+    pub fn resize_for_overwrite(&mut self, shape: impl Into<Shape>) {
+        let shape = shape.into();
+        self.shape = shape;
+        if self.data.len() != shape.len() {
+            self.data.clear();
+            self.data.resize(shape.len(), E::ZERO);
+        }
+    }
+
+    /// Makes this tensor an exact copy of `src`, reusing the existing
+    /// allocation when large enough.
+    pub fn copy_from(&mut self, src: &Self) {
+        self.shape = src.shape;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Assigns `shape` and row-major `data` to this tensor, reusing the
+    /// existing allocation when large enough (the scratch-variant
+    /// companion of [`TensorBase::from_vec`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` differs
+    /// from the element count implied by `shape`.
+    pub fn assign_from_slice(&mut self, shape: impl Into<Shape>, data: &[E]) -> Result<()> {
+        let shape = shape.into();
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.len(), actual: data.len() });
+        }
+        self.shape = shape;
+        self.data.clear();
+        self.data.extend_from_slice(data);
+        Ok(())
+    }
+
+    /// Splits a matrix into `parts` equal column blocks.
+    ///
+    /// This is the core slicing primitive of the partitioning scheme: weight
+    /// matrices are scattered across chips as contiguous column (or, via
+    /// [`TensorBase::split_rows`], row) slices with **no duplication**.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::UnevenSplit`] when `parts` does not divide the
+    /// column count.
+    pub fn split_cols(&self, parts: usize) -> Result<Vec<Self>> {
+        let (m, n) = (self.shape.rows(), self.shape.cols());
+        if parts == 0 || n % parts != 0 {
+            return Err(TensorError::UnevenSplit { axis_len: n, parts });
+        }
+        let w = n / parts;
+        let mut out = Vec::with_capacity(parts);
+        for p in 0..parts {
+            let mut data = Vec::with_capacity(m * w);
+            for r in 0..m {
+                let start = r * n + p * w;
+                data.extend_from_slice(&self.data[start..start + w]);
+            }
+            out.push(TensorBase { shape: Shape::mat(m, w), data });
+        }
+        Ok(out)
+    }
+
+    /// Splits a matrix into `parts` equal row blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::UnevenSplit`] when `parts` does not divide the
+    /// row count.
+    pub fn split_rows(&self, parts: usize) -> Result<Vec<Self>> {
+        let (m, n) = (self.shape.rows(), self.shape.cols());
+        if parts == 0 || m % parts != 0 {
+            return Err(TensorError::UnevenSplit { axis_len: m, parts });
+        }
+        let h = m / parts;
+        let out = (0..parts)
+            .map(|p| TensorBase {
+                shape: Shape::mat(h, n),
+                data: self.data[p * h * n..(p + 1) * h * n].to_vec(),
+            })
+            .collect();
+        Ok(out)
+    }
+
+    /// Concatenates matrices along the column axis (inverse of `split_cols`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when row counts differ, and
+    /// [`TensorError::LengthMismatch`] when `parts` is empty.
+    pub fn concat_cols(parts: &[Self]) -> Result<Self> {
+        let first = parts.first().ok_or(TensorError::LengthMismatch { expected: 1, actual: 0 })?;
+        let m = first.shape.rows();
+        let total: usize = {
+            for p in parts {
+                if p.shape.rows() != m {
+                    return Err(TensorError::ShapeMismatch { left: first.shape, right: p.shape });
+                }
+            }
+            parts.iter().map(|p| p.shape.cols()).sum()
+        };
+        let mut data = Vec::with_capacity(m * total);
+        for r in 0..m {
+            for p in parts {
+                data.extend_from_slice(p.row(r));
+            }
+        }
+        Ok(TensorBase { shape: Shape::mat(m, total), data })
+    }
+
+    /// Byte size of this tensor when stored at the given dtype (for
+    /// what-if footprint accounting; use [`TensorBase::storage_bytes`] for
+    /// the actual in-memory footprint of this element type).
+    #[must_use]
+    pub fn size_bytes(&self, dtype: crate::Dtype) -> usize {
+        self.len() * dtype.size_bytes()
+    }
+
+    /// Byte size of this tensor as stored (`len * size_of::<E>()`).
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.len() * E::DTYPE.size_bytes()
+    }
+
+    /// The storage dtype tag of this tensor's element type.
+    #[must_use]
+    pub fn dtype(&self) -> crate::Dtype {
+        E::DTYPE
+    }
+}
+
+impl Tensor {
     /// Matrix product `self @ rhs` with shape checking.
     ///
     /// # Panics
@@ -156,12 +330,13 @@ impl Tensor {
 
     /// Matrix product `self @ rhs`.
     ///
-    /// Computed by a blocked, branch-free kernel (4-wide unrolled over the
-    /// reduction dimension) that preserves the naive ascending-`k`
+    /// Dispatches to the active [`crate::backend::Backend`] (explicit AVX2
+    /// kernels when the host supports them, the blocked scalar kernel
+    /// otherwise). Every backend preserves the naive ascending-`k`
     /// accumulation order per output element, so results are bit-identical
-    /// to [`crate::naive::matmul`] (property-tested at the workspace
-    /// root). For steady-state loops, [`Tensor::matmul_into`] reuses a
-    /// caller-owned output buffer.
+    /// to [`crate::naive::matmul`] regardless of which backend ran
+    /// (property-tested at the workspace root). For steady-state loops,
+    /// [`Tensor::matmul_into`] reuses a caller-owned output buffer.
     ///
     /// # Errors
     ///
@@ -173,8 +348,8 @@ impl Tensor {
             return Err(TensorError::MatmulMismatch { left: self.shape, right: rhs.shape });
         }
         let mut out = vec![0.0f32; m * n];
-        matmul_kernel(&self.data, &rhs.data, &mut out, m, k, n);
-        Ok(Tensor { shape: Shape::mat(m, n), data: out })
+        crate::backend::active().matmul_f32(&self.data, &rhs.data, &mut out, m, k, n);
+        Ok(TensorBase { shape: Shape::mat(m, n), data: out })
     }
 
     /// [`Tensor::try_matmul`] into a reusable output buffer: `out`'s
@@ -192,16 +367,17 @@ impl Tensor {
             return Err(TensorError::MatmulMismatch { left: self.shape, right: rhs.shape });
         }
         out.resize_for_overwrite(Shape::mat(m, n));
-        matmul_kernel(&self.data, &rhs.data, &mut out.data, m, k, n);
+        crate::backend::active().matmul_f32(&self.data, &rhs.data, &mut out.data, m, k, n);
         Ok(())
     }
 
     /// Matrix product with the transpose of `rhs`: `self @ rhs^T`.
     ///
-    /// Computed by a blocked kernel (4 output columns per pass, one
-    /// independent sequential accumulator chain each), bit-identical to
-    /// [`crate::naive::matmul_t`]. For steady-state loops,
-    /// [`Tensor::matmul_t_into`] reuses a caller-owned output buffer.
+    /// Dispatches to the active [`crate::backend::Backend`]; every backend
+    /// keeps one independent ascending-`k` accumulator chain per output
+    /// element, bit-identical to [`crate::naive::matmul_t`]. For
+    /// steady-state loops, [`Tensor::matmul_t_into`] reuses a caller-owned
+    /// output buffer.
     ///
     /// # Errors
     ///
@@ -213,8 +389,8 @@ impl Tensor {
             return Err(TensorError::MatmulMismatch { left: self.shape, right: rhs.shape });
         }
         let mut out = vec![0.0f32; m * n];
-        matmul_t_kernel(&self.data, &rhs.data, &mut out, m, k, n);
-        Ok(Tensor { shape: Shape::mat(m, n), data: out })
+        crate::backend::active().matmul_t_f32(&self.data, &rhs.data, &mut out, m, k, n);
+        Ok(TensorBase { shape: Shape::mat(m, n), data: out })
     }
 
     /// [`Tensor::try_matmul_t`] into a reusable output buffer (see
@@ -230,72 +406,7 @@ impl Tensor {
             return Err(TensorError::MatmulMismatch { left: self.shape, right: rhs.shape });
         }
         out.resize_for_overwrite(Shape::mat(m, n));
-        matmul_t_kernel(&self.data, &rhs.data, &mut out.data, m, k, n);
-        Ok(())
-    }
-
-    /// Transposed copy of a matrix.
-    #[must_use]
-    pub fn transposed(&self) -> Tensor {
-        let (m, n) = (self.shape.rows(), self.shape.cols());
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
-            }
-        }
-        Tensor { shape: Shape::mat(n, m), data: out }
-    }
-
-    /// Reshapes this tensor to `shape` and zero-fills it, reusing its
-    /// allocation (growing only when the new element count exceeds the
-    /// current capacity). This is the setup step of the `_into`
-    /// scratch-buffer kernels and of hand-rolled scratch loops.
-    pub fn resize_to(&mut self, shape: impl Into<Shape>) {
-        self.shape = shape.into();
-        self.data.clear();
-        self.data.resize(self.shape.len(), 0.0);
-    }
-
-    /// Like [`Tensor::resize_to`] but skips the zero-fill when the
-    /// element count is unchanged — for kernels that overwrite every
-    /// output element anyway (the `_into` matmul family, the attention
-    /// score scratch), where a preparatory memset on the steady-state
-    /// path would be pure waste. Element values after the call are
-    /// unspecified; callers **must** write every element before reading.
-    pub fn resize_for_overwrite(&mut self, shape: impl Into<Shape>) {
-        let shape = shape.into();
-        self.shape = shape;
-        if self.data.len() != shape.len() {
-            self.data.clear();
-            self.data.resize(shape.len(), 0.0);
-        }
-    }
-
-    /// Makes this tensor an exact copy of `src`, reusing the existing
-    /// allocation when large enough.
-    pub fn copy_from(&mut self, src: &Tensor) {
-        self.shape = src.shape;
-        self.data.clear();
-        self.data.extend_from_slice(&src.data);
-    }
-
-    /// Assigns `shape` and row-major `data` to this tensor, reusing the
-    /// existing allocation when large enough (the scratch-variant
-    /// companion of [`Tensor::from_vec`]).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TensorError::LengthMismatch`] when `data.len()` differs
-    /// from the element count implied by `shape`.
-    pub fn assign_from_slice(&mut self, shape: impl Into<Shape>, data: &[f32]) -> Result<()> {
-        let shape = shape.into();
-        if data.len() != shape.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.len(), actual: data.len() });
-        }
-        self.shape = shape;
-        self.data.clear();
-        self.data.extend_from_slice(data);
+        crate::backend::active().matmul_t_f32(&self.data, &rhs.data, &mut out.data, m, k, n);
         Ok(())
     }
 
@@ -309,7 +420,7 @@ impl Tensor {
             return Err(TensorError::ShapeMismatch { left: self.shape, right: rhs.shape });
         }
         let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Ok(Tensor { shape: self.shape, data })
+        Ok(TensorBase { shape: self.shape, data })
     }
 
     /// Element-wise sum into a reusable output buffer: `out = self + rhs`
@@ -348,82 +459,7 @@ impl Tensor {
     /// Scales every element by `factor`, returning a new tensor.
     #[must_use]
     pub fn scaled(&self, factor: f32) -> Tensor {
-        Tensor { shape: self.shape, data: self.data.iter().map(|v| v * factor).collect() }
-    }
-
-    /// Splits a matrix into `parts` equal column blocks.
-    ///
-    /// This is the core slicing primitive of the partitioning scheme: weight
-    /// matrices are scattered across chips as contiguous column (or, via
-    /// [`Tensor::split_rows`], row) slices with **no duplication**.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TensorError::UnevenSplit`] when `parts` does not divide the
-    /// column count.
-    pub fn split_cols(&self, parts: usize) -> Result<Vec<Tensor>> {
-        let (m, n) = (self.shape.rows(), self.shape.cols());
-        if parts == 0 || n % parts != 0 {
-            return Err(TensorError::UnevenSplit { axis_len: n, parts });
-        }
-        let w = n / parts;
-        let mut out = Vec::with_capacity(parts);
-        for p in 0..parts {
-            let mut data = Vec::with_capacity(m * w);
-            for r in 0..m {
-                let start = r * n + p * w;
-                data.extend_from_slice(&self.data[start..start + w]);
-            }
-            out.push(Tensor { shape: Shape::mat(m, w), data });
-        }
-        Ok(out)
-    }
-
-    /// Splits a matrix into `parts` equal row blocks.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TensorError::UnevenSplit`] when `parts` does not divide the
-    /// row count.
-    pub fn split_rows(&self, parts: usize) -> Result<Vec<Tensor>> {
-        let (m, n) = (self.shape.rows(), self.shape.cols());
-        if parts == 0 || m % parts != 0 {
-            return Err(TensorError::UnevenSplit { axis_len: m, parts });
-        }
-        let h = m / parts;
-        let out = (0..parts)
-            .map(|p| Tensor {
-                shape: Shape::mat(h, n),
-                data: self.data[p * h * n..(p + 1) * h * n].to_vec(),
-            })
-            .collect();
-        Ok(out)
-    }
-
-    /// Concatenates matrices along the column axis (inverse of `split_cols`).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TensorError::ShapeMismatch`] when row counts differ, and
-    /// [`TensorError::LengthMismatch`] when `parts` is empty.
-    pub fn concat_cols(parts: &[Tensor]) -> Result<Tensor> {
-        let first = parts.first().ok_or(TensorError::LengthMismatch { expected: 1, actual: 0 })?;
-        let m = first.shape.rows();
-        let total: usize = {
-            for p in parts {
-                if p.shape.rows() != m {
-                    return Err(TensorError::ShapeMismatch { left: first.shape, right: p.shape });
-                }
-            }
-            parts.iter().map(|p| p.shape.cols()).sum()
-        };
-        let mut data = Vec::with_capacity(m * total);
-        for r in 0..m {
-            for p in parts {
-                data.extend_from_slice(p.row(r));
-            }
-        }
-        Ok(Tensor { shape: Shape::mat(m, total), data })
+        TensorBase { shape: self.shape, data: self.data.iter().map(|v| v * factor).collect() }
     }
 
     /// Maximum absolute element (0 for an empty tensor).
@@ -453,18 +489,53 @@ impl Tensor {
         Ok(self.max_abs_diff(rhs)? <= tol)
     }
 
-    /// Byte size of this tensor when stored at the given dtype.
+    /// Narrows every element to [`F16`] with round-to-nearest-even — the
+    /// storage-compression step of a half-precision deployment.
     #[must_use]
-    pub fn size_bytes(&self, dtype: crate::Dtype) -> usize {
-        self.len() * dtype.size_bytes()
+    pub fn to_f16(&self) -> TensorBase<F16> {
+        TensorBase {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| F16::from_f32(v)).collect(),
+        }
     }
 }
 
-impl Default for Tensor {
+impl TensorBase<F16> {
+    /// Widens every element back to `f32` — exact (every half value is
+    /// representable), so `t.to_f16().to_f32_tensor()` is the closest-half
+    /// rounding of `t` and nothing more.
+    #[must_use]
+    pub fn to_f32_tensor(&self) -> Tensor {
+        TensorBase { shape: self.shape, data: self.data.iter().map(|v| v.to_f32()).collect() }
+    }
+
+    /// Half-precision matrix product with f32 accumulation: operands widen
+    /// exactly, the active backend runs the same ascending-`k` chains as
+    /// the f32 matmul, and the result stays f32 (the accumulator dtype).
+    /// Scalar and SIMD backends agree bit for bit; versus an f32 matmul of
+    /// the unrounded operands the error is the bounded f16 representation
+    /// error, asserted in the lockstep suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::MatmulMismatch`] when `self.cols() != rhs.rows()`.
+    pub fn try_matmul(&self, rhs: &TensorBase<F16>) -> Result<Tensor> {
+        let (m, k) = (self.shape.rows(), self.shape.cols());
+        let (k2, n) = (rhs.shape.rows(), rhs.shape.cols());
+        if k != k2 {
+            return Err(TensorError::MatmulMismatch { left: self.shape, right: rhs.shape });
+        }
+        let mut out = vec![0.0f32; m * n];
+        crate::backend::active().matmul_f16(&self.data, &rhs.data, &mut out, m, k, n);
+        Ok(TensorBase { shape: Shape::mat(m, n), data: out })
+    }
+}
+
+impl<E: TensorElement> Default for TensorBase<E> {
     /// An empty `0 x 0` tensor — the idiomatic initial state for scratch
-    /// buffers that [`Tensor::resize_to`] will size on first use.
+    /// buffers that [`TensorBase::resize_to`] will size on first use.
     fn default() -> Self {
-        Tensor::zeros(Shape::mat(0, 0))
+        Self::zeros(Shape::mat(0, 0))
     }
 }
 
@@ -472,12 +543,13 @@ impl Default for Tensor {
 ///
 /// On targets compiled with hardware FMA support this fuses into a single
 /// rounding (faster and slightly more accurate); elsewhere it is a plain
-/// multiply-then-add. The blocked kernels, the retained naive references
-/// in [`crate::naive`], and every downstream hand-rolled accumulation
-/// loop (e.g. the strided attention path in `mtp-model`) go through this
-/// helper, so optimized-vs-naive **bit-identity** holds under either
-/// compilation mode. (A bare `f32::mul_add` without the feature gate
-/// would fall back to a slow library call on non-FMA targets.)
+/// multiply-then-add. The backend kernels (scalar *and* SIMD — see
+/// `vmadd` in the SIMD module, keyed on the same `cfg`), the retained
+/// naive references in [`crate::naive`], and every downstream hand-rolled
+/// accumulation loop go through this helper, so optimized-vs-naive
+/// **bit-identity** holds under either compilation mode. (A bare
+/// `f32::mul_add` without the feature gate would fall back to a slow
+/// library call on non-FMA targets.)
 #[inline(always)]
 pub fn madd(acc: f32, a: f32, b: f32) -> f32 {
     #[cfg(target_feature = "fma")]
@@ -490,127 +562,9 @@ pub fn madd(acc: f32, a: f32, b: f32) -> f32 {
     }
 }
 
-/// Blocked `[m x k] @ [k x n]` kernel: branch-free (no per-element zero
-/// test), register-blocked over four output rows with a 4-wide unrolled
-/// reduction (2 k-steps x the madd pair), so each `b` row is loaded once
-/// per four output rows and each output row is loaded/stored once per two
-/// reduction steps.
-///
-/// Each output element still accumulates its terms in ascending-`k` order,
-/// which keeps the result bit-identical to [`crate::naive::matmul`].
-fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    out[..m * n].fill(0.0);
-    let mut i = 0;
-    while i + 4 <= m {
-        let (o0, rest) = out[i * n..].split_at_mut(n);
-        let (o1, rest) = rest.split_at_mut(n);
-        let (o2, rest) = rest.split_at_mut(n);
-        let o3 = &mut rest[..n];
-        let a0r = &a[i * k..][..k];
-        let a1r = &a[(i + 1) * k..][..k];
-        let a2r = &a[(i + 2) * k..][..k];
-        let a3r = &a[(i + 3) * k..][..k];
-        let mut p = 0;
-        while p + 2 <= k {
-            let bp0 = &b[p * n..][..n];
-            let bp1 = &b[(p + 1) * n..][..n];
-            let (a00, a01) = (a0r[p], a0r[p + 1]);
-            let (a10, a11) = (a1r[p], a1r[p + 1]);
-            let (a20, a21) = (a2r[p], a2r[p + 1]);
-            let (a30, a31) = (a3r[p], a3r[p + 1]);
-            for j in 0..n {
-                let (b0, b1) = (bp0[j], bp1[j]);
-                o0[j] = madd(madd(o0[j], a00, b0), a01, b1);
-                o1[j] = madd(madd(o1[j], a10, b0), a11, b1);
-                o2[j] = madd(madd(o2[j], a20, b0), a21, b1);
-                o3[j] = madd(madd(o3[j], a30, b0), a31, b1);
-            }
-            p += 2;
-        }
-        while p < k {
-            let bp = &b[p * n..][..n];
-            let (x0, x1, x2, x3) = (a0r[p], a1r[p], a2r[p], a3r[p]);
-            for j in 0..n {
-                let bv = bp[j];
-                o0[j] = madd(o0[j], x0, bv);
-                o1[j] = madd(o1[j], x1, bv);
-                o2[j] = madd(o2[j], x2, bv);
-                o3[j] = madd(o3[j], x3, bv);
-            }
-            p += 1;
-        }
-        i += 4;
-    }
-    while i < m {
-        let o_row = &mut out[i * n..][..n];
-        for p in 0..k {
-            let x = a[i * k + p];
-            let bp = &b[p * n..][..n];
-            for (o, &bv) in o_row.iter_mut().zip(bp) {
-                *o = madd(*o, x, bv);
-            }
-        }
-        i += 1;
-    }
-}
-
-/// Blocked `[m x k] @ [n x k]^T` kernel: eight output columns per pass,
-/// each with its own sequential accumulator chain. The eight chains are
-/// independent (enough instruction-level parallelism to cover the
-/// multiply-accumulate latency, which a single-chain dot product cannot)
-/// while each chain adds in ascending-`k` order — bit-identical to
-/// [`crate::naive::matmul_t`].
-fn matmul_t_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let a_row = &a[i * k..][..k];
-        let o_row = &mut out[i * n..][..n];
-        let mut j = 0;
-        while j + 8 <= n {
-            let b0 = &b[j * k..][..k];
-            let b1 = &b[(j + 1) * k..][..k];
-            let b2 = &b[(j + 2) * k..][..k];
-            let b3 = &b[(j + 3) * k..][..k];
-            let b4 = &b[(j + 4) * k..][..k];
-            let b5 = &b[(j + 5) * k..][..k];
-            let b6 = &b[(j + 6) * k..][..k];
-            let b7 = &b[(j + 7) * k..][..k];
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-            let (mut s4, mut s5, mut s6, mut s7) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-            for (p, &av) in a_row.iter().enumerate() {
-                s0 = madd(s0, av, b0[p]);
-                s1 = madd(s1, av, b1[p]);
-                s2 = madd(s2, av, b2[p]);
-                s3 = madd(s3, av, b3[p]);
-                s4 = madd(s4, av, b4[p]);
-                s5 = madd(s5, av, b5[p]);
-                s6 = madd(s6, av, b6[p]);
-                s7 = madd(s7, av, b7[p]);
-            }
-            o_row[j] = s0;
-            o_row[j + 1] = s1;
-            o_row[j + 2] = s2;
-            o_row[j + 3] = s3;
-            o_row[j + 4] = s4;
-            o_row[j + 5] = s5;
-            o_row[j + 6] = s6;
-            o_row[j + 7] = s7;
-            j += 8;
-        }
-        while j < n {
-            let b_row = &b[j * k..][..k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc = madd(acc, av, bv);
-            }
-            o_row[j] = acc;
-            j += 1;
-        }
-    }
-}
-
-impl std::ops::Index<(usize, usize)> for Tensor {
-    type Output = f32;
-    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+impl<E: TensorElement> std::ops::Index<(usize, usize)> for TensorBase<E> {
+    type Output = E;
+    fn index(&self, (r, c): (usize, usize)) -> &E {
         &self.data[r * self.shape.cols() + c]
     }
 }
@@ -647,11 +601,11 @@ mod tests {
     }
 
     #[test]
-    fn blocked_kernels_bit_match_naive_reference() {
-        // Deterministic "awkward" shapes exercising unroll tails (k and n
-        // not multiples of 4). The workspace-root proptest suite does the
-        // arbitrary-shape version of this.
-        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (2, 9, 4), (4, 4, 6), (5, 13, 3)] {
+    fn backend_kernels_bit_match_naive_reference() {
+        // Deterministic "awkward" shapes exercising unroll/panel tails (k
+        // and n not multiples of the block widths). The workspace-root
+        // proptest suite does the arbitrary-shape version of this.
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (2, 9, 4), (4, 4, 6), (5, 13, 3), (4, 16, 33)] {
             let a = Tensor::from_fn(Shape::mat(m, k), |(r, c)| ((r * k + c) as f32).sin());
             let b = Tensor::from_fn(Shape::mat(k, n), |(r, c)| ((r * n + c) as f32).cos());
             let bt = Tensor::from_fn(Shape::mat(n, k), |(r, c)| ((r + c * 2) as f32).sin());
@@ -777,6 +731,11 @@ mod tests {
         let a = Tensor::zeros(Shape::mat(4, 4));
         assert_eq!(a.size_bytes(crate::Dtype::Int8), 16);
         assert_eq!(a.size_bytes(crate::Dtype::Float32), 64);
+        assert_eq!(a.storage_bytes(), 64);
+        assert_eq!(a.dtype(), crate::Dtype::Float32);
+        let h = a.to_f16();
+        assert_eq!(h.storage_bytes(), 32);
+        assert_eq!(h.dtype(), crate::Dtype::Float16);
     }
 
     #[test]
@@ -798,5 +757,33 @@ mod tests {
         let a = t(1, 3, &[1., 2., 3.]);
         let b = t(1, 3, &[1., 2.5, 3.]);
         assert!((a.max_abs_diff(&b).unwrap() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn generic_container_works_for_f16_and_i8() {
+        let eye = TensorBase::<F16>::eye(2);
+        assert_eq!(eye.at(0, 0), F16::ONE);
+        assert_eq!(eye.at(0, 1), F16::ZERO);
+        let q = TensorBase::<i8>::from_fn(Shape::mat(2, 3), |(r, c)| (r * 3 + c) as i8);
+        assert_eq!(q.row(1), &[3, 4, 5]);
+        assert_eq!(q.transposed().row(1), &[1, 4]);
+        assert_eq!(q.storage_bytes(), 6);
+    }
+
+    #[test]
+    fn f16_tensor_roundtrip_and_matmul_error_bound() {
+        let a = Tensor::from_fn(Shape::mat(4, 9), |(r, c)| ((r * 9 + c) as f32).sin() * 3.0);
+        let b = Tensor::from_fn(Shape::mat(9, 5), |(r, c)| ((r * 5 + c) as f32).cos() * 2.0);
+        let (ah, bh) = (a.to_f16(), b.to_f16());
+        // Round-trip error is at most half an ulp per element.
+        assert!(ah.to_f32_tensor().max_abs_diff(&a).unwrap() <= 3.0 * f32::powi(2.0, -11));
+        let exact = a.matmul(&b);
+        let half = ah.try_matmul(&bh).unwrap();
+        // k terms, each |a*b| <= 6, relative error ~2^-11 per rounded
+        // operand (two operands -> ~2x), plus accumulation slack.
+        let bound = 9.0 * 6.0 * 2.0 * f32::powi(2.0, -11) + 1e-4;
+        assert!(half.max_abs_diff(&exact).unwrap() <= bound);
+        // Mismatched shapes still error.
+        assert!(ah.try_matmul(&ah).is_err());
     }
 }

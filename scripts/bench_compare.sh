@@ -26,6 +26,14 @@
 # entries must not slow down, and the queued entries bound the cost of
 # the queue bookkeeping itself. BENCH_6.json is the first baseline
 # carrying them.
+#
+# Since PR 8 the suite includes backend/dtype kernel entries (scalar
+# GEMM, f16, int8, fused attention) and `--check` marks every row
+# explicitly — `ok (within Nx)` or `REGRESSION` — so a pass is visibly
+# a judgment on each entry, not an absence of output. Kernel entries
+# run at a higher best-of-N since PR 8 to tame shared-runner noise.
+# BENCH_8.json is the first baseline carrying the new entries; against
+# older baselines they are reported as "not in baseline" and skipped.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

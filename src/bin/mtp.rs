@@ -44,6 +44,7 @@ USAGE:
     mtp ablation
     mtp table1 [--chips N]
     mtp bench  [--quick] [--json FILE] [--compare BENCH_N.json] [--check TOL]
+               [--calibrate]
 
 MODELS:
     tinyllama       TinyLlama-42M (default; S=128 ar / S=16 prompt)
@@ -63,8 +64,12 @@ BENCH:
     smoke profile. --compare diffs the run against a committed
     BENCH_*.json baseline as a per-bench speedup table, and --check TOL
     exits non-zero when any benchmark runs more than TOL times slower
-    than that baseline (the CI perf-regression guard,
-    scripts/bench_compare.sh).
+    than that baseline, marking every row `ok (within TOLx)` or
+    `REGRESSION` (the CI perf-regression guard,
+    scripts/bench_compare.sh). Since PR 8 the kernel section also covers
+    the scalar-backend, f16, int8, and fused-attention paths;
+    --calibrate instead times the real kernels and fits the measured
+    cost model (mtp_kernels::CalibratedCostModel) at the Siracusa clock.
 
 SWEEP:
     With no flags, `mtp sweep` runs the default paper grid: all three
@@ -506,6 +511,10 @@ fn ablation_cmd() -> CliResult {
 }
 
 fn bench_cmd(args: &[String]) -> CliResult {
+    if has_flag(args, "--calibrate") {
+        print!("{}", bench::render_calibration(has_flag(args, "--quick")));
+        return Ok(());
+    }
     let report = bench::run(has_flag(args, "--quick"));
     print!("{}", report.render());
     if let Some(path) = flag_value(args, "--json") {
@@ -515,12 +524,14 @@ fn bench_cmd(args: &[String]) -> CliResult {
     if let Some(path) = flag_value(args, "--compare") {
         let baseline = bench::parse_baseline(&std::fs::read_to_string(path)?)?;
         let comparison = report.compare(&baseline);
-        print!("{}", comparison.render());
         if has_flag(args, "--check") {
-            let tolerance =
-                flag_value(args, "--check").ok_or("--check requires a tolerance value")?;
-            comparison.check(tolerance.parse()?)?;
+            let tolerance: f64 =
+                flag_value(args, "--check").ok_or("--check requires a tolerance value")?.parse()?;
+            print!("{}", comparison.render_checked(tolerance));
+            comparison.check(tolerance)?;
             println!("perf check passed (worst slowdown {:.2}x)", comparison.worst_slowdown());
+        } else {
+            print!("{}", comparison.render());
         }
     } else if has_flag(args, "--check") {
         return Err("--check requires --compare <BENCH_N.json>".into());
