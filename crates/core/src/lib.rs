@@ -50,6 +50,7 @@
 
 pub mod baseline;
 mod error;
+pub mod failover;
 pub mod functional;
 pub mod placement;
 pub mod quantized;
@@ -60,8 +61,12 @@ pub mod slicing;
 pub mod system;
 
 pub use error::{CoreError, Result};
+pub use failover::FailPolicy;
 pub use placement::{MemoryPlan, WeightResidency};
 pub use report::SystemReport;
-pub use serve::{BatchPolicy, Billing, PassRecord, RequestLatency, ServeReport, SlotPhase};
+pub use serve::{
+    BatchPolicy, Billing, FaultProfile, PassRecord, RequestLatency, RequestOutcome, ServeReport,
+    SlotPhase,
+};
 pub use slicing::{slice_block, PartitionSpec, SlicedBlockWeights};
 pub use system::DistributedSystem;

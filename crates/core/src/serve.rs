@@ -143,6 +143,149 @@ impl Billing {
     }
 }
 
+/// Base of the seeded exponential retry backoff: a retried request
+/// rejoins the queue `RETRY_BACKOFF_BASE << attempt` cycles after its
+/// failure was detected (131 µs at 500 MHz for the first retry).
+pub const RETRY_BACKOFF_BASE: u64 = 65_536;
+
+/// Request-level robustness knobs for a faulted serving run: transient
+/// completion failures with seeded retry, per-request timeouts, and
+/// admission-queue load shedding.
+///
+/// The empty profile ([`FaultProfile::none`]) disables all three and
+/// takes exactly the fault-free serving path — bit-identical reports,
+/// locked by `tests/fault_lockstep.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultProfile {
+    /// Per-mille probability that a request's attempt fails at
+    /// completion and must be retried (0 = never; at most 1000). Draws
+    /// are a seeded hash of `(seed, request, attempt)` — deterministic
+    /// and process-independent.
+    pub fail_per_mille: u32,
+    /// Retries granted after the first attempt; a request whose budget
+    /// is exhausted reports [`RequestOutcome::Failed`].
+    pub max_retries: u32,
+    /// Per-request deadline in kilocycles from *arrival* (0 = none).
+    /// Checked at pass boundaries — for queued requests when they reach
+    /// the head of the admission queue, for active requests when a pass
+    /// completes — and reported as [`RequestOutcome::TimedOut`].
+    pub timeout_kcycles: u64,
+    /// Admission-queue capacity: arrived-but-unadmitted requests beyond
+    /// this are shed newest-first at each pass boundary
+    /// ([`RequestOutcome::Shed`]). `usize::MAX` disables shedding.
+    pub queue_cap: usize,
+}
+
+impl FaultProfile {
+    /// The empty profile: no failures, no timeouts, no shedding.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultProfile {
+            fail_per_mille: 0,
+            max_retries: 0,
+            timeout_kcycles: 0,
+            queue_cap: usize::MAX,
+        }
+    }
+
+    /// Whether this profile changes anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fail_per_mille == 0 && self.timeout_kcycles == 0 && self.queue_cap == usize::MAX
+    }
+
+    /// Parses a CLI spelling: `none`, or
+    /// `fail:PERMILLE[:RETRIES[:TIMEOUT_KCYC[:QCAP]]]` with defaults
+    /// `RETRIES=3`, `TIMEOUT_KCYC=0` (no deadline), `QCAP=64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending field.
+    pub fn parse(s: &str) -> std::result::Result<Self, String> {
+        if s == "none" {
+            return Ok(FaultProfile::none());
+        }
+        let Some(rest) = s.strip_prefix("fail:") else {
+            return Err(format!(
+                "unknown fault profile `{s}` (expected none or fail:PERMILLE[:RETRIES[:TIMEOUT_KCYC[:QCAP]]])"
+            ));
+        };
+        let fields: Vec<&str> = rest.split(':').collect();
+        if fields.len() > 4 {
+            return Err(format!("too many fields in fault profile `{s}`"));
+        }
+        let fail_per_mille: u32 =
+            fields[0].parse().ok().filter(|&v| v <= 1000).ok_or_else(|| {
+                format!("bad failure rate `{}` (need 0..=1000 per mille)", fields[0])
+            })?;
+        let max_retries: u32 = match fields.get(1) {
+            None => 3,
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad retry count `{v}` (need a non-negative integer)"))?,
+        };
+        let timeout_kcycles: u64 = match fields.get(2) {
+            None => 0,
+            Some(v) => {
+                v.parse().map_err(|_| format!("bad timeout `{v}` (need kilocycles, 0 for none)"))?
+            }
+        };
+        let queue_cap: usize = match fields.get(3) {
+            None => 64,
+            Some(v) => v
+                .parse()
+                .ok()
+                .filter(|&c| c > 0)
+                .ok_or_else(|| format!("bad queue capacity `{v}` (need a positive integer)"))?,
+        };
+        let profile = FaultProfile { fail_per_mille, max_retries, timeout_kcycles, queue_cap };
+        Ok(if profile.fail_per_mille == 0 && profile.timeout_kcycles == 0 {
+            // A profile that cannot fail or expire anything only sheds
+            // under a queue it cannot fill faster than it drains;
+            // normalize the no-op spelling so labels stay canonical.
+            if profile.queue_cap == usize::MAX {
+                FaultProfile::none()
+            } else {
+                profile
+            }
+        } else {
+            profile
+        })
+    }
+
+    /// Compact label for CSV/JSON rows: `none`, `f25r3q64`,
+    /// `f100r2t500q64`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        if self.is_empty() {
+            return "none".to_owned();
+        }
+        let mut out = format!("f{}r{}", self.fail_per_mille, self.max_retries);
+        if self.timeout_kcycles > 0 {
+            out.push_str(&format!("t{}", self.timeout_kcycles));
+        }
+        if self.queue_cap != usize::MAX {
+            out.push_str(&format!("q{}", self.queue_cap));
+        }
+        out
+    }
+}
+
+/// How a request's service ended.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum RequestOutcome {
+    /// All tokens served.
+    #[default]
+    Completed,
+    /// Every attempt's completion draw failed and the retry budget ran
+    /// out.
+    Failed,
+    /// The per-request deadline expired before service finished.
+    TimedOut,
+    /// Shed by admission control: the arrival queue was over capacity.
+    Shed,
+}
+
 /// What a slot is doing during one pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SlotPhase {
@@ -169,6 +312,13 @@ pub struct RequestLatency {
     pub prompt_len: usize,
     /// Decoded tokens.
     pub decode_len: usize,
+    /// How service ended ([`RequestOutcome::Completed`] on fault-free
+    /// runs).
+    pub outcome: RequestOutcome,
+    /// Retries this request consumed (0 on fault-free runs). The
+    /// latency clock always starts at the *original* arrival — retries
+    /// lengthen TTFT, they never reset it.
+    pub retries: u32,
 }
 
 impl RequestLatency {
@@ -221,6 +371,14 @@ pub struct ServeReport {
     pub makespan: u64,
     /// Chips in the fleet.
     pub n_chips: usize,
+    /// Total retries across all requests (0 on fault-free runs).
+    pub retries: u64,
+    /// Requests shed by admission control.
+    pub sheds: u64,
+    /// Requests that hit their per-request deadline.
+    pub timeouts: u64,
+    /// Requests whose retry budget ran out.
+    pub failed: u64,
 }
 
 impl ServeReport {
@@ -228,6 +386,22 @@ impl ServeReport {
     #[must_use]
     pub fn peak_concurrency(&self) -> usize {
         self.passes.iter().map(|p| p.slots.len()).max().unwrap_or(0)
+    }
+
+    /// Requests that completed all their tokens.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.requests.iter().filter(|r| r.outcome == RequestOutcome::Completed).count()
+    }
+
+    /// Fraction of requests served to completion (1.0 on fault-free
+    /// runs; the degraded-mode headline number).
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 1.0;
+        }
+        self.completed() as f64 / self.requests.len() as f64
     }
 }
 
@@ -237,6 +411,36 @@ struct Slot {
     /// Output tokens emitted so far.
     emitted: usize,
     prefilled: bool,
+    /// 0 for the first attempt, incremented per retry.
+    attempt: u32,
+}
+
+/// Closes a request's latency record with a degraded outcome. The
+/// latency clock still runs from the original arrival; a request that
+/// never produced a token gets `first_token = finish` so TTFT degrades
+/// to its queue-plus-service time instead of underflowing.
+fn finalize(lat: &mut RequestLatency, outcome: RequestOutcome, attempt: u32, t: u64) {
+    lat.outcome = outcome;
+    lat.retries = attempt;
+    lat.finish = t;
+    if lat.first_token == 0 {
+        lat.first_token = t;
+    }
+}
+
+/// Seeded transient-failure draw for `(request, attempt)`: a SplitMix64
+/// finalizer over the mixed inputs, so two processes (and two attempts)
+/// agree bit for bit without sharing any RNG state.
+fn fail_draw(seed: u64, req: usize, attempt: u32, per_mille: u32) -> bool {
+    let mut x = seed ^ 0x9E37_79B9_7F4A_7C15;
+    x = x.wrapping_add((req as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    x = x.wrapping_add((u64::from(attempt) + 1).wrapping_mul(0x94D0_49BB_1331_11EB));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % 1000) < u64::from(per_mille)
 }
 
 /// The `(mode, billed context)` shape one slot contributes to the
@@ -285,9 +489,43 @@ impl DistributedSystem {
         policy: BatchPolicy,
         billing: Billing,
     ) -> Result<ServeReport> {
+        self.simulate_serve_faulted(workload, policy, billing, &FaultProfile::none(), 0)
+    }
+
+    /// [`DistributedSystem::simulate_serve`] under a request-level
+    /// [`FaultProfile`]: attempts can fail at completion (seeded by
+    /// `seed`, retried with exponential backoff up to the profile's
+    /// budget), requests can expire against a deadline, and admission
+    /// control sheds the newest arrivals when the queue overflows. Every
+    /// non-completed request still gets a latency record, tagged with
+    /// its [`RequestOutcome`]; the report's `retries`/`sheds`/
+    /// `timeouts`/`failed` counters and
+    /// [`ServeReport::availability`] summarize the degradation.
+    ///
+    /// The empty profile takes exactly the fault-free path (bit-identical
+    /// to [`DistributedSystem::simulate_serve`], whatever the seed), and
+    /// a fixed `(profile, seed)` pair is deterministic across processes —
+    /// both locked by `tests/fault_lockstep.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects workloads exceeding the model's KV capacity and
+    /// propagates partitioning and simulation errors.
+    pub fn simulate_serve_faulted(
+        &self,
+        workload: &ServeWorkload,
+        policy: BatchPolicy,
+        billing: Billing,
+        profile: &FaultProfile,
+        seed: u64,
+    ) -> Result<ServeReport> {
         workload.validate_for(self.config()).map_err(CoreError::InvalidConfig)?;
         let requests = workload.requests();
-        let mut pending: std::collections::VecDeque<usize> = (0..requests.len()).collect();
+        let timeout = profile.timeout_kcycles.saturating_mul(1000);
+        // Admission queue: `(request, attempt, ready cycle)`, FIFO.
+        // Retries rejoin at the back with a backed-off ready cycle.
+        let mut pending: std::collections::VecDeque<(usize, u32, u64)> =
+            (0..requests.len()).map(|i| (i, 0, requests[i].arrival_cycles)).collect();
         let mut active: Vec<Slot> = Vec::new();
         let mut latencies: Vec<RequestLatency> = requests
             .iter()
@@ -298,37 +536,68 @@ impl DistributedSystem {
                 finish: 0,
                 prompt_len: r.prompt_len,
                 decode_len: r.decode_len,
+                outcome: RequestOutcome::Completed,
+                retries: 0,
             })
             .collect();
         let mut passes: Vec<PassRecord> = Vec::new();
         let mut caches = PassCaches::default();
+        let (mut retries, mut sheds, mut timeouts, mut failed) = (0u64, 0u64, 0u64, 0u64);
+        let mut requeue: Vec<(usize, u32, u64)> = Vec::new();
         let mut t: u64 = 0;
 
         while !pending.is_empty() || !active.is_empty() {
             // Admission at the pass boundary. An idle fleet fast-forwards
-            // to the next arrival (simulated time is request-driven).
+            // to the next ready request (simulated time is
+            // request-driven).
             let may_admit = match policy {
                 BatchPolicy::Static { .. } => active.is_empty(),
                 BatchPolicy::Continuous { .. } => true,
             };
             if may_admit {
                 if active.is_empty() {
-                    if let Some(&next) = pending.front() {
-                        t = t.max(requests[next].arrival_cycles);
+                    if let Some(&(_, _, ready)) = pending.front() {
+                        t = t.max(ready);
                     }
                 }
                 while active.len() < policy.max_slots() {
-                    let Some(&next) = pending.front() else { break };
-                    if requests[next].arrival_cycles > t {
+                    let Some(&(next, attempt, ready)) = pending.front() else { break };
+                    if ready > t {
                         break;
                     }
                     pending.pop_front();
+                    // A queued request whose deadline already expired is
+                    // timed out instead of admitted (lazily, when it
+                    // reaches the head of the queue).
+                    if timeout > 0 && t.saturating_sub(latencies[next].arrival) > timeout {
+                        finalize(&mut latencies[next], RequestOutcome::TimedOut, attempt, t);
+                        timeouts += 1;
+                        continue;
+                    }
                     latencies[next].admitted = t;
-                    active.push(Slot { req: next, emitted: 0, prefilled: false });
+                    active.push(Slot { req: next, emitted: 0, prefilled: false, attempt });
+                }
+                // Load shedding: arrived-but-unadmitted requests beyond
+                // the queue capacity are shed newest-first.
+                if profile.queue_cap != usize::MAX {
+                    let mut arrived = pending.iter().filter(|&&(_, _, ready)| ready <= t).count();
+                    if arrived > profile.queue_cap {
+                        let mut keep = std::collections::VecDeque::with_capacity(pending.len());
+                        while let Some((req, attempt, ready)) = pending.pop_back() {
+                            if arrived > profile.queue_cap && ready <= t {
+                                arrived -= 1;
+                                sheds += 1;
+                                finalize(&mut latencies[req], RequestOutcome::Shed, attempt, t);
+                            } else {
+                                keep.push_front((req, attempt, ready));
+                            }
+                        }
+                        pending = keep;
+                    }
                 }
             }
             if active.is_empty() {
-                // Nothing arrived yet; the loop condition guarantees
+                // Nothing ready yet; the loop condition guarantees
                 // pending work, and the fast-forward above will admit it
                 // next iteration.
                 continue;
@@ -353,9 +622,17 @@ impl DistributedSystem {
             t += cycles;
 
             // Advance every slot by one pass and retire finished
-            // requests (their slots free up at this boundary).
+            // requests (their slots free up at this boundary). Deadlines
+            // are checked first — a pass that ends past the deadline is
+            // wasted work — then the completion failure draw decides
+            // whether a finishing attempt's output actually made it out.
             active.retain_mut(|slot| {
                 let lat = &mut latencies[slot.req];
+                if timeout > 0 && t.saturating_sub(lat.arrival) > timeout {
+                    finalize(lat, RequestOutcome::TimedOut, slot.attempt, t);
+                    timeouts += 1;
+                    return false;
+                }
                 if slot.prefilled {
                     slot.emitted += 1;
                 } else {
@@ -367,15 +644,39 @@ impl DistributedSystem {
                     lat.first_token = t;
                 }
                 if slot.emitted >= lat.decode_len {
+                    if profile.fail_per_mille > 0
+                        && fail_draw(seed, slot.req, slot.attempt, profile.fail_per_mille)
+                    {
+                        if slot.attempt < profile.max_retries {
+                            retries += 1;
+                            let backoff = RETRY_BACKOFF_BASE << slot.attempt.min(20);
+                            requeue.push((slot.req, slot.attempt + 1, t + backoff));
+                        } else {
+                            finalize(lat, RequestOutcome::Failed, slot.attempt, t);
+                            failed += 1;
+                        }
+                        return false;
+                    }
+                    lat.retries = slot.attempt;
                     lat.finish = t;
                     false
                 } else {
                     true
                 }
             });
+            pending.extend(requeue.drain(..));
         }
 
-        Ok(ServeReport { requests: latencies, passes, makespan: t, n_chips: self.n_chips() })
+        Ok(ServeReport {
+            requests: latencies,
+            passes,
+            makespan: t,
+            n_chips: self.n_chips(),
+            retries,
+            sheds,
+            timeouts,
+            failed,
+        })
     }
 
     /// Pass makespan for a slot-shape vector, memoized: uniform shapes
@@ -660,6 +961,190 @@ mod tests {
             .simulate_serve(&w, BatchPolicy::Continuous { max_slots: 2 }, Billing::PerRequest)
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_profile_parse_round_trips() {
+        assert_eq!(FaultProfile::parse("none"), Ok(FaultProfile::none()));
+        assert_eq!(FaultProfile::none().label(), "none");
+        let p = FaultProfile::parse("fail:25").unwrap();
+        assert_eq!(
+            p,
+            FaultProfile { fail_per_mille: 25, max_retries: 3, timeout_kcycles: 0, queue_cap: 64 }
+        );
+        assert_eq!(p.label(), "f25r3q64");
+        let p = FaultProfile::parse("fail:100:2:500:16").unwrap();
+        assert_eq!(
+            p,
+            FaultProfile {
+                fail_per_mille: 100,
+                max_retries: 2,
+                timeout_kcycles: 500,
+                queue_cap: 16
+            }
+        );
+        assert_eq!(p.label(), "f100r2t500q16");
+        // A profile that can neither fail nor expire nor shed is none.
+        assert!(FaultProfile::parse("fail:0").unwrap().label().starts_with("f0r3q"));
+        for bad in ["fail:1001", "fail:-1", "fail:25:x", "fail:25:1:y", "fail:25:1:0:0", "drop:5"] {
+            assert!(FaultProfile::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn empty_profile_is_bit_identical_to_the_fault_free_path() {
+        let sys = sys(4);
+        let w = ServeWorkload::new(vec![
+            ServeRequest { prompt_len: 8, decode_len: 3, arrival_cycles: 0 },
+            ServeRequest { prompt_len: 16, decode_len: 2, arrival_cycles: 500 },
+        ])
+        .unwrap();
+        let policy = BatchPolicy::Continuous { max_slots: 2 };
+        let plain = sys.simulate_serve(&w, policy, Billing::PerRequest).unwrap();
+        for seed in [0u64, 42, u64::MAX] {
+            let faulted = sys
+                .simulate_serve_faulted(
+                    &w,
+                    policy,
+                    Billing::PerRequest,
+                    &FaultProfile::none(),
+                    seed,
+                )
+                .unwrap();
+            assert_eq!(faulted, plain, "seed {seed}");
+        }
+        assert_eq!(plain.retries + plain.sheds + plain.timeouts + plain.failed, 0);
+        assert!((plain.availability() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_failed() {
+        let sys = sys(4);
+        let w = saturated(3, 8, 2);
+        let profile = FaultProfile::parse("fail:1000:2").unwrap();
+        let report = sys
+            .simulate_serve_faulted(
+                &w,
+                BatchPolicy::Continuous { max_slots: 4 },
+                Billing::FullContext,
+                &profile,
+                7,
+            )
+            .unwrap();
+        // Certain failure: every request burns its full retry budget.
+        assert_eq!(report.failed, 3);
+        assert_eq!(report.retries, 3 * 2);
+        assert_eq!(report.completed(), 0);
+        assert!(report.availability().abs() < f64::EPSILON);
+        assert!(report
+            .requests
+            .iter()
+            .all(|r| r.outcome == RequestOutcome::Failed && r.retries == 2));
+    }
+
+    #[test]
+    fn retries_recover_and_lengthen_the_tail() {
+        let sys = sys(4);
+        let w = saturated(6, 8, 2);
+        let policy = BatchPolicy::Continuous { max_slots: 8 };
+        let plain = sys.simulate_serve(&w, policy, Billing::FullContext).unwrap();
+        let profile = FaultProfile::parse("fail:900:100").unwrap();
+        let report =
+            sys.simulate_serve_faulted(&w, policy, Billing::FullContext, &profile, 42).unwrap();
+        // A 100-deep retry budget outlasts 90% per-attempt failure.
+        assert!((report.availability() - 1.0).abs() < f64::EPSILON);
+        assert!(report.retries > 0);
+        assert!(report.makespan > plain.makespan);
+        assert!(report.requests.iter().any(|r| r.retries > 0));
+        // TTFT runs from the original arrival even across retries.
+        assert!(report.requests.iter().all(|r| r.first_token >= r.arrival));
+    }
+
+    #[test]
+    fn deadlines_time_requests_out() {
+        let sys = sys(4);
+        let w = saturated(3, 16, 4);
+        let profile = FaultProfile::parse("fail:0:0:1").unwrap(); // 1-kcycle deadline
+        let report = sys
+            .simulate_serve_faulted(
+                &w,
+                BatchPolicy::Static { batch: 1 },
+                Billing::FullContext,
+                &profile,
+                0,
+            )
+            .unwrap();
+        // Any real pass takes longer than 1000 cycles, so every request
+        // expires — actives at the pass boundary, queued ones at the
+        // head of the queue.
+        assert_eq!(report.timeouts, 3);
+        assert_eq!(report.completed(), 0);
+        assert!(report.requests.iter().all(|r| r.outcome == RequestOutcome::TimedOut));
+        // Degraded records still have coherent latency fields.
+        assert!(report.requests.iter().all(|r| r.finish >= r.first_token));
+    }
+
+    #[test]
+    fn overload_sheds_the_newest_arrivals() {
+        let sys = sys(4);
+        let w = saturated(4, 8, 6);
+        let profile = FaultProfile::parse("fail:0:0:0:1").unwrap(); // queue cap 1
+        let report = sys
+            .simulate_serve_faulted(
+                &w,
+                BatchPolicy::Static { batch: 1 },
+                Billing::FullContext,
+                &profile,
+                0,
+            )
+            .unwrap();
+        // One slot busy, one queued: the two newest arrivals are shed.
+        assert_eq!(report.sheds, 2);
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.requests[2].outcome, RequestOutcome::Shed);
+        assert_eq!(report.requests[3].outcome, RequestOutcome::Shed);
+        assert!((report.availability() - 0.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn availability_is_monotone_in_fail_rate() {
+        let sys = sys(4);
+        let w = saturated(6, 8, 2);
+        let policy = BatchPolicy::Continuous { max_slots: 8 };
+        let mut last = f64::INFINITY;
+        for rate in [0u32, 200, 500, 800, 1000] {
+            let profile = FaultProfile {
+                fail_per_mille: rate,
+                max_retries: 1,
+                timeout_kcycles: 0,
+                queue_cap: usize::MAX,
+            };
+            let report =
+                sys.simulate_serve_faulted(&w, policy, Billing::FullContext, &profile, 42).unwrap();
+            assert!(report.availability() <= last, "rate {rate}");
+            last = report.availability();
+        }
+        assert!(last.abs() < f64::EPSILON, "certain failure means zero availability");
+    }
+
+    #[test]
+    fn faulted_serve_is_cold_rerun_deterministic() {
+        let sys = sys(4);
+        let w = ServeWorkload::new(vec![
+            ServeRequest { prompt_len: 8, decode_len: 3, arrival_cycles: 0 },
+            ServeRequest { prompt_len: 16, decode_len: 2, arrival_cycles: 500 },
+            ServeRequest { prompt_len: 8, decode_len: 1, arrival_cycles: 90_000 },
+        ])
+        .unwrap();
+        let profile = FaultProfile::parse("fail:400:2:50000:2").unwrap();
+        let policy = BatchPolicy::Continuous { max_slots: 2 };
+        let a = sys.simulate_serve_faulted(&w, policy, Billing::PerRequest, &profile, 99).unwrap();
+        let b = sys.simulate_serve_faulted(&w, policy, Billing::PerRequest, &profile, 99).unwrap();
+        assert_eq!(a, b);
+        // Outcomes partition the workload.
+        let n = a.requests.len() as u64;
+        let counted = a.completed() as u64 + a.sheds + a.timeouts + a.failed;
+        assert_eq!(counted, n);
     }
 
     #[test]

@@ -28,7 +28,9 @@
 
 use crate::sweep::{csv_field, json_string, ModelPreset};
 use crate::table::{fmt_cycles, TextTable};
-use mtp_core::{BatchPolicy, Billing, DistributedSystem, ServeReport};
+use mtp_core::{
+    BatchPolicy, Billing, DistributedSystem, FaultProfile, RequestOutcome, ServeReport,
+};
 use mtp_model::{ArrivalProcess, BatchWorkload, InferenceMode, ServeWorkload};
 use mtp_sim::ChipSpec;
 use std::collections::HashMap;
@@ -58,6 +60,10 @@ pub struct ServeScenario {
     pub decode_len: usize,
     /// Arrival-process seed.
     pub seed: u64,
+    /// Request-level fault profile (failure rate, retry budget,
+    /// deadline, admission-queue cap). [`FaultProfile::none`] takes the
+    /// fault-free serving path bit for bit.
+    pub faults: FaultProfile,
 }
 
 impl ServeScenario {
@@ -67,7 +73,7 @@ impl ServeScenario {
     #[must_use]
     pub fn key(&self) -> String {
         format!(
-            "{}|{}|{}|{}|{}|{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
             self.model.cli_name(),
             self.n_chips,
             self.process.label(),
@@ -77,6 +83,7 @@ impl ServeScenario {
             self.prompt_len,
             self.decode_len,
             self.seed,
+            self.faults.label(),
         )
     }
 
@@ -106,8 +113,9 @@ impl ServeScenario {
             self.decode_len,
             self.seed,
         )?;
-        let report =
-            sys.simulate_serve(&workload, self.policy, self.billing).map_err(|e| e.to_string())?;
+        let report = sys
+            .simulate_serve_faulted(&workload, self.policy, self.billing, &self.faults, self.seed)
+            .map_err(|e| e.to_string())?;
         // The unloaded baseline: one solo request's prefill makespan on
         // the same fleet (what TTFT would be with zero queueing).
         let solo = sys
@@ -159,15 +167,31 @@ pub struct ServeRow {
 
 impl ServeRow {
     /// Derives the latency metrics of one completed scenario.
+    ///
+    /// Percentiles sample **completed** requests only: a shed or
+    /// timed-out request has no meaningful token latency, and counting
+    /// its truncated record would make a lossy configuration look
+    /// *faster*. A run where nothing completes reports all-zero
+    /// percentiles (never panics), with `availability` telling the
+    /// story.
     #[must_use]
     pub fn new(scenario: ServeScenario, report: Arc<ServeReport>, solo_prefill: u64) -> Self {
         let freq = ChipSpec::siracusa().freq_hz;
-        let mut ttfts: Vec<u64> = report.requests.iter().map(|r| r.ttft()).collect();
-        let mut tpots: Vec<u64> = report.requests.iter().map(|r| r.tpot()).collect();
-        let mut e2es: Vec<u64> = report.requests.iter().map(|r| r.e2e()).collect();
+        let done: Vec<_> =
+            report.requests.iter().filter(|r| r.outcome == RequestOutcome::Completed).collect();
+        let mut ttfts: Vec<u64> = done.iter().map(|r| r.ttft()).collect();
+        let mut tpots: Vec<u64> = done.iter().map(|r| r.tpot()).collect();
+        let mut e2es: Vec<u64> = done.iter().map(|r| r.e2e()).collect();
         ttfts.sort_unstable();
         tpots.sort_unstable();
         e2es.sort_unstable();
+        let pcts = |sorted: &[u64]| {
+            if sorted.is_empty() {
+                (0, 0, 0)
+            } else {
+                (percentile(sorted, 50), percentile(sorted, 95), percentile(sorted, 99))
+            }
+        };
         // SLO factors below keep the bound integral and deterministic.
         let slo_cycles = (SLO_FACTOR_PCT * solo_prefill) / 100;
         let slo_ok = ttfts.iter().filter(|&&t| t <= slo_cycles).count();
@@ -181,9 +205,9 @@ impl ServeRow {
             }
         };
         ServeRow {
-            ttft: (percentile(&ttfts, 50), percentile(&ttfts, 95), percentile(&ttfts, 99)),
-            tpot: (percentile(&tpots, 50), percentile(&tpots, 95), percentile(&tpots, 99)),
-            e2e_p99: percentile(&e2es, 99),
+            ttft: pcts(&ttfts),
+            tpot: pcts(&tpots),
+            e2e_p99: pcts(&e2es).2,
             slo_cycles,
             slo_ok,
             goodput_rps,
@@ -199,7 +223,8 @@ impl ServeRow {
     pub fn to_csv_line(&self) -> String {
         let s = &self.scenario;
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},\
+             {:.6},{},{},{},{}",
             csv_field(&s.model.cli_name()),
             s.n_chips,
             csv_field(&s.process.label()),
@@ -209,6 +234,7 @@ impl ServeRow {
             s.prompt_len,
             s.decode_len,
             s.seed,
+            csv_field(&s.faults.label()),
             self.report.makespan,
             self.report.peak_concurrency(),
             self.report.passes.len(),
@@ -223,6 +249,11 @@ impl ServeRow {
             self.slo_ok,
             self.goodput_rps,
             self.offered_rps,
+            self.report.availability(),
+            self.report.retries,
+            self.report.sheds,
+            self.report.timeouts,
+            self.report.failed,
         )
     }
 
@@ -232,11 +263,12 @@ impl ServeRow {
         let s = &self.scenario;
         format!(
             "{{\"model\":{},\"chips\":{},\"arrival\":{},\"policy\":{},\"billing\":{},\
-             \"requests\":{},\"prompt_len\":{},\"decode_len\":{},\"seed\":{},\
+             \"requests\":{},\"prompt_len\":{},\"decode_len\":{},\"seed\":{},\"faults\":{},\
              \"makespan_cycles\":{},\"peak_slots\":{},\"passes\":{},\"ttft_p50\":{},\
              \"ttft_p95\":{},\"ttft_p99\":{},\"tpot_p50\":{},\"tpot_p95\":{},\"tpot_p99\":{},\
              \"e2e_p99\":{},\"slo_cycles\":{},\"slo_ok\":{},\"goodput_rps\":{:.6},\
-             \"offered_rps\":{:.6}}}",
+             \"offered_rps\":{:.6},\"availability\":{:.6},\"retries\":{},\"sheds\":{},\
+             \"timeouts\":{},\"failed\":{}}}",
             json_string(&s.model.cli_name()),
             s.n_chips,
             json_string(&s.process.label()),
@@ -246,6 +278,7 @@ impl ServeRow {
             s.prompt_len,
             s.decode_len,
             s.seed,
+            json_string(&s.faults.label()),
             self.report.makespan,
             self.report.peak_concurrency(),
             self.report.passes.len(),
@@ -260,6 +293,11 @@ impl ServeRow {
             self.slo_ok,
             self.goodput_rps,
             self.offered_rps,
+            self.report.availability(),
+            self.report.retries,
+            self.report.sheds,
+            self.report.timeouts,
+            self.report.failed,
         )
     }
 }
@@ -272,9 +310,10 @@ pub const SLO_FACTOR_PCT: u64 = 300;
 /// CSV column header of [`ServeResults::to_csv`], stable for downstream
 /// tooling.
 pub const SERVE_CSV_HEADER: &str = "model,chips,arrival,policy,billing,requests,prompt_len,\
-                                    decode_len,seed,makespan_cycles,peak_slots,passes,ttft_p50,\
-                                    ttft_p95,ttft_p99,tpot_p50,tpot_p95,tpot_p99,e2e_p99,\
-                                    slo_cycles,slo_ok,goodput_rps,offered_rps";
+                                    decode_len,seed,faults,makespan_cycles,peak_slots,passes,\
+                                    ttft_p50,ttft_p95,ttft_p99,tpot_p50,tpot_p95,tpot_p99,\
+                                    e2e_p99,slo_cycles,slo_ok,goodput_rps,offered_rps,\
+                                    availability,retries,sheds,timeouts,failed";
 
 /// A serving scenario the engine could not run, with the reason.
 #[derive(Debug, Clone)]
@@ -343,11 +382,13 @@ impl ServeResults {
                 "arrival",
                 "policy",
                 "bill",
+                "faults",
                 "req",
                 "ttft_p50",
                 "ttft_p99",
                 "tpot_p50",
                 "slo_ok",
+                "avail",
                 "goodput/s",
             ]
             .map(String::from)
@@ -361,11 +402,13 @@ impl ServeResults {
                 s.process.label(),
                 s.policy.label(),
                 s.billing.label().to_owned(),
+                s.faults.label(),
                 s.n_requests.to_string(),
                 fmt_cycles(row.ttft.0),
                 fmt_cycles(row.ttft.2),
                 fmt_cycles(row.tpot.0),
                 format!("{}/{}", row.slo_ok, s.n_requests),
+                format!("{:.2}", row.report.availability()),
                 format!("{:.1}", row.goodput_rps),
             ]);
         }
@@ -408,6 +451,10 @@ pub struct ServeGrid {
     pub decode_len: usize,
     /// Arrival seed.
     pub seed: u64,
+    /// Fault-profile axis (innermost). The default single
+    /// [`FaultProfile::none`] keeps fault-free grids byte-identical to
+    /// their pre-fault outputs.
+    pub faults: Vec<FaultProfile>,
 }
 
 impl ServeGrid {
@@ -432,6 +479,7 @@ impl ServeGrid {
             prompt_len: 16,
             decode_len: 4,
             seed: 42,
+            faults: vec![FaultProfile::none()],
         }
     }
 
@@ -487,7 +535,14 @@ impl ServeGrid {
         self
     }
 
-    /// Enumerates every scenario of the grid, models outermost, billing
+    /// Replaces the fault-profile axis.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Vec<FaultProfile>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enumerates every scenario of the grid, models outermost, faults
     /// innermost (stable order — the row order of the outputs).
     #[must_use]
     pub fn scenarios(&self) -> Vec<ServeScenario> {
@@ -497,17 +552,20 @@ impl ServeGrid {
                 for process in &self.arrivals {
                     for &policy in &self.policies {
                         for &billing in &self.billings {
-                            out.push(ServeScenario {
-                                model,
-                                n_chips,
-                                process: process.clone(),
-                                policy,
-                                billing,
-                                n_requests: self.n_requests,
-                                prompt_len: self.prompt_len,
-                                decode_len: self.decode_len,
-                                seed: self.seed,
-                            });
+                            for &faults in &self.faults {
+                                out.push(ServeScenario {
+                                    model,
+                                    n_chips,
+                                    process: process.clone(),
+                                    policy,
+                                    billing,
+                                    n_requests: self.n_requests,
+                                    prompt_len: self.prompt_len,
+                                    decode_len: self.decode_len,
+                                    seed: self.seed,
+                                    faults,
+                                });
+                            }
                         }
                     }
                 }

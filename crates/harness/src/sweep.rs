@@ -37,11 +37,13 @@
 use crate::table::{fmt_cycles, TextTable};
 use mtp_core::schedule::{BatchRegime, CompiledSchedule};
 use mtp_core::{
-    CoreError, DistributedSystem, MemoryPlan, PartitionSpec, SystemReport, WeightResidency,
+    CoreError, DistributedSystem, FailPolicy, MemoryPlan, PartitionSpec, SystemReport,
+    WeightResidency,
 };
+use mtp_kernels::CalibratedCostModel;
 use mtp_link::Topology;
 use mtp_model::{InferenceMode, TransformerConfig};
-use mtp_sim::{ChipSpec, LinkRegime};
+use mtp_sim::{ChipSpec, FaultPlan, LinkRegime};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -275,6 +277,58 @@ impl Span {
     }
 }
 
+/// The kernel-cost-model axis of a scenario: the analytical roofline
+/// model (the default — machine-independent and bit-deterministic, what
+/// every pinned checksum is computed against) or the host-calibrated
+/// model fitted from measured kernel timings
+/// ([`CalibratedCostModel::measure`]). Calibration runs once per
+/// process and is shared by every calibrated scenario, so one sweep is
+/// internally consistent; across machines the calibrated numbers
+/// naturally differ (they are measurements), which is why calibrated
+/// rows carry a distinct label and the analytic model stays the
+/// default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CostSourceKind {
+    /// The analytical roofline cost model (the paper's model).
+    #[default]
+    Analytic,
+    /// Measured host kernel timings mapped to cluster cycles.
+    Calibrated,
+}
+
+impl CostSourceKind {
+    /// Parses a CLI cost-source name (`analytic`, `calibrated`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the accepted vocabulary.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "analytic" => Ok(CostSourceKind::Analytic),
+            "calibrated" => Ok(CostSourceKind::Calibrated),
+            other => Err(format!("unknown cost source `{other}` (analytic|calibrated)")),
+        }
+    }
+
+    /// Short label (`analytic`, `cal`) used in keys and row suffixes.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CostSourceKind::Analytic => "analytic",
+            CostSourceKind::Calibrated => "cal",
+        }
+    }
+}
+
+/// The process-wide calibrated cost model: measured once on first use
+/// (three timing reps per kernel class at the Siracusa clock) and
+/// shared by every calibrated scenario, so all rows of a sweep price
+/// kernels identically.
+fn calibrated_model() -> &'static CalibratedCostModel {
+    static MODEL: OnceLock<CalibratedCostModel> = OnceLock::new();
+    MODEL.get_or_init(|| CalibratedCostModel::measure(ChipSpec::siracusa().freq_hz, 3))
+}
+
 /// One fully-specified experiment point of the sweep grid.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Scenario {
@@ -305,6 +359,22 @@ pub struct Scenario {
     /// of simulated block instances; request-level periodicity keeps the
     /// simulation cost batch-size-independent.
     pub batch: usize,
+    /// Fault plan injected into the simulated machine. Empty by default
+    /// (bit-identical to the fault-free engine, as the pinned FNV
+    /// checksums require); a non-empty plan routes the scenario through
+    /// the exact faulted simulation path (no periodic extrapolation)
+    /// and, like `link_bw_pct`, never splits a [`ScheduleKey`] — faults
+    /// change *when* things happen, never *which* schedule runs.
+    pub faults: FaultPlan,
+    /// Failover policy applied when the fault plan fail-stops a chip:
+    /// [`FailPolicy::Abort`] (the default) surfaces the typed
+    /// [`mtp_sim::SimError::ChipFailed`] as a skip reason, `restart`
+    /// replays the job from the top, `spare` replays from the last
+    /// completed block boundary on a spare chip. Irrelevant (and
+    /// unused) while the plan is empty.
+    pub fail_policy: FailPolicy,
+    /// Kernel cost model pricing the scenario's compute instructions.
+    pub cost_source: CostSourceKind,
 }
 
 impl Scenario {
@@ -323,7 +393,31 @@ impl Scenario {
             link_regime: LinkRegime::Affine,
             span: Span::Block,
             batch: 1,
+            faults: FaultPlan::none(),
+            fail_policy: FailPolicy::Abort,
+            cost_source: CostSourceKind::Analytic,
         }
+    }
+
+    /// The same scenario with a different fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The same scenario with a different failover policy.
+    #[must_use]
+    pub fn with_fail_policy(mut self, policy: FailPolicy) -> Self {
+        self.fail_policy = policy;
+        self
+    }
+
+    /// The same scenario with a different kernel cost model.
+    #[must_use]
+    pub fn with_cost_source(mut self, cost_source: CostSourceKind) -> Self {
+        self.cost_source = cost_source;
+        self
     }
 
     /// The same scenario with a different topology.
@@ -422,7 +516,7 @@ impl Scenario {
     pub fn key(&self) -> String {
         let c = &self.config;
         format!(
-            "{}|e{}h{}kv{}f{}l{}s{}|{:?}|{:?}|{:?}|{}|{}|{}chips|{}|{}|bw{}|{}|{}|b{}",
+            "{}|e{}h{}kv{}f{}l{}s{}|{:?}|{:?}|{:?}|{}|{}|{}chips|{}|{}|bw{}|{}|{}|b{}|{}|{}|{}",
             c.name,
             c.embed_dim,
             c.n_heads,
@@ -442,6 +536,9 @@ impl Scenario {
             self.link_regime.label(),
             self.span.label(),
             self.batch,
+            self.faults.label(),
+            self.fail_policy.label(),
+            self.cost_source.label(),
         )
     }
 
@@ -449,12 +546,37 @@ impl Scenario {
     /// for single-request scenarios (keeping batch-free output
     /// byte-identical to the pre-batching engine, as the pinned FNV
     /// checksums require), suffixed with `@bN` for batched ones.
+    /// Faulted scenarios further append `#<fault-label>` (and
+    /// `!<policy>` for non-abort failover), so the fault axis rides in
+    /// an existing column and fault-free rows serialize byte-identically
+    /// under the pinned 21-column header.
     #[must_use]
     pub fn span_batch_label(&self) -> String {
-        if self.batch == 1 {
+        let mut label = if self.batch == 1 {
             self.span.label().to_owned()
         } else {
             format!("{}@b{}", self.span.label(), self.batch)
+        };
+        if !self.faults.is_empty() {
+            label.push('#');
+            label.push_str(&self.faults.label());
+            if self.fail_policy != FailPolicy::Abort {
+                label.push('!');
+                label.push_str(self.fail_policy.label());
+            }
+        }
+        label
+    }
+
+    /// The model column value of serialized rows: the configuration name
+    /// alone under the analytic cost model (byte-identical to the
+    /// pre-calibration engine), suffixed with `@cal` for calibrated
+    /// rows so the two cost sources never mix silently in one table.
+    #[must_use]
+    pub fn model_label(&self) -> String {
+        match self.cost_source {
+            CostSourceKind::Analytic => self.config.name.clone(),
+            CostSourceKind::Calibrated => format!("{}@cal", self.config.name),
         }
     }
 
@@ -496,6 +618,9 @@ impl Scenario {
             // must fall back to synchronous streaming.
             chip.l2_usable_fraction = 0.2;
         }
+        if self.cost_source == CostSourceKind::Calibrated {
+            chip.cost_override = Some(*calibrated_model());
+        }
         chip
     }
 
@@ -515,7 +640,11 @@ impl Scenario {
         // is one request slot, so a batched span is exactly a deeper
         // single-request span over the same template (the request-level
         // periodicity argument, DESIGN.md §10).
-        sys.simulate_blocks(self.mode, self.n_blocks())
+        if self.faults.is_empty() {
+            sys.simulate_blocks(self.mode, self.n_blocks())
+        } else {
+            sys.simulate_blocks_faulted(self.mode, self.n_blocks(), &self.faults, self.fail_policy)
+        }
     }
 
     /// Number of Transformer block instances this scenario simulates
@@ -535,8 +664,10 @@ impl Scenario {
     /// The model's `name` and `n_layers` are normalized away (names are
     /// display-only; depth shapes the template only through the residency
     /// regime, which is computed from the real configuration and included
-    /// in the key), and `link_bw_pct`, `link_regime`, and `span` are
-    /// excluded (the link speed and timing regime change machine timing,
+    /// in the key), and `link_bw_pct`, `link_regime`, `span`, `faults`,
+    /// `fail_policy`, and `cost_source` are
+    /// excluded (the link speed, timing regime, fault plan, and kernel
+    /// pricing change machine timing,
     /// never the schedule; the span only
     /// changes how many times the template runs). Two scenarios with
     /// equal keys lower to bit-identical templates, so the sweep engine
@@ -625,7 +756,8 @@ pub struct ScheduleKey {
 /// A declarative cross product of scenario axes.
 ///
 /// Enumeration order is fixed (workloads, then chip counts, then
-/// topologies, placements, bandwidths, link regimes, batch sizes), which
+/// topologies, placements, bandwidths, link regimes, cost sources,
+/// fault plans, batch sizes), which
 /// makes sweep output deterministic row-for-row.
 #[derive(Debug, Clone)]
 pub struct SweepGrid {
@@ -649,6 +781,16 @@ pub struct SweepGrid {
     /// Uniform batch-size axis (how many interleaved requests each block
     /// serves; `[1]` is the single-request grid).
     pub batch_sizes: Vec<usize>,
+    /// Fault-plan axis (the default `[FaultPlan::none()]` reproduces the
+    /// fault-free engine bit-for-bit).
+    pub fault_plans: Vec<FaultPlan>,
+    /// Failover policy applied to every faulted scenario (one value, not
+    /// an axis: mixing failover semantics in one table is rarely
+    /// meaningful — sweep it by running the grid per policy).
+    pub fail_policy: FailPolicy,
+    /// Kernel cost-model axis (the default `[CostSourceKind::Analytic]`
+    /// is the paper's deterministic roofline model).
+    pub cost_sources: Vec<CostSourceKind>,
 }
 
 impl SweepGrid {
@@ -668,6 +810,9 @@ impl SweepGrid {
             link_regimes: vec![LinkRegime::Affine],
             span: Span::Block,
             batch_sizes: vec![1],
+            fault_plans: vec![FaultPlan::none()],
+            fail_policy: FailPolicy::Abort,
+            cost_sources: vec![CostSourceKind::Analytic],
         }
     }
 
@@ -802,6 +947,27 @@ impl SweepGrid {
         self
     }
 
+    /// The same grid with a different fault-plan axis.
+    #[must_use]
+    pub fn with_fault_plans(mut self, fault_plans: Vec<FaultPlan>) -> Self {
+        self.fault_plans = fault_plans;
+        self
+    }
+
+    /// The same grid with a different failover policy.
+    #[must_use]
+    pub fn with_fail_policy(mut self, policy: FailPolicy) -> Self {
+        self.fail_policy = policy;
+        self
+    }
+
+    /// The same grid with a different kernel cost-model axis.
+    #[must_use]
+    pub fn with_cost_sources(mut self, cost_sources: Vec<CostSourceKind>) -> Self {
+        self.cost_sources = cost_sources;
+        self
+    }
+
     /// Number of scenarios the grid enumerates (before validity checks).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -812,6 +978,8 @@ impl SweepGrid {
             * self.link_bw_pcts.len()
             * self.link_regimes.len()
             * self.batch_sizes.len()
+            * self.fault_plans.len()
+            * self.cost_sources.len()
     }
 
     /// `true` when the grid enumerates no scenario.
@@ -831,18 +999,25 @@ impl SweepGrid {
                     for &placement in &self.placements {
                         for &link_bw_pct in &self.link_bw_pcts {
                             for &link_regime in &self.link_regimes {
-                                for &batch in &self.batch_sizes {
-                                    out.push(Scenario {
-                                        config: cfg.clone(),
-                                        mode: *mode,
-                                        n_chips,
-                                        topology,
-                                        placement,
-                                        link_bw_pct,
-                                        link_regime,
-                                        span: self.span,
-                                        batch,
-                                    });
+                                for &cost_source in &self.cost_sources {
+                                    for faults in &self.fault_plans {
+                                        for &batch in &self.batch_sizes {
+                                            out.push(Scenario {
+                                                config: cfg.clone(),
+                                                mode: *mode,
+                                                n_chips,
+                                                topology,
+                                                placement,
+                                                link_bw_pct,
+                                                link_regime,
+                                                span: self.span,
+                                                batch,
+                                                faults: faults.clone(),
+                                                fail_policy: self.fail_policy,
+                                                cost_source,
+                                            });
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -936,7 +1111,7 @@ impl SweepRow {
         let b = r.breakdown();
         format!(
             "{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{},{},{},{},{:.6},{:.6}",
-            csv_field(&s.config.name),
+            csv_field(&s.model_label()),
             s.mode,
             s.n_chips,
             s.topology.label(),
@@ -977,14 +1152,31 @@ impl SweepRow {
                 )
             })
             .collect();
+        // Fault counters appear only on faulted rows, so fault-free JSON
+        // stays byte-identical to the pre-fault engine (the pinned
+        // checksum contract).
+        let faults = if s.faults.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "\"faults\":{},\"fail_policy\":{},\"fault_stall_cycles\":{},\
+                 \"fault_slow_cycles\":{},\"fault_link_cycles\":{},\"fault_downtime_cycles\":{},",
+                json_string(&s.faults.label()),
+                json_string(s.fail_policy.label()),
+                r.stats.total_fault_stall_cycles(),
+                r.stats.total_fault_slow_cycles(),
+                r.stats.total_fault_link_cycles(),
+                r.stats.total_downtime_cycles(),
+            )
+        };
         format!(
             "{{\"model\":{},\"mode\":{},\"chips\":{},\"topology\":{},\"placement\":{},\
              \"link_bw_pct\":{},\"span\":{},\"blocks\":{},\"residency\":{},\
              \"makespan_cycles\":{},\"runtime_ms\":{:.6},\"compute_cycles\":{},\
              \"dma_l3_l2_cycles\":{},\"dma_l2_l1_cycles\":{},\"c2c_cycles\":{},\
              \"idle_cycles\":{},\"l3_l2_bytes\":{},\"l2_l1_bytes\":{},\"c2c_bytes\":{},\
-             \"energy_mj\":{:.6},\"edp_mj_ms\":{:.6},\"per_chip\":[{}]}}",
-            json_string(&s.config.name),
+             {faults}\"energy_mj\":{:.6},\"edp_mj_ms\":{:.6},\"per_chip\":[{}]}}",
+            json_string(&s.model_label()),
             json_string(&s.mode.to_string()),
             s.n_chips,
             json_string(&s.topology.label()),
@@ -1055,6 +1247,7 @@ impl SweepResults {
                 "place",
                 "bw%",
                 "batch",
+                "faults",
                 "regime",
                 "runtime(cyc)",
                 "ms",
@@ -1068,13 +1261,14 @@ impl SweepResults {
             let s = &row.scenario;
             let r = &row.report;
             t.row(vec![
-                s.config.name.clone(),
+                s.model_label(),
                 s.mode.to_string(),
                 s.n_chips.to_string(),
                 s.topology.label(),
                 s.placement.label().to_owned(),
                 s.link_label(),
                 s.batch.to_string(),
+                s.faults.label(),
                 r.residency.to_string(),
                 fmt_cycles(r.stats.makespan),
                 format!("{:.3}", r.runtime_ms()),
@@ -1284,20 +1478,33 @@ impl SweepEngine {
             }
         }
 
-        // Scenarios sharing a template, link bandwidth, link regime, and
-        // depth produce identical reports (the template plus the
-        // bandwidth-scaled, regime-tagged chip fully determine the
-        // simulation — the remaining scenario fields are display-only),
-        // so such groups simulate once and share the report through an
-        // `Arc`.
-        let mut sims: HashMap<(usize, u32, usize, LinkRegime), usize> = HashMap::new();
+        // Scenarios sharing a template, link bandwidth, link regime,
+        // depth, fault plan (plus failover policy), and cost source
+        // produce identical reports (the template plus the
+        // bandwidth-scaled, regime-tagged, fault-injected chip fully
+        // determine the simulation — the remaining scenario fields are
+        // display-only), so such groups simulate once and share the
+        // report through an `Arc`.
+        type SimKey<'s> =
+            (usize, u32, usize, LinkRegime, &'s FaultPlan, FailPolicy, CostSourceKind);
+        let mut sims: HashMap<SimKey<'_>, usize> = HashMap::new();
         let sim_of: Vec<Option<usize>> = to_run
             .iter()
             .zip(&slot_of)
             .map(|(s, slot)| {
                 slot.map(|slot| {
                     let sim = sims.len();
-                    *sims.entry((slot, s.link_bw_pct, s.n_blocks(), s.link_regime)).or_insert(sim)
+                    *sims
+                        .entry((
+                            slot,
+                            s.link_bw_pct,
+                            s.n_blocks(),
+                            s.link_regime,
+                            &s.faults,
+                            s.fail_policy,
+                            s.cost_source,
+                        ))
+                        .or_insert(sim)
                 })
             })
             .collect();
@@ -1314,10 +1521,15 @@ impl SweepEngine {
         // allocated for groups with at least two distinct depths — a
         // lone depth gains nothing from checkpointing — and only where
         // the periodic engine could extrapolate at all (more than the
-        // full-run threshold of 4 blocks, contention-free link regime).
+        // full-run threshold of 4 blocks, contention-free link regime,
+        // no fault plan — faulted runs take the exact full path — and
+        // the analytic cost model, so a calibrated chip never resumes
+        // from an analytic checkpoint).
         let mut warm_groups: HashMap<(usize, u32, LinkRegime), usize> = HashMap::new();
-        for &(slot, bw, _n_blocks, regime) in sims.keys() {
-            *warm_groups.entry((slot, bw, regime)).or_insert(0) += 1;
+        for &(slot, bw, _n_blocks, regime, faults, _policy, cost) in sims.keys() {
+            if faults.is_empty() && cost == CostSourceKind::Analytic {
+                *warm_groups.entry((slot, bw, regime)).or_insert(0) += 1;
+            }
         }
         let mut warms: HashMap<(usize, u32, LinkRegime), usize> = HashMap::new();
         let warm_of: Vec<Option<usize>> = to_run
@@ -1327,7 +1539,12 @@ impl SweepEngine {
                 slot.and_then(|slot| {
                     let key = (slot, s.link_bw_pct, s.link_regime);
                     let shared = warm_groups.get(&key).copied().unwrap_or(0) >= 2;
-                    if shared && s.n_blocks() > 4 && s.link_regime.contention_free() {
+                    if shared
+                        && s.n_blocks() > 4
+                        && s.link_regime.contention_free()
+                        && s.faults.is_empty()
+                        && s.cost_source == CostSourceKind::Analytic
+                    {
                         let w = warms.len();
                         Some(*warms.entry(key).or_insert(w))
                     } else {
@@ -1367,20 +1584,36 @@ impl SweepEngine {
                                 // warmup; checkpoint failures fall back
                                 // to the cold path inside
                                 // `simulate_from` (exact either way).
-                                let report = match warm_of[i] {
-                                    Some(w) => {
-                                        let ckpt = warm_slots[w]
-                                            .get_or_init(|| compiled.warmup(&chip).ok());
-                                        match ckpt {
-                                            Some(ckpt) => compiled.simulate_from(
-                                                &chip,
-                                                scenario.n_blocks(),
-                                                ckpt,
-                                            ),
-                                            None => compiled.simulate(&chip, scenario.n_blocks()),
+                                // Faulted scenarios never join a warm
+                                // group and route through the exact
+                                // faulted path (a fail-stop under the
+                                // abort policy becomes this scenario's
+                                // typed skip reason).
+                                let report = if !scenario.faults.is_empty() {
+                                    compiled.simulate_faulted(
+                                        &chip,
+                                        scenario.n_blocks(),
+                                        &scenario.faults,
+                                        scenario.fail_policy,
+                                    )
+                                } else {
+                                    match warm_of[i] {
+                                        Some(w) => {
+                                            let ckpt = warm_slots[w]
+                                                .get_or_init(|| compiled.warmup(&chip).ok());
+                                            match ckpt {
+                                                Some(ckpt) => compiled.simulate_from(
+                                                    &chip,
+                                                    scenario.n_blocks(),
+                                                    ckpt,
+                                                ),
+                                                None => {
+                                                    compiled.simulate(&chip, scenario.n_blocks())
+                                                }
+                                            }
                                         }
+                                        None => compiled.simulate(&chip, scenario.n_blocks()),
                                     }
-                                    None => compiled.simulate(&chip, scenario.n_blocks()),
                                 };
                                 report.map(Arc::new).map_err(|e| e.to_string())
                             }

@@ -220,6 +220,11 @@ pub struct GoBackNOutcome {
     /// Packets retransmitted (each drop resends the in-flight window
     /// tail, go-back-N style).
     pub retransmits: u64,
+    /// Packets that exhausted all [`LOSSY_MAX_ATTEMPTS`] attempts and
+    /// were forced through by the modeling safety valve. A non-zero value
+    /// means delivery was *assumed*, not achieved — observable so extreme
+    /// loss rates are never mistaken for successful links.
+    pub gave_up: u64,
 }
 
 /// Deterministic go-back-N overhead for one `bytes`-sized message.
@@ -249,8 +254,10 @@ pub fn go_back_n_overhead(
     let per_mille = u64::from(drop_per_mille.min(999));
     let packets = bytes.div_ceil(LOSSY_MTU_BYTES);
     for pkt in 0..packets {
+        let mut delivered = false;
         for attempt in 0..LOSSY_MAX_ATTEMPTS {
             if drop_hash(msg_id, pkt, attempt) % 1000 >= per_mille {
+                delivered = true;
                 break;
             }
             let resend = GO_BACK_N_WINDOW.min(packets - pkt);
@@ -258,6 +265,9 @@ pub fn go_back_n_overhead(
             out.retransmits += resend;
             out.extra_cycles =
                 out.extra_cycles.saturating_add(nack_cycles.saturating_add(resend * packet_cycles));
+        }
+        if !delivered {
+            out.gave_up += 1;
         }
     }
     out
@@ -348,5 +358,24 @@ mod tests {
         let out = go_back_n_overhead(1, 8 * LOSSY_MTU_BYTES, 10, 999, 10);
         assert!(out.drops >= 8, "0.1% success leaves long drop runs");
         assert!(out.drops <= 8 * u64::from(LOSSY_MAX_ATTEMPTS));
+    }
+
+    #[test]
+    fn attempt_cap_exhaustion_is_observable() {
+        // At 999 per mille each attempt survives with probability 1e-3,
+        // so some packet in a long message exhausts all 64 attempts —
+        // previously indistinguishable from a delivery. The drop counter
+        // pins the exhausted packets at exactly MAX_ATTEMPTS drops each.
+        let packets = 64u64;
+        let out = go_back_n_overhead(1, packets * LOSSY_MTU_BYTES, 10, 999, 10);
+        assert!(out.gave_up > 0, "999 per mille must exhaust some retry budget");
+        assert!(out.gave_up <= packets);
+        assert!(out.drops >= out.gave_up * u64::from(LOSSY_MAX_ATTEMPTS));
+        // Moderate loss never gives up.
+        let mild = go_back_n_overhead(42, 1 << 20, 256, 50, 500);
+        assert_eq!(mild.gave_up, 0, "5% loss never hits the 64-attempt cap");
+        // Deterministic like every other counter.
+        let again = go_back_n_overhead(1, packets * LOSSY_MTU_BYTES, 10, 999, 10);
+        assert_eq!(out, again);
     }
 }

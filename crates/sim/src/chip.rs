@@ -1,7 +1,7 @@
 //! Chip specification: the Siracusa-class SoC the paper deploys on.
 
 use crate::{DmaSpec, MemorySpec};
-use mtp_kernels::ClusterCostModel;
+use mtp_kernels::{CalibratedCostModel, ClusterCostModel, Kernel};
 pub use mtp_link::{LinkPortSpec, LinkRegime, QueueDiscipline};
 use serde::{Deserialize, Serialize};
 
@@ -23,6 +23,11 @@ pub struct ChipSpec {
     pub core_power_w: f64,
     /// Kernel cycle-cost model for the compute cluster.
     pub cost_model: ClusterCostModel,
+    /// Optional measured kernel-cost model that overrides
+    /// [`Self::cost_model`] for cycle counts when present (the
+    /// `--cost-source calibrated` sweep axis). Everything else — core
+    /// count, energy parameters — still reads the analytic model.
+    pub cost_override: Option<CalibratedCostModel>,
     /// L1 TCDM (16 banks, single-cycle from the cluster).
     pub l1: MemorySpec,
     /// L2 scratchpad.
@@ -64,6 +69,7 @@ impl ChipSpec {
             freq_hz: 500.0e6,
             core_power_w: 13.0e-3,
             cost_model: ClusterCostModel::siracusa(),
+            cost_override: None,
             l1: MemorySpec::new(256 * 1024, 0.5),
             l2: MemorySpec::new(2 * 1024 * 1024, 2.0),
             l3: MemorySpec::new(u64::MAX, 100.0),
@@ -80,6 +86,17 @@ impl ChipSpec {
     #[must_use]
     pub fn l2_usable_bytes(&self) -> u64 {
         (self.l2.capacity_bytes as f64 * self.l2_usable_fraction) as u64
+    }
+
+    /// Cycle cost of one kernel on this chip's cluster: the measured
+    /// calibrated model when one is installed, the analytic cluster model
+    /// otherwise.
+    #[must_use]
+    pub fn kernel_cycles(&self, kernel: &Kernel) -> u64 {
+        match &self.cost_override {
+            Some(m) => m.cycles(kernel),
+            None => self.cost_model.cycles(kernel),
+        }
     }
 
     /// Number of cluster cores (from the cost model).

@@ -40,6 +40,14 @@ pub enum SimError {
         /// Number of chips in the machine.
         chips: usize,
     },
+    /// A chip hit a fail-stop fault event from the machine's
+    /// [`FaultPlan`](crate::FaultPlan) while it still had work to do.
+    ChipFailed {
+        /// The failed chip.
+        chip: ChipId,
+        /// Local cycle of the fail-stop event.
+        at: u64,
+    },
     /// A receive named a different source than the matching send.
     SenderMismatch {
         /// Message in question.
@@ -68,6 +76,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::InvalidChip { chip, chips } => {
                 write!(f, "{chip} is outside the {chips}-chip machine")
+            }
+            SimError::ChipFailed { chip, at } => {
+                write!(f, "{chip} fail-stopped at cycle {at}")
             }
             SimError::SenderMismatch { msg, expected, actual } => {
                 write!(f, "message {} expected from {expected} but sent by {actual}", msg.0)

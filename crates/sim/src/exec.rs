@@ -19,9 +19,10 @@ use crate::{
     periodic::{MachineState, SegmentRun},
     sink::{MakespanOnly, TraceCollector, TraceSink},
     trace::ChipStats,
-    ChipId, ChipSpec, DmaTag, Instr, MemPath, MsgId, Program, Result, RunStats, SimError, Trace,
+    ChipId, ChipSpec, DmaTag, FaultEvent, FaultPlan, Instr, MemPath, MsgId, Program, Result,
+    RunStats, SimError, Trace,
 };
-use mtp_kernels::{ClusterCostModel, Kernel};
+use mtp_kernels::{CalibratedCostModel, ClusterCostModel, Kernel};
 use mtp_link::{go_back_n_overhead, LinkRegime, QueueDiscipline, LOSSY_MTU_BYTES};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -174,19 +175,37 @@ impl MsgTable {
 #[derive(Debug, Clone)]
 pub struct Machine {
     chips: Vec<ChipSpec>,
+    faults: FaultPlan,
 }
 
 impl Machine {
-    /// A machine built from per-chip specifications.
+    /// A machine built from per-chip specifications (no fault plan).
     #[must_use]
     pub fn new(chips: Vec<ChipSpec>) -> Self {
-        Machine { chips }
+        Machine { chips, faults: FaultPlan::none() }
     }
 
-    /// A machine of `n` identical chips.
+    /// A machine of `n` identical chips (no fault plan).
     #[must_use]
     pub fn homogeneous(spec: ChipSpec, n: usize) -> Self {
-        Machine { chips: vec![spec; n] }
+        Machine { chips: vec![spec; n], faults: FaultPlan::none() }
+    }
+
+    /// This machine with `faults` attached: every subsequent run injects
+    /// the plan's events. An empty plan is bit-identical to a machine
+    /// that never had one, and a non-empty plan disables periodic
+    /// extrapolation (see [`crate::FaultPlan`]).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The machine's fault plan (empty unless [`Machine::with_faults`]
+    /// installed one).
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The chip specifications.
@@ -292,6 +311,71 @@ impl Machine {
     }
 }
 
+/// One chip's expanded fault schedule, materialized from the machine's
+/// [`FaultPlan`] at executor construction. All lists are sorted by start
+/// cycle; stalls are consumed once each through a cursor.
+#[derive(Debug, Clone, Default)]
+struct ChipFaults {
+    /// Earliest fail-stop cycle, if any.
+    fail_at: Option<u64>,
+    /// Transient stalls as `(at, cycles)`.
+    stalls: Vec<(u64, u64)>,
+    /// Index of the next unconsumed stall.
+    next_stall: usize,
+    /// Compute-slowdown windows as `(from, until, factor_pct)`.
+    slows: Vec<(u64, u64, u32)>,
+    /// Outgoing-link degrade windows as `(from, until, factor_pct)`.
+    flaps: Vec<(u64, u64, u32)>,
+}
+
+/// Expands a fault plan into per-chip schedules; `None` for the empty
+/// plan, so the fault-free hot path stays branch-cheap.
+fn expand_faults(plan: &FaultPlan, n: usize) -> Option<Vec<ChipFaults>> {
+    if plan.is_empty() {
+        return None;
+    }
+    let mut per_chip = vec![ChipFaults::default(); n];
+    for event in plan.events_for(n) {
+        match event {
+            FaultEvent::FailStop { chip, at } => {
+                let f = &mut per_chip[chip];
+                f.fail_at = Some(f.fail_at.map_or(at, |cur| cur.min(at)));
+            }
+            FaultEvent::Stall { chip, at, cycles } => per_chip[chip].stalls.push((at, cycles)),
+            FaultEvent::Slow { chip, from, cycles, factor_pct } => {
+                per_chip[chip].slows.push((from, from.saturating_add(cycles), factor_pct));
+            }
+            FaultEvent::Flap { chip, from, cycles, factor_pct } => {
+                per_chip[chip].flaps.push((from, from.saturating_add(cycles), factor_pct));
+            }
+        }
+    }
+    for f in &mut per_chip {
+        f.stalls.sort_unstable();
+        f.slows.sort_unstable();
+        f.flaps.sort_unstable();
+    }
+    Some(per_chip)
+}
+
+/// Sum of degrade-window surcharges for an action of `base` cycles issued
+/// at local time `t`. Windows are sorted by start, so the scan stops at
+/// the first window opening after `t`. Factors at or below 100 percent
+/// contribute nothing (the parser rejects them; programmatic events are
+/// clamped here).
+fn window_extra(windows: &[(u64, u64, u32)], t: u64, base: u64) -> u64 {
+    let mut extra = 0u64;
+    for &(from, until, pct) in windows {
+        if from > t {
+            break;
+        }
+        if t < until {
+            extra += base * u64::from(pct).saturating_sub(100) / 100;
+        }
+    }
+    extra
+}
+
 /// Per-chip mutable execution state.
 #[derive(Debug)]
 struct ChipState {
@@ -381,6 +465,9 @@ struct Executor<'a, S: TraceSink> {
     send_issue_min: u64,
     /// Largest send issue time observed; 0 when no send ran.
     send_issue_max: u64,
+    /// Per-chip fault schedules; `None` when the machine's plan is empty
+    /// (the common case — one pointer-sized check per instruction).
+    faults: Option<Vec<ChipFaults>>,
     sink: S,
 }
 
@@ -419,15 +506,18 @@ impl<'a, S: TraceSink> Executor<'a, S> {
         for i in 0..n {
             ready.push(Reverse((0, i)));
         }
-        let mut classes: Vec<ClusterCostModel> = Vec::new();
+        let mut classes: Vec<(ClusterCostModel, Option<CalibratedCostModel>)> = Vec::new();
         let cost_class = machine
             .chips()
             .iter()
-            .map(|c| match classes.iter().position(|m| *m == c.cost_model) {
-                Some(i) => i as u32,
-                None => {
-                    classes.push(c.cost_model);
-                    (classes.len() - 1) as u32
+            .map(|c| {
+                let key = (c.cost_model, c.cost_override);
+                match classes.iter().position(|m| *m == key) {
+                    Some(i) => i as u32,
+                    None => {
+                        classes.push(key);
+                        (classes.len() - 1) as u32
+                    }
                 }
             })
             .collect();
@@ -452,6 +542,7 @@ impl<'a, S: TraceSink> Executor<'a, S> {
             drain_at_end: true,
             send_issue_min: u64::MAX,
             send_issue_max: 0,
+            faults: expand_faults(&machine.faults, n),
             sink,
         }
     }
@@ -530,6 +621,34 @@ impl<'a, S: TraceSink> Executor<'a, S> {
         }
     }
 
+    /// Applies ripe fault events for `chip` at an instruction boundary:
+    /// consumes every transient stall whose start has been reached
+    /// (freezing the clock for its duration), then checks fail-stop.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ChipFailed`] when the chip's clock has reached its
+    /// fail-stop cycle while an instruction remains to execute.
+    fn apply_chip_faults(&mut self, chip: usize) -> Result<()> {
+        let Some(faults) = &mut self.faults else { return Ok(()) };
+        let f = &mut faults[chip];
+        while let Some(&(at, cycles)) = f.stalls.get(f.next_stall) {
+            if at > self.state[chip].t {
+                break;
+            }
+            f.next_stall += 1;
+            let st = &mut self.state[chip];
+            st.stats.fault_stall_cycles += cycles;
+            st.t += cycles;
+        }
+        if let Some(at) = f.fail_at {
+            if self.state[chip].t >= at {
+                return Err(SimError::ChipFailed { chip: ChipId(chip), at });
+            }
+        }
+        Ok(())
+    }
+
     /// Runs `chip` from its current pc until it parks on a missing
     /// message, must yield before a [`Instr::Send`], or finishes.
     ///
@@ -561,6 +680,15 @@ impl<'a, S: TraceSink> Executor<'a, S> {
                 st.done = true;
                 return Ok(());
             };
+            // Faults apply at instruction boundaries, before the fetched
+            // instruction executes: ripe stalls freeze the clock, and a
+            // chip at or past its fail-stop cycle with work remaining
+            // surfaces as a typed error (never a hang). A chip that
+            // issues its final instruction before the fail cycle
+            // completes it and survives.
+            if self.faults.is_some() {
+                self.apply_chip_faults(chip)?;
+            }
             match instr {
                 Instr::Compute(kernel) => {
                     let class = self.cost_class[chip];
@@ -568,16 +696,26 @@ impl<'a, S: TraceSink> Executor<'a, S> {
                     let cycles = match slot {
                         Some((c, k, cycles)) if *c == class && *k == kernel => *cycles,
                         _ => {
-                            let cycles = spec.cost_model.cycles(&kernel);
+                            let cycles = spec.kernel_cycles(&kernel);
                             *slot = Some((class, kernel, cycles));
                             cycles
                         }
                     };
+                    // Slowdown windows stretch kernels issued inside them;
+                    // the surcharge stays outside the memo (the memo is
+                    // time-independent).
+                    let extra = match &self.faults {
+                        Some(faults) => {
+                            window_extra(&faults[chip].slows, self.state[chip].t, cycles)
+                        }
+                        None => 0,
+                    };
                     let st = &mut self.state[chip];
                     let start = st.t;
-                    st.stats.compute_cycles += cycles;
-                    st.t += cycles;
-                    self.sink.record(chip, start, start + cycles, || TraceKind::Compute {
+                    st.stats.compute_cycles += cycles + extra;
+                    st.stats.fault_slow_cycles += extra;
+                    st.t += cycles + extra;
+                    self.sink.record(chip, start, start + cycles + extra, || TraceKind::Compute {
                         kernel: kernel.to_string(),
                     });
                 }
@@ -660,6 +798,18 @@ impl<'a, S: TraceSink> Executor<'a, S> {
                         .max(self.rx_free[to.0])
                         .max(self.send_floor[chip]);
                     let mut done = start + spec.link.transfer_cycles(bytes);
+                    // Link-degrade windows stretch transfers issued inside
+                    // them (before any regime surcharge, which compounds
+                    // on top of the degraded transfer time).
+                    if let Some(faults) = &self.faults {
+                        let extra = window_extra(&faults[chip].flaps, start, done - start);
+                        if extra > 0 {
+                            done += extra;
+                            let st = &mut self.state[chip].stats;
+                            st.fault_link_cycles += extra;
+                            st.fault_transfers_affected += 1;
+                        }
+                    }
                     match spec.link_regime {
                         LinkRegime::Affine => {}
                         LinkRegime::Queued { discipline, .. } => {
@@ -693,6 +843,7 @@ impl<'a, S: TraceSink> Executor<'a, S> {
                             let st = &mut self.state[chip].stats;
                             st.c2c_drops += loss.drops;
                             st.c2c_retransmits += loss.retransmits;
+                            st.c2c_gave_up += loss.gave_up;
                         }
                     }
                     if !self.msgs.insert(msg, ChipId(chip), done, bytes) {
@@ -1169,6 +1320,117 @@ mod tests {
             Err(SimError::Deadlock { blocked }) => assert_eq!(blocked.len(), 2),
             other => panic!("expected deadlock, got {other:?}"),
         }
+    }
+
+    fn machine_with_faults(n: usize, plan: &str) -> Machine {
+        Machine::homogeneous(ChipSpec::siracusa(), n)
+            .with_faults(crate::FaultPlan::parse(plan).expect("plan"))
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let programs = contended_fan_in();
+        let bare = machine(3).run(&programs).unwrap();
+        let with_none = machine(3).with_faults(crate::FaultPlan::none()).run(&programs).unwrap();
+        assert_eq!(bare, with_none, "empty plan must not perturb anything");
+        assert_eq!(bare.total_fault_stall_cycles(), 0);
+        assert_eq!(bare.total_downtime_cycles(), 0);
+    }
+
+    #[test]
+    fn stall_fault_freezes_chip_into_the_idle_residual() {
+        let p = Program::from_instrs([
+            Instr::compute(Kernel::gemv(256, 256)),
+            Instr::compute(Kernel::gemv(256, 256)),
+        ]);
+        let base = machine(1).run(std::slice::from_ref(&p)).unwrap();
+        let faulted =
+            machine_with_faults(1, "stall:0:0:9000").run(std::slice::from_ref(&p)).unwrap();
+        assert_eq!(faulted.makespan, base.makespan + 9000);
+        assert_eq!(faulted.per_chip[0].fault_stall_cycles, 9000);
+        assert_eq!(faulted.per_chip[0].compute_cycles, base.per_chip[0].compute_cycles);
+        assert_eq!(faulted.per_chip[0].idle_cycles(), base.per_chip[0].idle_cycles() + 9000);
+    }
+
+    #[test]
+    fn fail_stop_surfaces_as_typed_error_never_a_hang() {
+        let p = Program::from_instrs([
+            Instr::compute(Kernel::gemv(256, 256)),
+            Instr::compute(Kernel::gemv(256, 256)),
+        ]);
+        match machine_with_faults(1, "failstop:0:1").run(std::slice::from_ref(&p)) {
+            Err(SimError::ChipFailed { chip, at }) => {
+                assert_eq!(chip, ChipId(0));
+                assert_eq!(at, 1);
+            }
+            other => panic!("expected ChipFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fail_stop_after_the_last_instruction_issues_is_survived() {
+        let p = Program::from_instrs([Instr::compute(Kernel::gemv(256, 256))]);
+        let base = machine(1).run(std::slice::from_ref(&p)).unwrap();
+        // The only instruction issues at t=0, before the fail cycle.
+        let faulted = machine_with_faults(1, "failstop:0:1")
+            .run(std::slice::from_ref(&p))
+            .expect("final instruction already issued");
+        assert_eq!(faulted, base);
+    }
+
+    #[test]
+    fn slowdown_window_stretches_kernels_inside_it() {
+        let p = Program::from_instrs([Instr::compute(Kernel::gemv(256, 256))]);
+        let base = machine(1).run(std::slice::from_ref(&p)).unwrap();
+        let faulted =
+            machine_with_faults(1, "slow:0:0:100000000:200").run(std::slice::from_ref(&p)).unwrap();
+        assert_eq!(faulted.makespan, 2 * base.makespan, "200% duration factor doubles kernels");
+        assert_eq!(faulted.per_chip[0].fault_slow_cycles, base.per_chip[0].compute_cycles);
+        assert_eq!(faulted.per_chip[0].compute_cycles, 2 * base.per_chip[0].compute_cycles);
+    }
+
+    #[test]
+    fn link_flap_stretches_sends_inside_the_window() {
+        let p0 = Program::from_instrs([Instr::send(1, 0, 1 << 16)]);
+        let p1 = Program::from_instrs([Instr::recv(0, 0)]);
+        let programs = [p0, p1];
+        let base = machine(2).run(&programs).unwrap();
+        let faulted = machine_with_faults(2, "flap:0:0:100000000:300").run(&programs).unwrap();
+        let transfer = ChipSpec::siracusa().link.transfer_cycles(1 << 16);
+        assert_eq!(faulted.makespan, base.makespan + 2 * transfer, "300% triples the transfer");
+        assert_eq!(faulted.per_chip[0].fault_link_cycles, 2 * transfer);
+        assert_eq!(faulted.per_chip[0].fault_transfers_affected, 1);
+        assert_eq!(faulted.total_fault_link_cycles(), 2 * transfer);
+    }
+
+    #[test]
+    fn seeded_fault_runs_are_cold_rerun_deterministic() {
+        let plan = crate::FaultPlan::parse("seeded:7:8:1000").unwrap();
+        assert!(
+            plan.events_for(2).iter().any(|e| matches!(e, crate::FaultEvent::Stall { .. })),
+            "test premise: this seed draws at least one stall"
+        );
+        let m = Machine::homogeneous(ChipSpec::siracusa(), 2).with_faults(plan);
+        let mk = |i: usize| {
+            Program::from_instrs(
+                (0..32usize)
+                    .flat_map(|b| {
+                        [
+                            Instr::compute(Kernel::gemv(128, 128)),
+                            Instr::send((i + 1) % 2, (i + 2 * b) as u64, 2048),
+                            Instr::recv((i + 1) % 2, ((i + 1) % 2 + 2 * b) as u64),
+                        ]
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let programs: Vec<Program> = (0..2).map(mk).collect();
+        let a = m.run(&programs).unwrap();
+        let b = m.run(&programs).unwrap();
+        assert_eq!(a, b, "same plan, same programs => identical stats");
+        let bare = machine(2).run(&programs).unwrap();
+        assert!(a.makespan > bare.makespan, "the ripe stalls must cost time");
+        assert!(a.total_fault_stall_cycles() > 0);
     }
 
     #[test]

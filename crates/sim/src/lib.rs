@@ -40,6 +40,7 @@ mod chip;
 mod dma;
 mod error;
 mod exec;
+mod fault;
 mod gantt;
 mod memory;
 mod periodic;
@@ -51,6 +52,7 @@ pub use chip::{ChipSpec, LinkPortSpec, LinkRegime, QueueDiscipline};
 pub use dma::DmaSpec;
 pub use error::{Result, SimError};
 pub use exec::Machine;
+pub use fault::{FaultEvent, FaultPlan, DEFAULT_SEEDED_HORIZON};
 pub use gantt::{Trace, TraceEvent, TraceKind};
 pub use memory::{MemPath, MemorySpec};
 pub use periodic::WarmupCheckpoint;

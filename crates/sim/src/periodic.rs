@@ -151,22 +151,17 @@ fn scaled(stats: &ChipStats, reps: u64) -> ChipStats {
         c2c_peak_queue_bytes: stats.c2c_peak_queue_bytes,
         c2c_drops: stats.c2c_drops * reps,
         c2c_retransmits: stats.c2c_retransmits * reps,
+        c2c_gave_up: stats.c2c_gave_up * reps,
+        fault_stall_cycles: stats.fault_stall_cycles * reps,
+        fault_slow_cycles: stats.fault_slow_cycles * reps,
+        fault_link_cycles: stats.fault_link_cycles * reps,
+        fault_transfers_affected: stats.fault_transfers_affected * reps,
+        fault_downtime_cycles: stats.fault_downtime_cycles * reps,
     }
 }
 
 fn add_assign(into: &mut ChipStats, from: &ChipStats) {
-    into.compute_cycles += from.compute_cycles;
-    into.dma_l3_l2_exposed_cycles += from.dma_l3_l2_exposed_cycles;
-    into.dma_l2_l1_exposed_cycles += from.dma_l2_l1_exposed_cycles;
-    into.c2c_exposed_cycles += from.c2c_exposed_cycles;
-    into.dma_l3_l2_bytes += from.dma_l3_l2_bytes;
-    into.dma_l2_l1_bytes += from.dma_l2_l1_bytes;
-    into.c2c_bytes_sent += from.c2c_bytes_sent;
-    into.sync_marks += from.sync_marks;
-    into.c2c_queue_cycles += from.c2c_queue_cycles;
-    into.c2c_peak_queue_bytes = into.c2c_peak_queue_bytes.max(from.c2c_peak_queue_bytes);
-    into.c2c_drops += from.c2c_drops;
-    into.c2c_retransmits += from.c2c_retransmits;
+    into.accumulate(from);
 }
 
 /// A proven uniform-delta fixed point of one `(machine, template)` pair,
@@ -337,6 +332,12 @@ impl Machine {
         if self.chips().iter().any(|c| !c.link_regime.contention_free()) {
             return self.run(&concat_shifted(template, n_blocks));
         }
+        // A non-empty fault plan likewise voids the proof: faults are
+        // pinned to absolute cycles, so segments are not shift-invariant.
+        // Faulted workloads always run the exact full simulation.
+        if !self.faults().is_empty() {
+            return self.run(&concat_shifted(template, n_blocks));
+        }
         let n = self.len();
         let mut carry = MachineState::zero(n);
         let mut totals: Vec<ChipStats> = vec![ChipStats::default(); n];
@@ -440,7 +441,9 @@ impl Machine {
             });
         }
         let unconverged = || Ok(WarmupCheckpoint { n_chips: self.len(), fixed: None });
-        if self.chips().iter().any(|c| !c.link_regime.contention_free()) {
+        if self.chips().iter().any(|c| !c.link_regime.contention_free())
+            || !self.faults().is_empty()
+        {
             return unconverged();
         }
         let n = self.len();
@@ -539,6 +542,7 @@ impl Machine {
             || n_blocks <= FULL_RUN_THRESHOLD
             || n_blocks < fixed.segments
             || self.chips().iter().any(|c| !c.link_regime.contention_free())
+            || !self.faults().is_empty()
         {
             return self.run_periodic(template, n_blocks);
         }
@@ -814,6 +818,25 @@ mod tests {
                 assert_eq!(fast, full, "{regime:?} n_blocks={n_blocks}");
             }
         }
+    }
+
+    #[test]
+    fn faulted_machine_falls_back_to_exact_full_simulation() {
+        // A non-empty plan voids shift-invariance: the periodic answer
+        // must equal the concatenated full run, and warmup must refuse
+        // to converge.
+        let template = ping_pong_template();
+        let plan = crate::FaultPlan::parse("stall:0:5000:2000+slow:1:0:20000:150").unwrap();
+        let m = machine(2).with_faults(plan);
+        for n_blocks in [5usize, 9, 40] {
+            let fast = m.run_periodic(&template, n_blocks).unwrap();
+            let full = m.run(&concat_shifted(&template, n_blocks)).unwrap();
+            assert_eq!(fast, full, "n_blocks={n_blocks}");
+        }
+        let ckpt = m.warmup(&template).unwrap();
+        assert!(!ckpt.converged(), "faulted machines never extrapolate");
+        let warm = m.run_periodic_from(&template, 40, &ckpt).unwrap();
+        assert_eq!(warm, m.run_periodic(&template, 40).unwrap());
     }
 
     #[test]

@@ -43,6 +43,32 @@ pub struct ChipStats {
     /// Packets this chip retransmitted (drop-tail and lossy link
     /// regimes).
     pub c2c_retransmits: u64,
+    /// Packets whose go-back-N retry budget was exhausted and were forced
+    /// through (lossy link regime only) — delivery despite this counter
+    /// being non-zero means the modeling safety valve engaged, not that
+    /// the link succeeded.
+    pub c2c_gave_up: u64,
+    /// Cycles this chip was frozen by transient stall faults
+    /// ([`FaultEvent::Stall`](crate::FaultEvent::Stall)). Stall time is
+    /// not an exposed work category, so it surfaces in the idle residual
+    /// of the breakdown.
+    pub fault_stall_cycles: u64,
+    /// Extra compute cycles charged by slowdown-window faults
+    /// ([`FaultEvent::Slow`](crate::FaultEvent::Slow)); a sub-category of
+    /// [`Self::compute_cycles`], so it does not enter the breakdown or
+    /// idle residual separately.
+    pub fault_slow_cycles: u64,
+    /// Extra link cycles charged by link-degrade faults
+    /// ([`FaultEvent::Flap`](crate::FaultEvent::Flap)); a sub-category of
+    /// [`Self::c2c_exposed_cycles`], so it does not enter the breakdown
+    /// or idle residual separately.
+    pub fault_link_cycles: u64,
+    /// Number of this chip's sends stretched by a link-degrade window.
+    pub fault_transfers_affected: u64,
+    /// Cycles of work lost to a fail-stop and replayed elsewhere
+    /// (attributed by the failover policies in `mtp-core`; the executor
+    /// itself reports fail-stop as a typed error and leaves this zero).
+    pub fault_downtime_cycles: u64,
 }
 
 impl ChipStats {
@@ -54,6 +80,35 @@ impl ChipStats {
             self.dma_l2_l1_bytes += bytes;
             self.dma_l2_l1_exposed_cycles += exposed;
         }
+    }
+
+    /// Adds another run's counters for the same chip into this one —
+    /// the merge used when two runs of the same machine compose
+    /// sequentially (periodic extrapolation, failover replay).
+    ///
+    /// All additive counters sum; `c2c_peak_queue_bytes` takes the max.
+    /// `finish_cycles` is deliberately **not** touched: wall-clock
+    /// composition depends on the gap between the runs, so the caller
+    /// sets it.
+    pub fn accumulate(&mut self, other: &ChipStats) {
+        self.compute_cycles += other.compute_cycles;
+        self.dma_l3_l2_exposed_cycles += other.dma_l3_l2_exposed_cycles;
+        self.dma_l2_l1_exposed_cycles += other.dma_l2_l1_exposed_cycles;
+        self.c2c_exposed_cycles += other.c2c_exposed_cycles;
+        self.dma_l3_l2_bytes += other.dma_l3_l2_bytes;
+        self.dma_l2_l1_bytes += other.dma_l2_l1_bytes;
+        self.c2c_bytes_sent += other.c2c_bytes_sent;
+        self.sync_marks += other.sync_marks;
+        self.c2c_queue_cycles += other.c2c_queue_cycles;
+        self.c2c_peak_queue_bytes = self.c2c_peak_queue_bytes.max(other.c2c_peak_queue_bytes);
+        self.c2c_drops += other.c2c_drops;
+        self.c2c_retransmits += other.c2c_retransmits;
+        self.c2c_gave_up += other.c2c_gave_up;
+        self.fault_stall_cycles += other.fault_stall_cycles;
+        self.fault_slow_cycles += other.fault_slow_cycles;
+        self.fault_link_cycles += other.fault_link_cycles;
+        self.fault_transfers_affected += other.fault_transfers_affected;
+        self.fault_downtime_cycles += other.fault_downtime_cycles;
     }
 
     /// This chip's runtime breakdown (compute / DMA / link / idle).
@@ -199,6 +254,44 @@ impl RunStats {
     #[must_use]
     pub fn total_retransmits(&self) -> u64 {
         self.per_chip.iter().map(|c| c.c2c_retransmits).sum()
+    }
+
+    /// Total packets forced through after exhausting the go-back-N retry
+    /// budget (lossy link regime; 0 otherwise).
+    #[must_use]
+    pub fn total_gave_up(&self) -> u64 {
+        self.per_chip.iter().map(|c| c.c2c_gave_up).sum()
+    }
+
+    /// Total cycles chips were frozen by transient stall faults.
+    #[must_use]
+    pub fn total_fault_stall_cycles(&self) -> u64 {
+        self.per_chip.iter().map(|c| c.fault_stall_cycles).sum()
+    }
+
+    /// Total extra compute cycles charged by slowdown-window faults.
+    #[must_use]
+    pub fn total_fault_slow_cycles(&self) -> u64 {
+        self.per_chip.iter().map(|c| c.fault_slow_cycles).sum()
+    }
+
+    /// Total extra link cycles charged by link-degrade faults.
+    #[must_use]
+    pub fn total_fault_link_cycles(&self) -> u64 {
+        self.per_chip.iter().map(|c| c.fault_link_cycles).sum()
+    }
+
+    /// Total sends stretched by link-degrade windows across all chips.
+    #[must_use]
+    pub fn total_fault_transfers_affected(&self) -> u64 {
+        self.per_chip.iter().map(|c| c.fault_transfers_affected).sum()
+    }
+
+    /// Total cycles of work lost to fail-stops and replayed elsewhere
+    /// (attributed by `mtp-core` failover; 0 on fault-free runs).
+    #[must_use]
+    pub fn total_downtime_cycles(&self) -> u64 {
+        self.per_chip.iter().map(|c| c.fault_downtime_cycles).sum()
     }
 }
 

@@ -10,14 +10,14 @@
 //! ```
 
 use mtp::core::{schedule::Scheduler, DistributedSystem};
-use mtp::core::{BatchPolicy, Billing};
+use mtp::core::{BatchPolicy, Billing, FailPolicy, FaultProfile};
 use mtp::harness::serve::{ServeEngine, ServeGrid};
 use mtp::harness::sweep::{
-    ModelPreset, PlacementPolicy, Span, SweepEngine, SweepGrid, TopologySpec,
+    CostSourceKind, ModelPreset, PlacementPolicy, Span, SweepEngine, SweepGrid, TopologySpec,
 };
 use mtp::harness::{ablation, advisor, bench, fig4, fig5, fig6, headline, table1};
 use mtp::model::{ArrivalProcess, InferenceMode, TransformerConfig};
-use mtp::sim::{ChipSpec, LinkRegime, Machine};
+use mtp::sim::{ChipSpec, FaultPlan, LinkRegime, Machine};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -31,12 +31,14 @@ USAGE:
                  [--placements auto,streamed] [--link-bw 100,50]
                  [--link-regime affine,queued:65536,...] [--span block|model]
                  [--batches 1,4,16] [--threads N]
+                 [--faults none;failstop:0:50000] [--fail-policy abort|restart|spare]
+                 [--cost-source analytic,calibrated]
                  [--csv FILE] [--json FILE] [--stream] [--serial]
                  [--compare-serial]
     mtp serve    [--models A,B] [--chips 4,8] [--arrivals poisson:0.5;bursty:2:8]
                  [--policies static:8,continuous:8] [--billing full,per-request]
                  [--requests N] [--prompt-len P] [--decode-len D] [--seed S]
-                 [--csv FILE] [--json FILE]
+                 [--faults none,fail:25:3:500:64] [--csv FILE] [--json FILE]
     mtp advise   [--model NAME] [--mode ar|prompt] [--latency-ms X] [--energy-mj X]
                  [--max-chips N]
     mtp figures
@@ -116,6 +118,36 @@ SERVE:
     goodput (within-SLO completions per second) — sweep --arrivals to
     trace the goodput-vs-offered-load curve and the SLO cliff. Output
     is deterministic: same seed, same rows, byte for byte.
+
+FAULTS:
+    Both studies take a seeded, replayable fault axis; at a fixed seed
+    every faulted run is byte-deterministic, and the default `none`
+    plans leave fault-free outputs byte-identical to earlier versions.
+    `mtp sweep --faults` takes `;`-separated chip-level fault plans —
+    `none`, `failstop:CHIP:AT`, `stall:CHIP:AT:DUR`,
+    `slow:CHIP:FROM:DUR:PCT` (kernels stretched to PCT% of nominal
+    duration, PCT > 100), `flap:CHIP:FROM:DUR:PCT` (sends stretched
+    likewise), explicit events joined with `+`, or
+    `seeded:SEED:COUNT[:HORIZON]` for a reproducible random plan. --fail-policy picks the fail-stop
+    response: `abort` (the row becomes a typed skip), `restart` (redo
+    the in-flight block), or `spare` (migrate to a cold spare chip).
+    Faulted rows tag the span column as `span#plan` (plus `!policy`
+    when not abort) and add fault cycle counters to the JSON sink.
+    `mtp serve --faults` takes `,`-separated request-level profiles:
+    `none` or `fail:PERMILLE[:RETRIES[:TIMEOUT_KCYC[:QCAP]]]` —
+    per-attempt completion failures with seeded retry draws, a
+    per-request deadline in kilocycles from arrival, and an
+    admission-queue cap that sheds newest-first. Faulted serving rows
+    report availability, retries, sheds, timeouts, and failures next
+    to the latency percentiles (percentiles sample completed requests
+    only).
+
+COST SOURCE:
+    `mtp sweep --cost-source calibrated` swaps the analytic kernel cost
+    model for the measured one (`mtp bench --calibrate` fitted at the
+    Siracusa clock) as a sweep axis; calibrated rows tag the model
+    column as `model@cal`. The default `analytic` keeps published
+    outputs reproducible — calibrated timings depend on the host.
 ";
 
 fn main() -> ExitCode {
@@ -297,6 +329,18 @@ fn build_sweep_grid(args: &[String]) -> Result<SweepGrid, String> {
             })
             .collect::<Result<_, _>>()?;
     }
+    // Fault plans separate with `;` — explicit plans embed `+`-joined
+    // `kind:chip:...` events whose spellings must keep their colons.
+    if let Some(faults) = list_flag_semicolon(args, "--faults") {
+        grid.fault_plans = faults.into_iter().map(FaultPlan::parse).collect::<Result<_, _>>()?;
+    }
+    if let Some(policy) = flag_value(args, "--fail-policy") {
+        grid.fail_policy = FailPolicy::parse(policy)?;
+    }
+    if let Some(sources) = list_flag(args, "--cost-source") {
+        grid.cost_sources =
+            sources.into_iter().map(CostSourceKind::parse).collect::<Result<_, _>>()?;
+    }
     if grid.is_empty() {
         return Err("the grid is empty (every axis needs at least one value)".to_owned());
     }
@@ -426,11 +470,15 @@ fn build_serve_grid(args: &[String]) -> Result<ServeGrid, String> {
     if let Some(s) = flag_value(args, "--seed") {
         grid.seed = s.parse::<u64>().map_err(|_| format!("bad seed `{s}`"))?;
     }
+    if let Some(faults) = list_flag(args, "--faults") {
+        grid.faults = faults.into_iter().map(FaultProfile::parse).collect::<Result<_, _>>()?;
+    }
     if grid.models.is_empty()
         || grid.chip_counts.is_empty()
         || grid.arrivals.is_empty()
         || grid.policies.is_empty()
         || grid.billings.is_empty()
+        || grid.faults.is_empty()
     {
         return Err("the serving grid is empty (every axis needs at least one value)".to_owned());
     }

@@ -105,6 +105,41 @@ fn invalid_flags_exit_nonzero_with_exact_messages() {
         (&["serve", "--seed", "-1"], "bad seed `-1`"),
         (&["serve", "--models", "nope"], "unknown model `nope`"),
         (&["serve", "--chips", "two"], "bad chip count `two`"),
+        // sweep: fault plans, failover policy, cost source
+        (
+            &["sweep", "--faults", "meteor"],
+            "unknown fault event 'meteor' (expected failstop:CHIP:AT, stall:CHIP:AT:DUR, \
+             slow:CHIP:FROM:DUR:PCT, flap:CHIP:FROM:DUR:PCT, or seeded:SEED:COUNT[:HORIZON])",
+        ),
+        (
+            &["sweep", "--faults", "seeded:1:2+stall:0:1:100"],
+            "seeded fault plans cannot combine with '+' events",
+        ),
+        (
+            &["sweep", "--faults", "slow:0:0:1000:50"],
+            "slow factor is percent of nominal duration and must exceed 100, got 50",
+        ),
+        (&["sweep", "--faults", "stall:0:0:0"], "stall duration must be positive"),
+        (
+            &["sweep", "--fail-policy", "keep"],
+            "unknown fail policy `keep` (expected abort, restart, or spare)",
+        ),
+        (&["sweep", "--cost-source", "magic"], "unknown cost source `magic` (analytic|calibrated)"),
+        // serve: fault profiles
+        (
+            &["serve", "--faults", "chaos"],
+            "unknown fault profile `chaos` \
+             (expected none or fail:PERMILLE[:RETRIES[:TIMEOUT_KCYC[:QCAP]]])",
+        ),
+        (&["serve", "--faults", "fail:2000"], "bad failure rate `2000` (need 0..=1000 per mille)"),
+        (
+            &["serve", "--faults", "fail:100:1:0:0"],
+            "bad queue capacity `0` (need a positive integer)",
+        ),
+        (
+            &["serve", "--faults", ","],
+            "the serving grid is empty (every axis needs at least one value)",
+        ),
     ];
     for (args, fragment) in cases {
         let out = mtp(args);
@@ -239,5 +274,115 @@ fn serve_runs_a_small_grid_and_writes_sinks() {
     ]);
     assert_eq!(out2.status.code(), Some(0));
     assert_eq!(csv, std::fs::read_to_string(&csv2_path).unwrap(), "serve CSV not reproducible");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An unwritable sink path is a clean exit-1 error, not a panic.
+#[test]
+fn unwritable_sink_path_is_a_typed_error() {
+    for sub in ["sweep", "serve"] {
+        let out = mtp(&[
+            sub,
+            "--models",
+            "tinyllama",
+            "--chips",
+            "2",
+            "--csv",
+            "/nonexistent-mtp-dir/out.csv",
+        ]);
+        assert_eq!(out.status.code(), Some(1), "{sub} must exit 1 on a bad sink");
+        assert!(stderr(&out).starts_with("error: "), "{sub}: {}", stderr(&out));
+    }
+}
+
+/// A faulted sweep runs every fault-plan spelling, tags the span
+/// column, and writes byte-identical CSV across two processes (the
+/// cross-process half of the determinism proof — same binary, fresh
+/// caches, same bytes).
+#[test]
+fn faulted_sweep_is_reproducible_across_processes() {
+    let dir = std::env::temp_dir().join(format!("mtp-cli-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |csv: &std::path::Path| {
+        mtp(&[
+            "sweep",
+            "--models",
+            "tinyllama",
+            "--modes",
+            "ar",
+            "--chips",
+            "4",
+            "--topologies",
+            "hier4",
+            "--faults",
+            "none;stall:0:1000:5000+slow:1:0:50000:150;seeded:7:3;failstop:0:200000",
+            "--fail-policy",
+            "spare",
+            "--csv",
+            csv.to_str().unwrap(),
+        ])
+    };
+    let a_path = dir.join("a.csv");
+    let b_path = dir.join("b.csv");
+    let out = run(&a_path);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for label in ["st0@1000x5000", "seed7c3", "fs0@200000"] {
+        assert!(text.contains(label), "missing fault-tagged row `{label}` in:\n{text}");
+    }
+    assert_eq!(run(&b_path).status.code(), Some(0));
+    let a = std::fs::read_to_string(&a_path).unwrap();
+    let b = std::fs::read_to_string(&b_path).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "faulted sweep CSV not reproducible across processes");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A faulted serving run reports the degraded-mode columns and is
+/// byte-identical across two processes.
+#[test]
+fn faulted_serve_is_reproducible_across_processes() {
+    let dir = std::env::temp_dir().join(format!("mtp-cli-fserve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |csv: &std::path::Path| {
+        mtp(&[
+            "serve",
+            "--models",
+            "tinyllama",
+            "--chips",
+            "4",
+            "--arrivals",
+            "poisson:2",
+            "--policies",
+            "continuous:4",
+            "--requests",
+            "12",
+            "--prompt-len",
+            "8",
+            "--decode-len",
+            "2",
+            "--faults",
+            "none,fail:300:1:0:4",
+            "--csv",
+            csv.to_str().unwrap(),
+        ])
+    };
+    let a_path = dir.join("a.csv");
+    let b_path = dir.join("b.csv");
+    let out = run(&a_path);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("f300r1q4"), "{}", stdout(&out));
+    let a = std::fs::read_to_string(&a_path).unwrap();
+    let header = a.lines().next().unwrap();
+    for col in ["faults", "availability", "retries", "sheds", "timeouts", "failed"] {
+        assert!(header.contains(col), "CSV header misses `{col}`: {header}");
+    }
+    assert_eq!(a.lines().count(), 3, "2 rows + header");
+    assert_eq!(run(&b_path).status.code(), Some(0));
+    assert_eq!(
+        a,
+        std::fs::read_to_string(&b_path).unwrap(),
+        "faulted serve CSV not reproducible across processes"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

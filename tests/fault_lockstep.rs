@@ -1,0 +1,220 @@
+//! Lockstep and invariant suite for the fault subsystem (DESIGN.md §14):
+//!
+//! 1. **No-fault purity** — adding the fault axis with a `none` plan
+//!    changes nothing: the `none` rows of a mixed grid serialize
+//!    byte-identically to the fault-free grid's rows, and the fault
+//!    axis never splits the compiled-schedule cache.
+//! 2. **Replayability** — faulted sweeps and faulted serving runs are
+//!    byte-deterministic across cold engines, and the serial and
+//!    parallel sweep engines agree under faults.
+//! 3. **Failover semantics** — a fail-stop under `abort` surfaces as a
+//!    typed skip; `restart` and `spare` complete the pass with a
+//!    makespan no better than the fault-free run.
+//! 4. **Counter invariants** — fault counters land in the right
+//!    buckets per regime × fault combination, and availability is
+//!    monotone non-increasing in the request failure rate.
+
+use mtp::core::{
+    BatchPolicy, Billing, DistributedSystem, FailPolicy, FaultProfile, RequestOutcome,
+};
+use mtp::harness::serve::{ServeEngine, ServeGrid};
+use mtp::harness::sweep::{Scenario, SweepEngine, SweepGrid};
+use mtp::model::{ArrivalProcess, InferenceMode, ServeWorkload, TransformerConfig};
+use mtp::sim::{FaultPlan, LinkRegime};
+
+fn base_grid() -> SweepGrid {
+    SweepGrid::new(
+        vec![(TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive)],
+        vec![2, 4],
+    )
+}
+
+fn transient_plan() -> FaultPlan {
+    FaultPlan::parse("stall:0:1000:5000+slow:1:0:50000:150").unwrap()
+}
+
+/// The `none` rows of a grid that carries a fault axis are
+/// byte-identical to the rows of the same grid without the axis, and
+/// the compiled-schedule cache is shared across fault plans (the fault
+/// axis never splits a `ScheduleKey`).
+#[test]
+fn none_plan_rows_are_byte_identical_to_fault_free_grid() {
+    let plain_engine = SweepEngine::new();
+    let plain = plain_engine.run(&base_grid());
+    let faulted_engine = SweepEngine::new();
+    let mixed = faulted_engine
+        .run(&base_grid().with_fault_plans(vec![FaultPlan::none(), transient_plan()]));
+    assert_eq!(mixed.rows.len(), 2 * plain.rows.len());
+    let none_lines: Vec<String> = mixed
+        .rows
+        .iter()
+        .filter(|r| r.scenario.faults.is_empty())
+        .map(|r| r.to_csv_line())
+        .collect();
+    let plain_lines: Vec<String> = plain.rows.iter().map(|r| r.to_csv_line()).collect();
+    assert_eq!(none_lines, plain_lines, "a none plan must not perturb fault-free rows");
+    assert_eq!(
+        faulted_engine.cached_schedules_len(),
+        plain_engine.cached_schedules_len(),
+        "the fault axis must reuse compiled schedules, not split them"
+    );
+}
+
+/// Two cold engines produce byte-identical output for a faulted grid,
+/// and the serial engine agrees with the parallel one.
+#[test]
+fn faulted_sweep_is_deterministic_across_engines() {
+    let grid = base_grid()
+        .with_fault_plans(vec![
+            FaultPlan::none(),
+            transient_plan(),
+            FaultPlan::seeded(7, 3, 2_000_000),
+        ])
+        .with_fail_policy(FailPolicy::Restart);
+    let a = SweepEngine::new().run(&grid);
+    let b = SweepEngine::new().run(&grid);
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(a.to_json(), b.to_json());
+    let serial = SweepEngine::serial().run(&grid);
+    let parallel = SweepEngine::with_threads(8).run(&grid);
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.to_json(), parallel.to_json());
+}
+
+/// A fail-stop under the default `abort` policy is a typed skip with
+/// the chip and cycle in the reason — not a panic, not a silent row.
+#[test]
+fn failstop_under_abort_is_a_typed_skip() {
+    let grid = base_grid().with_fault_plans(vec![FaultPlan::parse("failstop:0:1000").unwrap()]);
+    let out = SweepEngine::new().run(&grid);
+    assert!(out.rows.is_empty());
+    assert_eq!(out.skipped.len(), 2);
+    for s in &out.skipped {
+        assert!(
+            s.reason.contains("fail-stopped"),
+            "skip reason should name the fail-stop, got `{}`",
+            s.reason
+        );
+    }
+}
+
+/// `restart` and `spare` survive a mid-run fail-stop and pay for it:
+/// the degraded makespan is strictly worse than the fault-free one.
+#[test]
+fn restart_and_spare_complete_with_degraded_makespan() {
+    let scenario =
+        Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive, 4);
+    let plain = scenario.run().unwrap();
+    let at = plain.stats.makespan / 2;
+    let plan = FaultPlan::parse(&format!("failstop:0:{at}")).unwrap();
+    for policy in [FailPolicy::Restart, FailPolicy::SpareChip] {
+        let degraded = scenario
+            .clone()
+            .with_faults(plan.clone())
+            .with_fail_policy(policy)
+            .run()
+            .unwrap_or_else(|e| panic!("{policy:?} should complete, got {e}"));
+        assert!(
+            degraded.stats.makespan > plain.stats.makespan,
+            "{policy:?}: faulted makespan {} should exceed fault-free {}",
+            degraded.stats.makespan,
+            plain.stats.makespan
+        );
+        assert!(degraded.stats.total_downtime_cycles() > 0);
+    }
+}
+
+/// Fault counters land in the right buckets: a slow window under a
+/// lossy regime shows both loss drops and slowdown cycles; a stall
+/// under the contention-free affine regime shows stall cycles and no
+/// drops; transient-only plans never report downtime.
+#[test]
+fn counters_match_regime_and_fault_kind() {
+    let scenario =
+        Scenario::new(TransformerConfig::tiny_llama_42m(), InferenceMode::Autoregressive, 4);
+    let lossy_slow = scenario
+        .clone()
+        .with_link_regime(LinkRegime::parse("lossy:200").unwrap())
+        .with_faults(FaultPlan::parse("slow:1:0:2000000:150").unwrap())
+        .run()
+        .unwrap();
+    assert!(lossy_slow.stats.total_drops() > 0, "lossy regime should drop packets");
+    assert!(lossy_slow.stats.total_fault_slow_cycles() > 0, "slow window should surcharge");
+    assert_eq!(lossy_slow.stats.total_fault_stall_cycles(), 0);
+
+    let affine_stall =
+        scenario.clone().with_faults(FaultPlan::parse("stall:0:1000:5000").unwrap()).run().unwrap();
+    assert!(affine_stall.stats.total_fault_stall_cycles() > 0);
+    assert_eq!(affine_stall.stats.total_drops(), 0, "affine links never drop");
+
+    let transient = scenario.with_faults(transient_plan()).run().unwrap();
+    assert_eq!(transient.stats.total_downtime_cycles(), 0, "only fail-stops produce downtime");
+}
+
+/// Availability is monotone non-increasing in the per-attempt failure
+/// rate when the retry budget is zero, and exactly 1.0 fault-free.
+#[test]
+fn serve_availability_is_monotone_in_failure_rate() {
+    let sys = DistributedSystem::paper_default(TransformerConfig::tiny_llama_42m(), 4).unwrap();
+    let workload =
+        ServeWorkload::open_loop(&ArrivalProcess::Poisson { rate_per_mcycle: 2.0 }, 16, 16, 2, 42)
+            .unwrap();
+    let mut last = f64::INFINITY;
+    for rate in [0u32, 50, 200, 500, 1000] {
+        let profile = FaultProfile { fail_per_mille: rate, max_retries: 0, ..FaultProfile::none() };
+        let report = sys
+            .simulate_serve_faulted(
+                &workload,
+                BatchPolicy::Continuous { max_slots: 4 },
+                Billing::FullContext,
+                &profile,
+                42,
+            )
+            .unwrap();
+        let avail = report.availability();
+        if rate == 0 {
+            assert!((avail - 1.0).abs() < f64::EPSILON);
+        }
+        assert!(
+            avail <= last,
+            "availability should not rise with the failure rate ({avail} after {last})"
+        );
+        assert_eq!(report.failed as usize + report.completed(), report.requests.len());
+        last = avail;
+    }
+}
+
+/// Faulted serving grids are deterministic across cold engines, their
+/// `none` rows match the fault-free grid byte for byte, and degraded
+/// outcomes reconcile with the report counters.
+#[test]
+fn faulted_serve_grid_is_deterministic_and_reconciles() {
+    let grid = ServeGrid::paper_default()
+        .with_chip_counts(vec![4])
+        .with_arrivals(vec![ArrivalProcess::Poisson { rate_per_mcycle: 2.0 }])
+        .with_policies(vec![BatchPolicy::Continuous { max_slots: 4 }])
+        .with_requests(12, 16, 2);
+    let faulted = grid
+        .clone()
+        .with_faults(vec![FaultProfile::none(), FaultProfile::parse("fail:300:1:0:4").unwrap()]);
+    let a = ServeEngine::new().run(&faulted);
+    let b = ServeEngine::new().run(&faulted);
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(a.to_json(), b.to_json());
+
+    let plain = ServeEngine::new().run(&grid);
+    assert_eq!(
+        a.rows[0].to_csv_line(),
+        plain.rows[0].to_csv_line(),
+        "the none profile must take the fault-free path byte for byte"
+    );
+
+    let degraded = &a.rows[1].report;
+    let by_outcome =
+        |o: RequestOutcome| degraded.requests.iter().filter(|r| r.outcome == o).count() as u64;
+    assert_eq!(by_outcome(RequestOutcome::Failed), degraded.failed);
+    assert_eq!(by_outcome(RequestOutcome::Shed), degraded.sheds);
+    assert_eq!(by_outcome(RequestOutcome::TimedOut), degraded.timeouts);
+    assert!(degraded.availability() < 1.0, "a 30% per-attempt failure rate must bite");
+    assert!(degraded.retries > 0, "retry budget 1 should be exercised");
+}

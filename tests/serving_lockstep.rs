@@ -295,6 +295,7 @@ fn offered_load_up_means_p99_ttft_non_decreasing() {
                 prompt_len: 16,
                 decode_len: 2,
                 seed: 42,
+                faults: mtp::core::FaultProfile::none(),
             };
             let (report, _solo) = scenario.run().unwrap();
             let mut ttfts: Vec<u64> = report.requests.iter().map(|r| r.ttft()).collect();
