@@ -695,6 +695,58 @@ impl CompiledSchedule {
         let stats = machine.run_batched(&self.template, n_blocks, n_requests)?;
         Ok(crate::report::from_stats(chip, self.n_chips, self.mode, total, self.residency, stats))
     }
+
+    /// Solves this template's steady state symbolically on a machine of
+    /// `chip`s ([`mtp_sim::SymbolicMakespan::derive`]): one warmup, then
+    /// **every** depth answers in closed form with zero simulation —
+    /// the design-space advisor's scoring primitive.
+    ///
+    /// Returns `Ok(None)` when the fixed point is not provable (aperiodic
+    /// template, contention-bearing link regime, faults); callers fall
+    /// back to [`CompiledSchedule::simulate`], which is exact either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`mtp_sim::SimError::ProgramCountMismatch`] only.
+    pub fn symbolic(&self, chip: &ChipSpec) -> Result<Option<mtp_sim::SymbolicMakespan>> {
+        let machine = Machine::homogeneous(*chip, self.n_chips);
+        Ok(mtp_sim::SymbolicMakespan::derive(&machine, &self.template)?)
+    }
+
+    /// [`CompiledSchedule::simulate`] answered from a symbolic model
+    /// taken by [`CompiledSchedule::symbolic`] on the **same chip spec**
+    /// — bit-identical [`crate::SystemReport`]s with zero simulation.
+    ///
+    /// # Errors
+    ///
+    /// `n_blocks` must be at least 1 and `model` must span this
+    /// schedule's chip count; both are configuration errors.
+    pub fn simulate_symbolic(
+        &self,
+        chip: &ChipSpec,
+        model: &mtp_sim::SymbolicMakespan,
+        n_blocks: usize,
+    ) -> Result<crate::SystemReport> {
+        if n_blocks == 0 {
+            return Err(CoreError::InvalidConfig("n_blocks must be at least 1".into()));
+        }
+        if model.n_chips() != self.n_chips {
+            return Err(CoreError::InvalidConfig(format!(
+                "symbolic model spans {} chips, schedule spans {}",
+                model.n_chips(),
+                self.n_chips
+            )));
+        }
+        let stats = model.eval(n_blocks);
+        Ok(crate::report::from_stats(
+            chip,
+            self.n_chips,
+            self.mode,
+            n_blocks,
+            self.residency,
+            stats,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -941,6 +993,25 @@ mod tests {
         assert_eq!(single.n_blocks, batched.n_blocks);
         assert!(compiled.simulate_batched(&chip, 0, 4).is_err());
         assert!(compiled.simulate_batched(&chip, 4, 0).is_err());
+    }
+
+    #[test]
+    fn simulate_symbolic_equals_simulate_across_depths() {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let chip = ChipSpec::siracusa();
+        let compiled =
+            CompiledSchedule::compile(&cfg, 4, &chip, None, InferenceMode::Autoregressive).unwrap();
+        let model = compiled.symbolic(&chip).unwrap().expect("schedule templates are periodic");
+        for n_blocks in [1usize, 3, 12, 96, 1000] {
+            let sym = compiled.simulate_symbolic(&chip, &model, n_blocks).unwrap();
+            let sim = compiled.simulate(&chip, n_blocks).unwrap();
+            assert_eq!(sym.stats, sim.stats, "n_blocks={n_blocks}");
+            assert_eq!(sym.n_blocks, sim.n_blocks);
+        }
+        assert!(compiled.simulate_symbolic(&chip, &model, 0).is_err());
+        let other =
+            CompiledSchedule::compile(&cfg, 2, &chip, None, InferenceMode::Autoregressive).unwrap();
+        assert!(other.simulate_symbolic(&chip, &model, 8).is_err(), "chip-count mismatch rejected");
     }
 
     #[test]

@@ -396,12 +396,17 @@ impl ServeReport {
 
     /// Fraction of requests served to completion (1.0 on fault-free
     /// runs; the degraded-mode headline number).
+    ///
+    /// A zero-request run has no availability: `0/0` is not "perfectly
+    /// available" (a config that sheds its whole queue before admission
+    /// must not score 1.0), so the empty case is `None` and sinks render
+    /// it explicitly (empty CSV field, JSON `null`, `-` in tables).
     #[must_use]
-    pub fn availability(&self) -> f64 {
+    pub fn availability(&self) -> Option<f64> {
         if self.requests.is_empty() {
-            return 1.0;
+            return None;
         }
-        self.completed() as f64 / self.requests.len() as f64
+        Some(self.completed() as f64 / self.requests.len() as f64)
     }
 }
 
@@ -1014,7 +1019,7 @@ mod tests {
             assert_eq!(faulted, plain, "seed {seed}");
         }
         assert_eq!(plain.retries + plain.sheds + plain.timeouts + plain.failed, 0);
-        assert!((plain.availability() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(plain.availability(), Some(1.0));
     }
 
     #[test]
@@ -1035,7 +1040,7 @@ mod tests {
         assert_eq!(report.failed, 3);
         assert_eq!(report.retries, 3 * 2);
         assert_eq!(report.completed(), 0);
-        assert!(report.availability().abs() < f64::EPSILON);
+        assert_eq!(report.availability(), Some(0.0));
         assert!(report
             .requests
             .iter()
@@ -1052,7 +1057,7 @@ mod tests {
         let report =
             sys.simulate_serve_faulted(&w, policy, Billing::FullContext, &profile, 42).unwrap();
         // A 100-deep retry budget outlasts 90% per-attempt failure.
-        assert!((report.availability() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(report.availability(), Some(1.0));
         assert!(report.retries > 0);
         assert!(report.makespan > plain.makespan);
         assert!(report.requests.iter().any(|r| r.retries > 0));
@@ -1103,7 +1108,7 @@ mod tests {
         assert_eq!(report.completed(), 2);
         assert_eq!(report.requests[2].outcome, RequestOutcome::Shed);
         assert_eq!(report.requests[3].outcome, RequestOutcome::Shed);
-        assert!((report.availability() - 0.5).abs() < f64::EPSILON);
+        assert_eq!(report.availability(), Some(0.5));
     }
 
     #[test]
@@ -1121,10 +1126,29 @@ mod tests {
             };
             let report =
                 sys.simulate_serve_faulted(&w, policy, Billing::FullContext, &profile, 42).unwrap();
-            assert!(report.availability() <= last, "rate {rate}");
-            last = report.availability();
+            let avail = report.availability().expect("non-empty run");
+            assert!(avail <= last, "rate {rate}");
+            last = avail;
         }
         assert!(last.abs() < f64::EPSILON, "certain failure means zero availability");
+    }
+
+    #[test]
+    fn zero_request_run_has_no_availability() {
+        // 0/0 must not read as "perfectly available" — a config that
+        // sheds its whole queue before admission is not a healthy one.
+        let report = ServeReport {
+            requests: vec![],
+            passes: vec![],
+            makespan: 0,
+            n_chips: 4,
+            retries: 0,
+            sheds: 0,
+            timeouts: 0,
+            failed: 0,
+        };
+        assert_eq!(report.availability(), None);
+        assert_eq!(report.completed(), 0);
     }
 
     #[test]

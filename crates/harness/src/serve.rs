@@ -130,14 +130,20 @@ impl ServeScenario {
 /// Nearest-rank percentile of an ascending-sorted sample: the smallest
 /// value with at least `pct`% of the sample at or below it.
 ///
+/// The percentile must be in `1..=100` — the nearest-rank definition
+/// has no meaningful answer outside it, and a silently clamped
+/// `percentile(s, 999)` would masquerade as a p99.
+///
 /// # Panics
 ///
-/// Panics on an empty sample.
+/// Panics on an empty sample or a percentile outside `1..=100`.
 #[must_use]
 pub fn percentile(sorted: &[u64], pct: usize) -> u64 {
     assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!((1..=100).contains(&pct), "percentile {pct} out of range (want 1..=100)");
+    // With pct <= 100 the rank is at most the sample length.
     let rank = (pct * sorted.len()).div_ceil(100).max(1);
-    sorted[rank.min(sorted.len()) - 1]
+    sorted[rank - 1]
 }
 
 /// One completed serving scenario with its derived latency metrics.
@@ -160,8 +166,12 @@ pub struct ServeRow {
     pub slo_ok: usize,
     /// Within-SLO completions per second of serving time.
     pub goodput_rps: f64,
-    /// Offered load in requests per second (from the arrival process;
-    /// for traces, requests over the trace span).
+    /// Offered load in requests per second. Stochastic processes report
+    /// their configured rate; traces report requests over the arrival
+    /// window — last arrival plus one mean inter-arrival gap, so an
+    /// `n`-request trace over `[0, last]` spans `n` gaps, not `n - 1`.
+    /// An all-at-once trace (every arrival at cycle 0) has no window of
+    /// its own and falls back to the serving makespan.
     pub offered_rps: f64,
 }
 
@@ -200,8 +210,19 @@ impl ServeRow {
         let offered_rps = match scenario.process.rate_per_mcycle() {
             Some(rate) => rate * freq / 1.0e6,
             None => {
-                let span = report.requests.iter().map(|r| r.arrival).max().unwrap_or(0).max(1);
-                scenario.n_requests as f64 * freq / span as f64
+                // Trace window: last arrival plus one mean gap (n
+                // arrivals span n gaps). A degenerate trace with every
+                // arrival at cycle 0 — where the old `max(arrival)`
+                // span of 1 cycle reported an absurd `n x freq` — is
+                // rated over the serving makespan instead.
+                let last = report.requests.iter().map(|r| r.arrival).max().unwrap_or(0);
+                let n = report.requests.len() as u64;
+                let span = if last > 0 && n > 1 { last + last / (n - 1) } else { report.makespan };
+                if span == 0 {
+                    0.0
+                } else {
+                    n as f64 * freq / span as f64
+                }
             }
         };
         ServeRow {
@@ -224,7 +245,7 @@ impl ServeRow {
         let s = &self.scenario;
         format!(
             "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},\
-             {:.6},{},{},{},{}",
+             {},{},{},{},{}",
             csv_field(&s.model.cli_name()),
             s.n_chips,
             csv_field(&s.process.label()),
@@ -249,7 +270,8 @@ impl ServeRow {
             self.slo_ok,
             self.goodput_rps,
             self.offered_rps,
-            self.report.availability(),
+            // A zero-request run has no availability: empty CSV field.
+            self.report.availability().map_or_else(String::new, |a| format!("{a:.6}")),
             self.report.retries,
             self.report.sheds,
             self.report.timeouts,
@@ -267,7 +289,7 @@ impl ServeRow {
              \"makespan_cycles\":{},\"peak_slots\":{},\"passes\":{},\"ttft_p50\":{},\
              \"ttft_p95\":{},\"ttft_p99\":{},\"tpot_p50\":{},\"tpot_p95\":{},\"tpot_p99\":{},\
              \"e2e_p99\":{},\"slo_cycles\":{},\"slo_ok\":{},\"goodput_rps\":{:.6},\
-             \"offered_rps\":{:.6},\"availability\":{:.6},\"retries\":{},\"sheds\":{},\
+             \"offered_rps\":{:.6},\"availability\":{},\"retries\":{},\"sheds\":{},\
              \"timeouts\":{},\"failed\":{}}}",
             json_string(&s.model.cli_name()),
             s.n_chips,
@@ -293,7 +315,8 @@ impl ServeRow {
             self.slo_ok,
             self.goodput_rps,
             self.offered_rps,
-            self.report.availability(),
+            // A zero-request run has no availability: JSON null.
+            self.report.availability().map_or_else(|| "null".to_owned(), |a| format!("{a:.6}")),
             self.report.retries,
             self.report.sheds,
             self.report.timeouts,
@@ -408,7 +431,7 @@ impl ServeResults {
                 fmt_cycles(row.ttft.2),
                 fmt_cycles(row.tpot.0),
                 format!("{}/{}", row.slo_ok, s.n_requests),
-                format!("{:.2}", row.report.availability()),
+                row.report.availability().map_or_else(|| "-".to_owned(), |a| format!("{a:.2}")),
                 format!("{:.1}", row.goodput_rps),
             ]);
         }
@@ -660,6 +683,57 @@ mod tests {
         assert_eq!(percentile(&s, 99), 40);
         assert_eq!(percentile(&s, 1), 10);
         assert_eq!(percentile(&[7], 99), 7);
+    }
+
+    #[test]
+    fn percentile_boundaries() {
+        assert_eq!(percentile(&[7], 1), 7);
+        assert_eq!(percentile(&[7], 100), 7);
+        assert_eq!(percentile(&[1, 2], 1), 1);
+        assert_eq!(percentile(&[1, 2], 50), 1);
+        assert_eq!(percentile(&[1, 2], 51), 2);
+        assert_eq!(percentile(&[1, 2], 100), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_rejects_zero() {
+        let _ = percentile(&[1, 2, 3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_rejects_above_one_hundred() {
+        // Formerly clamped to the sample max, silently reporting a
+        // "p999" as if it were meaningful.
+        let _ = percentile(&[1, 2, 3], 101);
+    }
+
+    #[test]
+    fn trace_offered_rps_uses_arrival_window() {
+        let freq = ChipSpec::siracusa().freq_hz;
+        let mut engine = ServeEngine::new();
+        // Six arrivals over [0, 500]: the window is the last arrival
+        // plus one mean gap (500/5), i.e. 600 cycles.
+        let spread = ArrivalProcess::Trace { arrivals: vec![0, 100, 200, 300, 400, 500] };
+        let out = engine.run(&tiny_grid().with_arrivals(vec![spread]));
+        let row = &out.rows[0];
+        assert!((row.offered_rps - 6.0 * freq / 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_at_once_trace_rates_over_makespan() {
+        let freq = ChipSpec::siracusa().freq_hz;
+        let mut engine = ServeEngine::new();
+        // Every request at cycle 0: the old span of `max(arrival).max(1)`
+        // = 1 cycle reported n x freq (billions of rps). The window
+        // falls back to the serving makespan.
+        let burst = ArrivalProcess::Trace { arrivals: vec![0; 6] };
+        let out = engine.run(&tiny_grid().with_arrivals(vec![burst]));
+        let row = &out.rows[0];
+        let expect = 6.0 * freq / row.report.makespan as f64;
+        assert!((row.offered_rps - expect).abs() < 1e-9);
+        assert!(row.offered_rps < freq, "must not report requests x clock frequency");
     }
 
     #[test]

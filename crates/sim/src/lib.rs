@@ -46,6 +46,7 @@ mod memory;
 mod periodic;
 mod program;
 mod sink;
+mod symbolic;
 mod trace;
 
 pub use chip::{ChipSpec, LinkPortSpec, LinkRegime, QueueDiscipline};
@@ -58,4 +59,5 @@ pub use memory::{MemPath, MemorySpec};
 pub use periodic::WarmupCheckpoint;
 pub use program::{ChipId, DmaTag, Instr, MsgId, Program};
 pub use sink::{MakespanOnly, TraceCollector, TraceSink};
+pub use symbolic::{SymbolicMakespan, SymbolicPlane};
 pub use trace::{Breakdown, ChipStats, RunStats};

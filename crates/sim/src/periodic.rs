@@ -57,7 +57,7 @@ pub(crate) struct MachineState {
 }
 
 impl MachineState {
-    fn zero(n: usize) -> Self {
+    pub(crate) fn zero(n: usize) -> Self {
         MachineState {
             t: vec![0; n],
             tx_free: vec![0; n],
@@ -108,13 +108,13 @@ const FULL_RUN_THRESHOLD: usize = 4;
 /// Warmup bound: if the state has not reached its uniform-delta fixed
 /// point after this many segments, the workload is treated as aperiodic
 /// and simulated in full.
-const MAX_WARMUP_SEGMENTS: usize = 24;
+pub(crate) const MAX_WARMUP_SEGMENTS: usize = 24;
 
 /// Checks the uniform-delta fixed-point condition between two boundary
 /// states: every component either advances by one common delta or is
 /// inactive (unchanged and at or below the segment-start minimum clock).
 /// Returns the proven per-block delta.
-fn uniform_delta(prev: &MachineState, next: &MachineState) -> Option<u64> {
+pub(crate) fn uniform_delta(prev: &MachineState, next: &MachineState) -> Option<u64> {
     let m = prev.min_clock();
     let mut delta: Option<u64> = None;
     for (old, new) in prev.components().zip(next.components()) {
@@ -136,7 +136,7 @@ fn uniform_delta(prev: &MachineState, next: &MachineState) -> Option<u64> {
 /// number of extrapolated repetitions. Peak queue occupancy is a maximum,
 /// not a sum: the steady-state segment repeats the same occupancy
 /// trajectory, so its peak carries over unscaled.
-fn scaled(stats: &ChipStats, reps: u64) -> ChipStats {
+pub(crate) fn scaled(stats: &ChipStats, reps: u64) -> ChipStats {
     ChipStats {
         compute_cycles: stats.compute_cycles * reps,
         dma_l3_l2_exposed_cycles: stats.dma_l3_l2_exposed_cycles * reps,

@@ -40,7 +40,9 @@ USAGE:
                  [--requests N] [--prompt-len P] [--decode-len D] [--seed S]
                  [--faults none,fail:25:3:500:64] [--csv FILE] [--json FILE]
     mtp advise   [--model NAME] [--mode ar|prompt] [--latency-ms X] [--energy-mj X]
-                 [--max-chips N]
+                 [--max-chips N] [--chips 1,2,4,8] [--topologies hier4,flat]
+                 [--placements auto,streamed] [--link-bw 25,50..100:5]
+                 [--csv FILE] [--json FILE]
     mtp figures
     mtp headline
     mtp ablation
@@ -521,6 +523,32 @@ fn serve_cmd(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Parses one `--link-bw` item: either a plain percent (`75`) or an
+/// inclusive range `LO..HI[:STEP]` (`50..100:5`, step defaults to 1).
+fn parse_bw_item(item: &str, out: &mut Vec<u32>) -> Result<(), String> {
+    let bad = || format!("bad link bandwidth `{item}` (want PCT or LO..HI[:STEP])");
+    if let Some((range, step)) =
+        item.split_once("..").map(|(lo, rest)| match rest.split_once(':') {
+            Some((hi, step)) => ((lo, hi), step),
+            None => ((lo, rest), "1"),
+        })
+    {
+        let lo: u32 = range.0.parse().map_err(|_| bad())?;
+        let hi: u32 = range.1.parse().map_err(|_| bad())?;
+        let step: u32 = step.parse().map_err(|_| bad())?;
+        if lo == 0 || hi < lo || step == 0 {
+            return Err(bad());
+        }
+        out.extend((lo..=hi).step_by(step as usize));
+    } else {
+        match item.parse::<u32>() {
+            Ok(pct) if pct > 0 => out.push(pct),
+            _ => return Err(bad()),
+        }
+    }
+    Ok(())
+}
+
 fn advise(args: &[String]) -> CliResult {
     let mode = parse_mode(flag_value(args, "--mode").unwrap_or("ar"))?;
     let model = flag_value(args, "--model").unwrap_or("tinyllama");
@@ -530,8 +558,38 @@ fn advise(args: &[String]) -> CliResult {
         max_energy_mj: flag_value(args, "--energy-mj").map(str::parse).transpose()?,
     };
     let max_chips: usize = flag_value(args, "--max-chips").unwrap_or("64").parse()?;
-    let advice = advisor::advise(&cfg, mode, constraints, max_chips)?;
+    let mut space = advisor::DesignSpace::default_for(&cfg, max_chips);
+    if let Some(chips) = list_flag(args, "--chips") {
+        space.chip_counts = chips
+            .into_iter()
+            .map(|c| c.parse::<usize>().map_err(|_| format!("bad chip count `{c}`")))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(topologies) = list_flag(args, "--topologies") {
+        space.topologies =
+            topologies.into_iter().map(TopologySpec::parse).collect::<Result<_, _>>()?;
+    }
+    if let Some(placements) = list_flag(args, "--placements") {
+        space.placements =
+            placements.into_iter().map(PlacementPolicy::parse).collect::<Result<_, _>>()?;
+    }
+    if let Some(bws) = list_flag(args, "--link-bw") {
+        let mut pcts = Vec::new();
+        for item in bws {
+            parse_bw_item(item, &mut pcts)?;
+        }
+        space.link_bw_pcts = pcts;
+    }
+    let advice = advisor::advise(&cfg, mode, constraints, &space)?;
     print!("{}", advisor::render(&advice, &constraints));
+    if let Some(path) = flag_value(args, "--csv") {
+        std::fs::write(path, advice.to_csv())?;
+        println!("CSV written to {path}");
+    }
+    if let Some(path) = flag_value(args, "--json") {
+        std::fs::write(path, advice.to_json())?;
+        println!("JSON written to {path}");
+    }
     Ok(())
 }
 

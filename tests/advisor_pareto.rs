@@ -1,0 +1,138 @@
+//! Pareto-correctness properties for the design-space advisor
+//! (DESIGN.md §15): the flagged frontier must contain no dominated
+//! point, every dominated point must be dominated by a frontier point,
+//! and the recommendation must be exactly the smallest feasible design
+//! under the documented tie-breaks.
+
+use mtp::harness::advisor::{advise, pareto_flags, Constraints, DesignSpace};
+use mtp::harness::sweep::{PlacementPolicy, TopologySpec};
+use mtp::model::{InferenceMode, TransformerConfig};
+use proptest::prelude::*;
+
+fn dominates(a: &(u64, f64, usize), b: &(u64, f64, usize)) -> bool {
+    a.0 <= b.0 && a.1 <= b.1 && a.2 <= b.2 && (a.0 < b.0 || a.1 < b.1 || a.2 < b.2)
+}
+
+/// Deterministic objective triples from a seed (small ranges on purpose:
+/// duplicates and total ties must be common).
+fn random_points(n: usize, seed: u64) -> Vec<(u64, f64, usize)> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n).map(|_| (next() % 20, (next() % 20) as f64, (next() % 4 + 1) as usize)).collect()
+}
+
+/// Picks the subset of `options` selected by the bits of `mask`
+/// (callers pass a non-zero mask so the subset is non-empty).
+fn masked<T: Copy>(options: &[T], mask: usize) -> Vec<T> {
+    options.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &o)| o).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structural properties of the frontier over arbitrary objective
+    /// triples, including duplicates and total ties.
+    #[test]
+    fn prop_pareto_flags_are_sound_and_complete(
+        n in 1usize..40,
+        seed in 0u64..10_000,
+    ) {
+        let pts = random_points(n, seed);
+        let flags = pareto_flags(&pts);
+        prop_assert_eq!(flags.len(), pts.len());
+        // Soundness: no flagged point is dominated by any point.
+        for (i, &flag) in flags.iter().enumerate() {
+            if flag {
+                prop_assert!(!pts.iter().any(|q| dominates(q, &pts[i])));
+            }
+        }
+        // Completeness: every unflagged point is dominated by a flagged
+        // one (dominance chains end at the frontier).
+        for (i, &flag) in flags.iter().enumerate() {
+            if !flag {
+                prop_assert!(
+                    flags.iter().zip(&pts).any(|(&f, q)| f && dominates(q, &pts[i])),
+                    "dominated point {i} has no dominating frontier point"
+                );
+            }
+        }
+        // A non-empty space always has a frontier.
+        prop_assert!(flags.iter().any(|&f| f));
+    }
+}
+
+proptest! {
+    // Each case runs a full (cached, symbolic) design-space search, so
+    // keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// End-to-end advisor properties on real searches: frontier
+    /// soundness and the smallest-feasible recommendation contract.
+    #[test]
+    fn prop_advisor_frontier_and_recommendation(
+        latency_ms in prop::sample::select(vec![
+            None,
+            Some(0.001f64),
+            Some(3.5),
+            Some(5.0),
+            Some(25.0),
+            Some(90.0),
+        ]),
+        energy_mj in prop::sample::select(vec![None, Some(3.0f64), Some(3.6), Some(4.0)]),
+        chips_mask in 1usize..16,
+        pcts_mask in 1usize..16,
+    ) {
+        let cfg = TransformerConfig::tiny_llama_42m();
+        let constraints = Constraints { max_latency_ms: latency_ms, max_energy_mj: energy_mj };
+        let space = DesignSpace {
+            topologies: vec![TopologySpec::PaperDefault, TopologySpec::Flat],
+            placements: vec![PlacementPolicy::Auto],
+            chip_counts: masked(&[1, 2, 4, 8], chips_mask),
+            link_bw_pcts: masked(&[20, 40, 70, 100], pcts_mask),
+        };
+        let advice = advise(&cfg, InferenceMode::Autoregressive, constraints, &space).unwrap();
+        let objectives: Vec<(u64, f64, usize)> = advice
+            .candidates
+            .iter()
+            .map(|c| (c.makespan(), c.report.energy_mj(), c.point.n_chips))
+            .collect();
+        // No flagged candidate is dominated by any candidate.
+        for (i, c) in advice.candidates.iter().enumerate() {
+            if c.pareto {
+                prop_assert!(
+                    !objectives.iter().any(|q| dominates(q, &objectives[i])),
+                    "flagged point {} is dominated",
+                    c.point.label()
+                );
+            }
+            // Feasibility flags agree with the constraints.
+            prop_assert_eq!(c.feasible, constraints.satisfied_by(&c.report));
+        }
+        match advice.recommended {
+            Some(r) => {
+                let rec = &advice.candidates[r];
+                prop_assert!(rec.feasible);
+                // No feasible candidate uses fewer chips, and among
+                // equal-chip feasible candidates none is strictly
+                // better on (makespan, energy).
+                for c in advice.candidates.iter().filter(|c| c.feasible) {
+                    prop_assert!(c.point.n_chips >= rec.point.n_chips);
+                    if c.point.n_chips == rec.point.n_chips {
+                        prop_assert!(
+                            (c.makespan(), c.report.energy_mj())
+                                >= (rec.makespan(), rec.report.energy_mj())
+                        );
+                    }
+                }
+            }
+            None => {
+                prop_assert!(advice.candidates.iter().all(|c| !c.feasible));
+            }
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Table-driven coverage of the `mtp` CLI surface: every flag spelling
-//! of `mtp sweep`, `mtp serve`, and `mtp bench` that parses, and every
-//! rejection path with its exact exit code and error message. The
+//! of `mtp sweep`, `mtp serve`, `mtp advise`, and `mtp bench` that
+//! parses, and every rejection path with its exact exit code and error
+//! message. The
 //! messages are part of the CLI contract — scripts grep them — so each
 //! invalid case locks the wording, not just the failure.
 
@@ -140,6 +141,18 @@ fn invalid_flags_exit_nonzero_with_exact_messages() {
             &["serve", "--faults", ","],
             "the serving grid is empty (every axis needs at least one value)",
         ),
+        // advise: model/axis vocabulary and bandwidth-range grammar
+        (&["advise", "--model", "nope"], "unknown model `nope`"),
+        (&["advise", "--chips", "two"], "bad chip count `two`"),
+        (&["advise", "--link-bw", "0"], "bad link bandwidth `0` (want PCT or LO..HI[:STEP])"),
+        (
+            &["advise", "--link-bw", "50..40"],
+            "bad link bandwidth `50..40` (want PCT or LO..HI[:STEP])",
+        ),
+        (
+            &["advise", "--link-bw", "10..20:0"],
+            "bad link bandwidth `10..20:0` (want PCT or LO..HI[:STEP])",
+        ),
     ];
     for (args, fragment) in cases {
         let out = mtp(args);
@@ -274,6 +287,65 @@ fn serve_runs_a_small_grid_and_writes_sinks() {
     ]);
     assert_eq!(out2.status.code(), Some(0));
     assert_eq!(csv, std::fs::read_to_string(&csv2_path).unwrap(), "serve CSV not reproducible");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A small design-space search over every advise axis, including the
+/// `LO..HI:STEP` bandwidth-range grammar, with CSV/JSON sinks written
+/// and a second process reproducing the CSV byte for byte.
+#[test]
+fn advise_searches_a_space_and_writes_deterministic_sinks() {
+    let dir = std::env::temp_dir().join(format!("mtp-cli-advise-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |csv: &std::path::Path, json: Option<&std::path::Path>| {
+        let mut args = vec![
+            "advise",
+            "--model",
+            "tinyllama",
+            "--mode",
+            "ar",
+            "--latency-ms",
+            "5",
+            "--chips",
+            "1,8",
+            "--topologies",
+            "hier4,flat",
+            "--placements",
+            "auto",
+            "--link-bw",
+            "25,50..100:25",
+            "--csv",
+            csv.to_str().unwrap(),
+        ];
+        if let Some(j) = json {
+            args.extend(["--json", j.to_str().unwrap()]);
+        }
+        mtp(&args)
+    };
+    let csv_a = dir.join("advise-a.csv");
+    let json_a = dir.join("advise-a.json");
+    let out = run(&csv_a, Some(&json_a));
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Pareto frontier"), "{text}");
+    assert!(text.contains("recommendation: 8chips/"), "{text}");
+
+    let csv = std::fs::read_to_string(&csv_a).unwrap();
+    let header = csv.lines().next().unwrap();
+    for col in ["link_bw_pct", "pareto", "feasible", "recommended"] {
+        assert!(header.contains(col), "CSV header misses `{col}`: {header}");
+    }
+    // 2 chip counts x 2 topologies x 1 placement x 4 bandwidths (25 and
+    // the 50..100:25 range), single-chip topologies both evaluated.
+    assert_eq!(csv.lines().count(), 17, "16 rows + header:\n{csv}");
+    assert_eq!(csv.matches(",1\n").count(), 1, "exactly one recommended row:\n{csv}");
+    let json = std::fs::read_to_string(&json_a).unwrap();
+    assert!(json.contains("\"recommended\":true"), "{json}");
+
+    let csv_b = dir.join("advise-b.csv");
+    let out2 = run(&csv_b, None);
+    assert_eq!(out2.status.code(), Some(0));
+    assert_eq!(csv, std::fs::read_to_string(&csv_b).unwrap(), "advise CSV not reproducible");
     std::fs::remove_dir_all(&dir).ok();
 }
 

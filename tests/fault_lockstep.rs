@@ -171,7 +171,7 @@ fn serve_availability_is_monotone_in_failure_rate() {
                 42,
             )
             .unwrap();
-        let avail = report.availability();
+        let avail = report.availability().expect("non-empty run");
         if rate == 0 {
             assert!((avail - 1.0).abs() < f64::EPSILON);
         }
@@ -215,6 +215,9 @@ fn faulted_serve_grid_is_deterministic_and_reconciles() {
     assert_eq!(by_outcome(RequestOutcome::Failed), degraded.failed);
     assert_eq!(by_outcome(RequestOutcome::Shed), degraded.sheds);
     assert_eq!(by_outcome(RequestOutcome::TimedOut), degraded.timeouts);
-    assert!(degraded.availability() < 1.0, "a 30% per-attempt failure rate must bite");
+    assert!(
+        degraded.availability().expect("non-empty run") < 1.0,
+        "a 30% per-attempt failure rate must bite"
+    );
     assert!(degraded.retries > 0, "retry budget 1 should be exercised");
 }

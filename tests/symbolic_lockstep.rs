@@ -1,0 +1,222 @@
+//! Exact-equality lockstep suite for the symbolic makespan model
+//! (see DESIGN.md §15): [`mtp::sim::SymbolicMakespan::eval`] must be
+//! **indistinguishable** — makespan, every per-chip counter, the
+//! sync-phase count, all exact `u64` equality — from both
+//! [`mtp::sim::Machine::run_periodic`] and a full
+//! [`mtp::sim::Machine::run`] of the concatenated programs, across:
+//!
+//! 1. every valid scenario of the default sweep grid;
+//! 2. the deep grid (96+ blocks) and the batch grid (uniform batches as
+//!    extra blocks);
+//! 3. randomized model configurations via proptest;
+//! 4. the closed form itself: `makespan(n) = startup + reps * delta`
+//!    must equal the evaluated stats' makespan at every depth.
+//!
+//! Scenarios whose fixed point is not provable (the symbolic model
+//! returns `None`) are skipped here — the periodic lockstep suite
+//! already covers their fallback path — but the default grid must prove
+//! a fixed point for most of its scenarios, which the tests assert.
+
+use mtp::core::schedule::Scheduler;
+use mtp::harness::sweep::SweepGrid;
+use mtp::model::{InferenceMode, TransformerConfig};
+use mtp::sim::{ChipSpec, Instr, Machine, MsgId, Program, SymbolicMakespan, SymbolicPlane};
+use proptest::prelude::*;
+
+/// Concatenates a template `n_blocks` times with fresh ids per block —
+/// the contract `run_periodic` (and therefore the symbolic model) is
+/// defined against, mirrored independently of the implementation.
+fn concat_shifted(template: &[Program], n_blocks: usize) -> Vec<Program> {
+    let mut max_msg = 0u64;
+    let mut max_sync = 0u32;
+    let mut any_msg = false;
+    let mut any_sync = false;
+    for p in template {
+        for i in p.instrs() {
+            match *i {
+                Instr::Send { msg, .. } | Instr::Recv { msg, .. } => {
+                    max_msg = max_msg.max(msg.0);
+                    any_msg = true;
+                }
+                Instr::Sync(id) => {
+                    max_sync = max_sync.max(id);
+                    any_sync = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    let msg_stride = if any_msg { max_msg + 1 } else { 0 };
+    let sync_stride = if any_sync { max_sync + 1 } else { 0 };
+    let mut out = vec![Program::new(); template.len()];
+    for block in 0..n_blocks as u64 {
+        let (dm, ds) = (block * msg_stride, block as u32 * sync_stride);
+        for (o, t) in out.iter_mut().zip(template) {
+            o.extend(t.instrs().iter().map(|&instr| match instr {
+                Instr::Send { to, msg, bytes } => Instr::Send { to, msg: MsgId(msg.0 + dm), bytes },
+                Instr::Recv { from, msg } => Instr::Recv { from, msg: MsgId(msg.0 + dm) },
+                Instr::Sync(id) => Instr::Sync(id + ds),
+                other => other,
+            }));
+        }
+    }
+    out
+}
+
+/// Asserts symbolic == periodic == full at every given depth. Returns
+/// `false` when no fixed point is provable for this template (skipped).
+fn assert_symbolic_lockstep(
+    chip: &ChipSpec,
+    n_chips: usize,
+    template: &[Program],
+    depths: &[usize],
+    context: &str,
+) -> bool {
+    let machine = Machine::homogeneous(*chip, n_chips);
+    let Some(model) = SymbolicMakespan::derive(&machine, template).unwrap() else {
+        return false;
+    };
+    for &n in depths {
+        let sym = model.eval(n);
+        let fast = machine.run_periodic(template, n).unwrap();
+        let full = machine.run(&concat_shifted(template, n)).unwrap();
+        assert_eq!(sym, fast, "symbolic != periodic: {context} n_blocks={n}");
+        assert_eq!(sym, full, "symbolic != full: {context} n_blocks={n}");
+        assert_eq!(
+            model.makespan(n),
+            sym.makespan,
+            "closed form != evaluated stats: {context} n_blocks={n}"
+        );
+    }
+    true
+}
+
+/// Depths that straddle every regime of the closed form: the exact
+/// prefix (n at or below the warm segment count), the first
+/// extrapolated block, and the target depth.
+fn probe_depths(model_depth: usize) -> Vec<usize> {
+    let mut d = vec![1, 2, 3, 5, model_depth];
+    d.sort_unstable();
+    d.dedup();
+    d.retain(|&n| n >= 1);
+    d
+}
+
+fn assert_grid_symbolic(grid: &SweepGrid, min_proven: usize) {
+    let mut proven = 0usize;
+    for scenario in grid.scenarios() {
+        let Ok(compiled) = scenario.compile_schedule() else {
+            continue; // invalid partition for this chip count
+        };
+        let chip = scenario.chip();
+        let context = format!(
+            "{} x{} {} {}",
+            scenario.config.name,
+            scenario.n_chips,
+            scenario.mode,
+            scenario.topology.label()
+        );
+        if assert_symbolic_lockstep(
+            &chip,
+            scenario.n_chips,
+            compiled.template(),
+            &probe_depths(scenario.n_blocks()),
+            &context,
+        ) {
+            proven += 1;
+        }
+    }
+    assert!(
+        proven >= min_proven,
+        "only {proven} scenarios proved a fixed point (expected at least {min_proven})"
+    );
+}
+
+#[test]
+fn default_grid_scenarios_symbolic_lockstep() {
+    assert_grid_symbolic(&SweepGrid::paper_default(), 20);
+}
+
+#[test]
+fn deep_grid_scenarios_symbolic_lockstep() {
+    assert_grid_symbolic(&SweepGrid::deep_default(), 4);
+}
+
+#[test]
+fn batch_grid_scenarios_symbolic_lockstep() {
+    assert_grid_symbolic(&SweepGrid::batch_default(), 4);
+}
+
+#[test]
+fn plane_matches_independent_derivations_on_an_eight_chip_schedule() {
+    // The bandwidth plane must be indistinguishable from deriving each
+    // bandwidth from scratch, including pricing-class sharing.
+    let cfg = TransformerConfig::tiny_llama_42m();
+    let chip = ChipSpec::siracusa();
+    let template =
+        Scheduler::new(&cfg, 8, &chip).unwrap().block_programs(InferenceMode::Autoregressive);
+    let pcts = [10, 25, 50, 75, 100];
+    let plane = SymbolicPlane::derive(&chip, 8, &template, &pcts).unwrap();
+    for &pct in &pcts {
+        let mut scaled = chip;
+        scaled.link.bytes_per_cycle *= f64::from(pct) / 100.0;
+        let machine = Machine::homogeneous(scaled, 8);
+        for n in [1, 7, cfg.n_layers, 300] {
+            assert_eq!(
+                plane.eval(pct, n).expect("pct in plane"),
+                machine.run_periodic(&template, n).unwrap(),
+                "bw {pct}% n_blocks={n}"
+            );
+        }
+    }
+    assert!(plane.warmups() <= pcts.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Symbolic == periodic == full on randomized model configurations:
+    /// random architecture, chip count, mode, depth, link bandwidth, and
+    /// L2 budget (which moves the residency crossovers).
+    #[test]
+    fn prop_randomized_models_symbolic_lockstep(
+        embed_i in 0usize..3,
+        heads in prop::sample::select(vec![2usize, 4, 8]),
+        kv_div in prop::sample::select(vec![1usize, 2]),
+        ffn_mul in prop::sample::select(vec![1usize, 2, 4]),
+        seq in prop::sample::select(vec![8usize, 32, 128]),
+        chips in prop::sample::select(vec![1usize, 2, 4, 8]),
+        prompt in prop::sample::select(vec![false, true]),
+        n_blocks in 1usize..40,
+        bw_pct in prop::sample::select(vec![25u32, 50, 100]),
+        l2_fraction in prop::sample::select(vec![0.2f64, 0.75]),
+    ) {
+        let embed = [128usize, 256, 512][embed_i];
+        prop_assume!(heads <= embed && embed.is_multiple_of(heads));
+        let mut cfg = TransformerConfig::tiny_llama_42m();
+        cfg.name = "randomized".to_owned();
+        cfg.embed_dim = embed;
+        cfg.n_heads = heads;
+        cfg.n_kv_heads = heads / kv_div;
+        cfg.ffn_dim = embed * ffn_mul;
+        cfg.seq_len = seq;
+        prop_assume!(cfg.validate().is_ok());
+        let mode = if prompt { InferenceMode::Prompt } else { InferenceMode::Autoregressive };
+        let mut chip = ChipSpec::siracusa();
+        chip.link.bytes_per_cycle *= f64::from(bw_pct) / 100.0;
+        chip.l2_usable_fraction = l2_fraction;
+        prop_assume!(Scheduler::new(&cfg, chips, &chip).is_ok());
+        let template = Scheduler::new(&cfg, chips, &chip).unwrap().block_programs(mode);
+        let machine = Machine::homogeneous(chip, chips);
+        let Some(model) = SymbolicMakespan::derive(&machine, &template).unwrap() else {
+            // Unprovable fixed point: covered by the periodic fallback suite.
+            return Ok(());
+        };
+        let sym = model.eval(n_blocks);
+        let fast = machine.run_periodic(&template, n_blocks).unwrap();
+        let full = machine.run(&concat_shifted(&template, n_blocks)).unwrap();
+        prop_assert_eq!(&sym, &fast);
+        prop_assert_eq!(&sym, &full);
+        prop_assert_eq!(model.makespan(n_blocks), sym.makespan);
+    }
+}
